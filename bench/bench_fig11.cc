@@ -1,0 +1,118 @@
+// Figure 11: network overhead by node role (3-node chain: local ->
+// intermediate -> root).
+//  11a: one average query — bytes sent by local and intermediate nodes.
+//  11b: one median query — all systems must move the events.
+//  11c: bytes vs number of distinct keys.
+//  11d: bytes vs number of concurrent windows (single key).
+
+#include "harness.h"
+
+namespace desis::bench {
+namespace {
+
+const std::vector<ClusterSystem> kSystems = {
+    ClusterSystem::kDesis, ClusterSystem::kDisco, ClusterSystem::kScotty,
+    ClusterSystem::kCeBuffer};
+
+std::vector<Query> KeyedQueries(int keys, AggregationFunction fn) {
+  std::vector<Query> queries;
+  for (int k = 0; k < keys; ++k) {
+    Query q;
+    q.id = static_cast<QueryId>(k + 1);
+    q.window = WindowSpec::Tumbling(1 * kSecond);
+    q.agg = {fn, 0.5};
+    q.predicate = keys > 1 ? Predicate::KeyEquals(static_cast<uint32_t>(k))
+                           : Predicate::All();
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::vector<Query> SameKeyWindows(int n, AggregationFunction fn) {
+  std::vector<Query> queries;
+  for (int i = 0; i < n; ++i) {
+    Query q;
+    q.id = static_cast<QueryId>(i + 1);
+    q.window = WindowSpec::Tumbling(((i % 10) + 1) * kSecond);
+    q.agg = {fn, 0.5};
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+void Fig11ab(AggregationFunction fn, const char* title) {
+  PrintHeader(title, {"local_KB", "intermediate_KB"});
+  const size_t events = Scaled(500'000);
+  for (ClusterSystem system : kSystems) {
+    auto r = RunDecentralized(system, {1, 1}, KeyedQueries(1, fn), events);
+    PrintRow(ToString(system), {static_cast<double>(r.local_bytes) / 1e3,
+                                static_cast<double>(r.intermediate_bytes) / 1e3});
+  }
+}
+
+void Fig11c() {
+  PrintHeader("Fig 11c: total bytes vs distinct keys (KB)",
+              {"Desis", "Disco", "Scotty", "CeBuffer"});
+  const size_t events = Scaled(300'000);
+  for (int keys : {1, 10, 100}) {
+    std::vector<double> cells;
+    for (ClusterSystem system : kSystems) {
+      auto r = RunDecentralized(system, {1, 1},
+                                KeyedQueries(keys, AggregationFunction::kAverage),
+                                events, 10, static_cast<uint32_t>(std::max(keys, 1)));
+      cells.push_back(
+          static_cast<double>(r.local_bytes + r.intermediate_bytes) / 1e3);
+    }
+    PrintRow(std::to_string(keys) + " keys", cells);
+  }
+}
+
+void Fig11d() {
+  PrintHeader("Fig 11d: total bytes vs concurrent windows, 1 key (KB)",
+              {"Desis", "Disco", "Scotty", "CeBuffer"});
+  const size_t events = Scaled(300'000);
+  for (int windows : {1, 10, 100, 1000}) {
+    std::vector<double> cells;
+    for (ClusterSystem system : kSystems) {
+      auto r = RunDecentralized(
+          system, {1, 1}, SameKeyWindows(windows, AggregationFunction::kAverage),
+          events, 10, 1);
+      cells.push_back(
+          static_cast<double>(r.local_bytes + r.intermediate_bytes) / 1e3);
+    }
+    PrintRow(std::to_string(windows) + " windows", cells);
+  }
+}
+
+void Fig11Hops() {
+  // §6.4.1 (text): centralized overhead grows linearly with intermediate
+  // layers; decentralized growth is negligible for decomposable functions.
+  PrintHeader("Fig 11 (hops): total bytes vs intermediate layers (KB)",
+              {"Desis", "Disco", "Scotty", "CeBuffer"});
+  const size_t events = Scaled(300'000);
+  for (int layers : {1, 2, 4, 8}) {
+    std::vector<double> cells;
+    for (ClusterSystem system : kSystems) {
+      auto r = RunDecentralized(system, {1, 1, layers},
+                                KeyedQueries(1, AggregationFunction::kAverage),
+                                events);
+      cells.push_back(
+          static_cast<double>(r.local_bytes + r.intermediate_bytes) / 1e3);
+    }
+    PrintRow(std::to_string(layers) + " hops", cells);
+  }
+}
+
+}  // namespace
+}  // namespace desis::bench
+
+int main() {
+  desis::bench::Fig11ab(desis::AggregationFunction::kAverage,
+                        "Fig 11a: bytes by role, 1 average query");
+  desis::bench::Fig11ab(desis::AggregationFunction::kMedian,
+                        "Fig 11b: bytes by role, 1 median query");
+  desis::bench::Fig11c();
+  desis::bench::Fig11d();
+  desis::bench::Fig11Hops();
+  return 0;
+}

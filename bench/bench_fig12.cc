@@ -1,0 +1,34 @@
+// Figure 12: per-node-role processing latency (µs of node busy time per
+// emitted result) on the 3-node chain, for a 1s tumbling window.
+//  12a: average aggregation.  12b: median aggregation.
+
+#include "harness.h"
+
+namespace desis::bench {
+namespace {
+
+void Fig12(AggregationFunction fn, const char* title) {
+  PrintHeader(title, {"local_us", "intermediate_us", "root_us"});
+  const size_t events = Scaled(300'000);
+  std::vector<Query> queries = {
+      {1, WindowSpec::Tumbling(1 * kSecond), {fn, 0.5}, {}, false}};
+  for (ClusterSystem system :
+       {ClusterSystem::kDesis, ClusterSystem::kDisco, ClusterSystem::kScotty,
+        ClusterSystem::kCeBuffer}) {
+    auto r = RunDecentralized(system, {1, 1}, queries, events);
+    PrintRow(ToString(system),
+             {r.local_us_per_result, r.intermediate_us_per_result,
+              r.root_us_per_result});
+  }
+}
+
+}  // namespace
+}  // namespace desis::bench
+
+int main() {
+  desis::bench::Fig12(desis::AggregationFunction::kAverage,
+                      "Fig 12a: per-role latency, average (us/result)");
+  desis::bench::Fig12(desis::AggregationFunction::kMedian,
+                      "Fig 12b: per-role latency, median (us/result)");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Figure 13: real-world setup.
+//  13a: throughput vs number of random queries (mixed keys, types,
+//       measures, decomposable functions, lengths).
+//  13b/13c/13d: Raspberry-Pi cluster model — per-link bandwidth cap
+//       (1G Ethernet) and a CPU slowdown factor folded into the pipeline
+//       model (see DESIGN.md).
+
+#include "harness.h"
+
+namespace desis::bench {
+namespace {
+
+std::vector<Query> RandomQueries(int n, uint64_t seed) {
+  QueryGeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.num_keys = 10;
+  cfg.window_types = {WindowType::kTumbling, WindowType::kSliding,
+                      WindowType::kSession, WindowType::kUserDefined};
+  cfg.functions = {AggregationFunction::kSum, AggregationFunction::kCount,
+                   AggregationFunction::kAverage, AggregationFunction::kMin,
+                   AggregationFunction::kMax};
+  cfg.count_measure_probability = 0.2;
+  cfg.min_count = 10'000;
+  cfg.max_count = 100'000;
+  return QueryGenerator(cfg).Take(static_cast<size_t>(n));
+}
+
+void Fig13a() {
+  PrintHeader("Fig 13a: throughput vs random queries (events/s)",
+              {"Desis", "DeSW", "DeBucket", "CeBuffer"});
+  DataGeneratorConfig dcfg;
+  dcfg.num_keys = 10;
+  dcfg.marker_probability = 0.001;
+  dcfg.gap_probability = 0.0005;
+  dcfg.gap_length = 1500 * kMillisecond;
+  dcfg.mean_interval = 100;  // 10k events/s of event time
+  const size_t base = Scaled(300'000);
+  auto events = DataGenerator(dcfg).Take(base);
+
+  for (int n : {1, 10, 100, 1000, 10'000, 100'000}) {
+    std::vector<double> cells;
+    auto queries = RandomQueries(n, static_cast<uint64_t>(n) + 7);
+    for (const char* name : {"Desis", "DeSW", "DeBucket", "CeBuffer"}) {
+      const bool per_window_cost =
+          std::string(name) == "DeBucket" || std::string(name) == "CeBuffer";
+      if (per_window_cost && n > 1000) {
+        cells.push_back(-1);  // intractable: O(queries) work per event
+        continue;
+      }
+      if (std::string(name) == "DeSW" && n >= 100'000) {
+        // DeSW re-checks every distinct window spec per event; at 100k
+        // distinct specs that is intractable (the sharing limitation the
+        // figure demonstrates).
+        cells.push_back(-1);
+        continue;
+      }
+      // Result materialization dominates at high query counts (the paper
+      // reports the same effect past 10k queries); sample fewer events
+      // there — throughput remains a per-event-cost measure.
+      const size_t divisor = n >= 100'000 ? 100 : n >= 10'000 ? 20 : 1;
+      const size_t count = std::min(
+          events.size(),
+          per_window_cost ? std::max<size_t>(base / std::max(1, n / 5), 20'000)
+                          : std::max<size_t>(base / divisor, 10'000));
+      std::vector<Event> sample(events.begin(),
+                                events.begin() + std::min(count, events.size()));
+      auto engine = MakeEngine(name);
+      (void)engine->Configure(queries);
+      cells.push_back(MeasureThroughput(*engine, sample).events_per_sec);
+    }
+    PrintRow(std::to_string(n) + " queries", cells);
+  }
+}
+
+// Raspberry-Pi deployment model: the wall time of a run is bounded by the
+// slowest node's CPU (slowed down vs the Xeon) and by the root's 1G link.
+constexpr double kPiBandwidthBytesPerSec = 125e6;  // 1G Ethernet
+constexpr double kPiCpuSlowdown = 3.0;
+
+struct PiModel {
+  double throughput;
+  double root_link_mb_per_sec;
+};
+
+PiModel PiRun(ClusterSystem system, int locals,
+              const std::vector<Query>& queries, size_t per_local) {
+  auto r = RunDecentralized(system, {locals, 1}, queries, per_local);
+  const double cpu_wall =
+      static_cast<double>(r.max_busy_ns) / 1e9 * kPiCpuSlowdown;
+  const double net_wall =
+      static_cast<double>(r.root_rx_bytes) / kPiBandwidthBytesPerSec;
+  const double wall = std::max(cpu_wall, net_wall);
+  PiModel out;
+  out.throughput =
+      wall <= 0 ? 0 : static_cast<double>(r.total_events) / wall;
+  out.root_link_mb_per_sec =
+      wall <= 0 ? 0 : static_cast<double>(r.root_rx_bytes) / 1e6 / wall;
+  return out;
+}
+
+void Fig13bcd() {
+  std::vector<Query> queries;
+  for (int k = 0; k < 10; ++k) {
+    Query q;
+    q.id = static_cast<QueryId>(k + 1);
+    q.window = WindowSpec::Tumbling(1 * kSecond);
+    q.agg = {AggregationFunction::kAverage, 0};
+    q.predicate = Predicate::KeyEquals(static_cast<uint32_t>(k));
+    queries.push_back(q);
+  }
+  const size_t per_local = Scaled(100'000);
+
+  PrintHeader("Fig 13b: Pi-cluster throughput vs nodes (events/s)",
+              {"Desis", "Disco", "Scotty", "CeBuffer"});
+  std::vector<std::vector<double>> link_rows;
+  for (int locals : {1, 2, 4, 8}) {
+    std::vector<double> thpt;
+    std::vector<double> link;
+    for (ClusterSystem system :
+         {ClusterSystem::kDesis, ClusterSystem::kDisco, ClusterSystem::kScotty,
+          ClusterSystem::kCeBuffer}) {
+      PiModel m = PiRun(system, locals, queries, per_local);
+      thpt.push_back(m.throughput);
+      link.push_back(m.root_link_mb_per_sec);
+    }
+    PrintRow(std::to_string(locals) + " Pis", thpt);
+    link_rows.push_back(std::move(link));
+  }
+
+  PrintHeader("Fig 13c: root-link traffic (MB/s)",
+              {"Desis", "Disco", "Scotty", "CeBuffer"});
+  int idx = 0;
+  for (int locals : {1, 2, 4, 8}) {
+    PrintRow(std::to_string(locals) + " Pis", link_rows[idx++]);
+  }
+
+  PrintHeader("Fig 13d: per-role latency on Pi cluster (us/result)",
+              {"local_us", "intermediate_us", "root_us"});
+  for (ClusterSystem system :
+       {ClusterSystem::kDesis, ClusterSystem::kDisco, ClusterSystem::kScotty,
+        ClusterSystem::kCeBuffer}) {
+    auto r = RunDecentralized(system, {2, 1}, queries, per_local);
+    PrintRow(ToString(system),
+             {r.local_us_per_result * kPiCpuSlowdown,
+              r.intermediate_us_per_result * kPiCpuSlowdown,
+              r.root_us_per_result * kPiCpuSlowdown});
+  }
+}
+
+}  // namespace
+}  // namespace desis::bench
+
+int main() {
+  desis::bench::Fig13a();
+  desis::bench::Fig13bcd();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Figure 7: decentralized scalability.
+//  7a/7b: cluster throughput vs number of local nodes (average / median).
+//  7c/7d: per-role throughput while the number of children grows.
+//  7e:    per-role throughput vs number of distinct keys (one query each).
+//  7f:    per-role throughput vs number of concurrent windows, same key.
+
+#include "harness.h"
+
+namespace desis::bench {
+namespace {
+
+std::vector<Query> KeyedQueries(int keys, AggregationFunction fn) {
+  std::vector<Query> queries;
+  for (int k = 0; k < keys; ++k) {
+    Query q;
+    q.id = static_cast<QueryId>(k + 1);
+    q.window = WindowSpec::Tumbling(1 * kSecond);
+    q.agg = {fn, 0.5};
+    q.predicate = Predicate::KeyEquals(static_cast<uint32_t>(k));
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::vector<Query> SameKeyWindows(int n) {
+  std::vector<Query> queries;
+  for (int i = 0; i < n; ++i) {
+    Query q;
+    q.id = static_cast<QueryId>(i + 1);
+    q.window = WindowSpec::Tumbling(((i % 10) + 1) * kSecond);
+    q.agg = {AggregationFunction::kAverage, 0};
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+void Fig7ab(AggregationFunction fn, const char* title) {
+  PrintHeader(title, {"Desis", "Disco", "Scotty", "CeBuffer"});
+  const size_t per_local = Scaled(100'000);
+  for (int locals : {1, 2, 4, 8}) {
+    std::vector<double> cells;
+    for (ClusterSystem system :
+         {ClusterSystem::kDesis, ClusterSystem::kDisco, ClusterSystem::kScotty,
+          ClusterSystem::kCeBuffer}) {
+      auto r = RunDecentralized(system, {locals, 1}, KeyedQueries(10, fn),
+                                per_local);
+      cells.push_back(r.pipeline_events_per_sec);
+    }
+    PrintRow(std::to_string(locals) + " locals", cells);
+  }
+}
+
+void Fig7cd() {
+  PrintHeader("Fig 7c: Desis per-role throughput, average (events/s)",
+              {"local", "intermediate", "root"});
+  for (int locals : {2, 4, 8, 16}) {
+    auto r = RunDecentralized(ClusterSystem::kDesis, {locals, 1},
+                              KeyedQueries(10, AggregationFunction::kAverage),
+                              Scaled(75'000));
+    PrintRow(std::to_string(locals) + " children",
+             {r.local_events_per_sec, r.intermediate_events_per_sec,
+              r.root_events_per_sec});
+  }
+
+  PrintHeader("Fig 7d: Desis root throughput, median (events/s)", {"root"});
+  for (int locals : {2, 4, 8, 16}) {
+    auto r = RunDecentralized(ClusterSystem::kDesis, {locals, 1},
+                              KeyedQueries(10, AggregationFunction::kMedian),
+                              Scaled(50'000));
+    PrintRow(std::to_string(locals) + " children", {r.root_events_per_sec});
+  }
+}
+
+void Fig7e() {
+  PrintHeader("Fig 7e: Desis per-role throughput vs distinct keys (events/s)",
+              {"local", "intermediate", "root"});
+  for (int keys : {1, 10, 100, 1000}) {
+    const size_t per_local =
+        std::max<size_t>(Scaled(75'000) / std::max(1, keys / 10), 20'000);
+    auto r = RunDecentralized(ClusterSystem::kDesis, {2, 1},
+                              KeyedQueries(keys, AggregationFunction::kAverage),
+                              per_local, 10, static_cast<uint32_t>(keys));
+    PrintRow(std::to_string(keys) + " keys",
+             {r.local_events_per_sec, r.intermediate_events_per_sec,
+              r.root_events_per_sec});
+  }
+}
+
+void Fig7f() {
+  PrintHeader("Fig 7f: Desis per-role throughput vs windows, same key",
+              {"local", "intermediate", "root"});
+  for (int windows : {1, 10, 100, 1000}) {
+    auto r = RunDecentralized(ClusterSystem::kDesis, {2, 1},
+                              SameKeyWindows(windows), Scaled(75'000));
+    PrintRow(std::to_string(windows) + " windows",
+             {r.local_events_per_sec, r.intermediate_events_per_sec,
+              r.root_events_per_sec});
+  }
+}
+
+}  // namespace
+}  // namespace desis::bench
+
+int main() {
+  desis::bench::Fig7ab(desis::AggregationFunction::kAverage,
+                       "Fig 7a: cluster throughput vs local nodes, average");
+  desis::bench::Fig7ab(desis::AggregationFunction::kMedian,
+                       "Fig 7b: cluster throughput vs local nodes, median");
+  desis::bench::Fig7cd();
+  desis::bench::Fig7e();
+  desis::bench::Fig7f();
+  return 0;
+}

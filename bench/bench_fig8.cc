@@ -1,0 +1,91 @@
+// Figure 8: concurrent windows with different window types.
+//  8a/8b: tumbling windows (lengths U[1,10]s): throughput + slices/minute.
+//  8c/8d: half the windows replaced by user-defined windows.
+
+#include "harness.h"
+
+namespace desis::bench {
+namespace {
+
+std::vector<Query> MixedWindows(int n, bool half_user_defined) {
+  std::vector<Query> queries;
+  for (int i = 0; i < n; ++i) {
+    Query q;
+    q.id = static_cast<QueryId>(i + 1);
+    if (half_user_defined && i % 2 == 1) {
+      q.window = WindowSpec::UserDefined();
+    } else {
+      q.window = WindowSpec::Tumbling(((i % 10) + 1) * kSecond);
+    }
+    q.agg = {AggregationFunction::kAverage, 0};
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+void Sweep(bool half_user_defined, const char* thpt_title,
+           const char* slice_title) {
+  const std::vector<const char*> systems = {"Desis", "DeSW", "DeBucket",
+                                            "CeBuffer"};
+  // ~1 user-defined marker per second of event time (paper: 1 ud event/s).
+  const double marker_p = half_user_defined ? 0.001 : 0.0;
+
+  DataGeneratorConfig dcfg;
+  dcfg.num_keys = 10;
+  dcfg.mean_interval = 1 * kMillisecond;  // 1k events/s of event time
+  dcfg.marker_probability = marker_p;
+  const size_t base = Scaled(300'000);
+  auto events = DataGenerator(dcfg).Take(base);
+
+  std::vector<std::vector<double>> thpt_rows;
+  std::vector<std::vector<double>> slice_rows;
+  const std::vector<int> counts = {1, 10, 100, 1000};
+  for (int n : counts) {
+    std::vector<double> thpt;
+    std::vector<double> slices;
+    auto queries = MixedWindows(n, half_user_defined);
+    for (const char* name : systems) {
+      const bool per_window_cost =
+          std::string(name) == "DeBucket" || std::string(name) == "CeBuffer";
+      const size_t count = std::min(
+          events.size(),
+          per_window_cost ? std::max<size_t>(base / std::max(1, n / 5), 50'000)
+                          : base);
+      std::vector<Event> sample(events.begin(),
+                                events.begin() + std::min(count, events.size()));
+      auto engine = MakeEngine(name);
+      (void)engine->Configure(queries);
+      auto r = MeasureThroughput(*engine, sample);
+      thpt.push_back(r.events_per_sec);
+      // Normalize slices to "per minute of event time".
+      const double minutes = static_cast<double>(sample.back().ts) /
+                             static_cast<double>(kMinute);
+      slices.push_back(static_cast<double>(r.stats.slices_created) /
+                       (minutes > 0 ? minutes : 1));
+    }
+    thpt_rows.push_back(std::move(thpt));
+    slice_rows.push_back(std::move(slices));
+  }
+
+  PrintHeader(thpt_title, {"Desis", "DeSW", "DeBucket", "CeBuffer"});
+  for (size_t i = 0; i < counts.size(); ++i) {
+    PrintRow(std::to_string(counts[i]) + " windows", thpt_rows[i]);
+  }
+  PrintHeader(slice_title, {"Desis", "DeSW", "DeBucket", "CeBuffer"});
+  for (size_t i = 0; i < counts.size(); ++i) {
+    PrintRow(std::to_string(counts[i]) + " windows", slice_rows[i]);
+  }
+}
+
+}  // namespace
+}  // namespace desis::bench
+
+int main() {
+  desis::bench::Sweep(false,
+                      "Fig 8a: throughput, tumbling windows (events/s)",
+                      "Fig 8b: slices per minute, tumbling windows");
+  desis::bench::Sweep(true,
+                      "Fig 8c: throughput, half user-defined (events/s)",
+                      "Fig 8d: slices per minute, half user-defined");
+  return 0;
+}

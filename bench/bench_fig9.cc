@@ -1,0 +1,161 @@
+// Figure 9: concurrent windows with different aggregation functions and
+// window measures (1s tumbling unless stated otherwise).
+//  9a/9b: average+sum mix — throughput and number of calculations.
+//  9c/9d: distinct quantiles — throughput and number of calculations.
+//  9e/9f: two functions per window — throughput and calculations.
+//  9g:    quantile+max (sharing the non-decomposable sort).
+//  9h:    mixed time- and count-based measures.
+
+#include "harness.h"
+
+namespace desis::bench {
+namespace {
+
+const std::vector<const char*> kSystems = {"Desis", "DeSW", "DeBucket",
+                                           "CeBuffer"};
+
+Query Tumbling1s(QueryId id, AggregationFunction fn, double quantile = 0.5) {
+  Query q;
+  q.id = id;
+  q.window = WindowSpec::Tumbling(1 * kSecond);
+  q.agg = {fn, quantile};
+  return q;
+}
+
+std::vector<Event> SharedEvents(size_t n) {
+  DataGeneratorConfig dcfg;
+  dcfg.num_keys = 10;
+  return DataGenerator(dcfg).Take(n);
+}
+
+void ThroughputSweep(const char* title,
+                     const std::function<std::vector<Query>(int)>& make,
+                     const std::vector<Event>& events) {
+  PrintHeader(title, {"Desis", "DeSW", "DeBucket", "CeBuffer"});
+  for (int n : {2, 10, 100, 1000}) {
+    std::vector<double> cells;
+    auto queries = make(n);
+    for (const char* name : kSystems) {
+      const bool per_window_cost =
+          std::string(name) == "DeBucket" || std::string(name) == "CeBuffer";
+      const bool per_group_cost = std::string(name) == "DeSW";
+      // Systems whose per-event cost grows with the query count get fewer
+      // sample events; throughput is a per-event-cost measure either way.
+      size_t count = events.size();
+      if (per_window_cost) {
+        count = std::max<size_t>(events.size() / std::max(1, n / 5), 50'000);
+      } else if (per_group_cost) {
+        count = std::max<size_t>(events.size() / std::max(1, n / 20), 50'000);
+      }
+      count = std::min(events.size(), count);
+      std::vector<Event> sample(events.begin(), events.begin() + count);
+      auto engine = MakeEngine(name);
+      (void)engine->Configure(queries);
+      cells.push_back(MeasureThroughput(*engine, sample).events_per_sec);
+    }
+    PrintRow(std::to_string(n) + " windows", cells);
+  }
+}
+
+void CalculationSweep(const char* title,
+                      const std::function<std::vector<Query>(int)>& make,
+                      size_t event_count) {
+  PrintHeader(title, {"Desis", "DeSW", "DeBucket"});
+  auto events = SharedEvents(event_count);
+  for (int n : {2, 10, 100}) {
+    std::vector<double> cells;
+    auto queries = make(n);
+    for (const char* name : {"Desis", "DeSW", "DeBucket"}) {
+      auto engine = MakeEngine(name);
+      (void)engine->Configure(queries);
+      auto r = MeasureThroughput(*engine, events);
+      cells.push_back(static_cast<double>(r.stats.operator_executions));
+    }
+    PrintRow(std::to_string(n) + " windows", cells);
+  }
+}
+
+std::vector<Query> AvgSumMix(int n) {
+  std::vector<Query> queries;
+  for (int i = 0; i < n; ++i) {
+    queries.push_back(Tumbling1s(static_cast<QueryId>(i + 1),
+                                 i % 2 == 0 ? AggregationFunction::kAverage
+                                            : AggregationFunction::kSum));
+  }
+  return queries;
+}
+
+std::vector<Query> DistinctQuantiles(int n) {
+  std::vector<Query> queries;
+  for (int i = 0; i < n; ++i) {
+    queries.push_back(Tumbling1s(static_cast<QueryId>(i + 1),
+                                 AggregationFunction::kQuantile,
+                                 static_cast<double>((i % 1000) + 1) / 1001.0));
+  }
+  return queries;
+}
+
+std::vector<Query> TwoFunctionsPerWindow(int n) {
+  // Each "window" evaluates average and max (two functions per window).
+  std::vector<Query> queries;
+  for (int i = 0; i < n; ++i) {
+    queries.push_back(Tumbling1s(static_cast<QueryId>(2 * i + 1),
+                                 AggregationFunction::kAverage));
+    queries.push_back(
+        Tumbling1s(static_cast<QueryId>(2 * i + 2), AggregationFunction::kMax));
+  }
+  return queries;
+}
+
+std::vector<Query> QuantileMax(int n) {
+  std::vector<Query> queries;
+  for (int i = 0; i < n; ++i) {
+    queries.push_back(Tumbling1s(static_cast<QueryId>(2 * i + 1),
+                                 AggregationFunction::kQuantile,
+                                 static_cast<double>((i % 1000) + 1) / 1001.0));
+    queries.push_back(
+        Tumbling1s(static_cast<QueryId>(2 * i + 2), AggregationFunction::kMax));
+  }
+  return queries;
+}
+
+std::vector<Query> MixedMeasures(int n) {
+  std::vector<Query> queries;
+  for (int i = 0; i < n; ++i) {
+    Query q;
+    q.id = static_cast<QueryId>(i + 1);
+    q.agg = {AggregationFunction::kAverage, 0};
+    q.window = i % 2 == 0 ? WindowSpec::Tumbling(1 * kSecond)
+                          : WindowSpec::CountTumbling(
+                                static_cast<int64_t>(Scaled(1'000'000)));
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+}  // namespace
+}  // namespace desis::bench
+
+int main() {
+  using namespace desis::bench;
+  auto events = SharedEvents(Scaled(500'000));
+  auto calc_events = Scaled(500'000);
+
+  ThroughputSweep("Fig 9a: throughput, average+sum (events/s)", AvgSumMix,
+                  events);
+  CalculationSweep("Fig 9b: calculations, average+sum", AvgSumMix,
+                   calc_events);
+  ThroughputSweep("Fig 9c: throughput, distinct quantiles (events/s)",
+                  DistinctQuantiles, events);
+  CalculationSweep("Fig 9d: calculations, distinct quantiles",
+                   DistinctQuantiles, calc_events);
+  ThroughputSweep("Fig 9e: throughput, two functions per window (events/s)",
+                  TwoFunctionsPerWindow, events);
+  CalculationSweep("Fig 9f: calculations, two functions per window",
+                   TwoFunctionsPerWindow, calc_events);
+  ThroughputSweep("Fig 9g: throughput, quantile+max (events/s)", QuantileMax,
+                  events);
+  ThroughputSweep("Fig 9h: throughput, mixed time/count measures (events/s)",
+                  MixedMeasures, events);
+  return 0;
+}

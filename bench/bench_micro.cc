@@ -1,0 +1,135 @@
+// Microbenchmarks (google-benchmark) for the engine's primitives: operator
+// folds, partial merges, serialization, slicing, and query-group formation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/serde.h"
+#include "core/engine.h"
+#include "core/operators.h"
+#include "core/query_analyzer.h"
+#include "gen/data_generator.h"
+
+namespace desis {
+namespace {
+
+void BM_OperatorAdd(benchmark::State& state) {
+  const OperatorMask mask = static_cast<OperatorMask>(state.range(0));
+  PartialAggregate agg(mask);
+  double v = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agg.Add(v));
+    v += 0.5;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OperatorAdd)
+    ->Arg(MaskOf(OperatorKind::kSum))
+    ->Arg(MaskOf(OperatorKind::kSum) | MaskOf(OperatorKind::kCount))
+    ->Arg(MaskOf(OperatorKind::kDecomposableSort))
+    ->Arg(MaskOf(OperatorKind::kSum) | MaskOf(OperatorKind::kCount) |
+          MaskOf(OperatorKind::kMultiply) |
+          MaskOf(OperatorKind::kDecomposableSort));
+
+void BM_PartialMerge(benchmark::State& state) {
+  const OperatorMask mask =
+      MaskOf(OperatorKind::kSum) | MaskOf(OperatorKind::kCount) |
+      MaskOf(OperatorKind::kDecomposableSort);
+  PartialAggregate a(mask);
+  PartialAggregate b(mask);
+  for (int i = 0; i < 100; ++i) {
+    a.Add(i);
+    b.Add(i * 2);
+  }
+  a.Seal();
+  b.Seal();
+  for (auto _ : state) {
+    PartialAggregate acc = a;
+    acc.Merge(b);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_PartialMerge);
+
+void BM_SortedMerge(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SortedState a;
+  SortedState b;
+  for (int i = 0; i < n; ++i) {
+    a.Add(static_cast<double>((i * 7) % n));
+    b.Add(static_cast<double>((i * 13) % n));
+  }
+  a.Seal();
+  b.Seal();
+  for (auto _ : state) {
+    SortedState acc = a;
+    acc.Merge(b);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_SortedMerge)->Arg(100)->Arg(10000);
+
+void BM_PartialSerialize(benchmark::State& state) {
+  PartialAggregate agg(MaskOf(OperatorKind::kSum) |
+                       MaskOf(OperatorKind::kCount) |
+                       MaskOf(OperatorKind::kDecomposableSort));
+  for (int i = 0; i < 16; ++i) agg.Add(i);
+  agg.Seal();
+  for (auto _ : state) {
+    ByteWriter out;
+    agg.SerializeTo(out);
+    ByteReader in(out.bytes());
+    benchmark::DoNotOptimize(PartialAggregate::DeserializeFrom(in));
+  }
+}
+BENCHMARK(BM_PartialSerialize);
+
+void BM_SlicerIngest(benchmark::State& state) {
+  const int num_queries = static_cast<int>(state.range(0));
+  std::vector<Query> queries;
+  for (int i = 0; i < num_queries; ++i) {
+    Query q;
+    q.id = static_cast<QueryId>(i + 1);
+    q.window = WindowSpec::Tumbling(((i % 10) + 1) * kSecond);
+    q.agg = {i % 2 == 0 ? AggregationFunction::kAverage
+                        : AggregationFunction::kSum,
+             0};
+    queries.push_back(q);
+  }
+  DesisEngine engine;
+  (void)engine.Configure(queries);
+  DataGeneratorConfig cfg;
+  auto events = DataGenerator(cfg).Take(1 << 16);
+  size_t i = 0;
+  for (auto _ : state) {
+    engine.Ingest(events[i & (events.size() - 1)]);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlicerIngest)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_QueryAnalyzer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Query> queries;
+  for (int i = 0; i < n; ++i) {
+    Query q;
+    q.id = static_cast<QueryId>(i + 1);
+    q.window = WindowSpec::Tumbling((i % 1000 + 1) * 10 * kMillisecond);
+    q.agg = {AggregationFunction::kAverage, 0};
+    q.predicate = Predicate::KeyEquals(static_cast<uint32_t>(i % 10));
+    queries.push_back(q);
+  }
+  QueryAnalyzer analyzer;
+  for (auto _ : state) {
+    auto groups = analyzer.Analyze(queries);
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_QueryAnalyzer)->Arg(100)->Arg(10000);
+
+}  // namespace
+}  // namespace desis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,244 @@
+#ifndef DESIS_BENCH_HARNESS_H_
+#define DESIS_BENCH_HARNESS_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/ce_buffer.h"
+#include "baselines/de_bucket.h"
+#include "baselines/de_sw.h"
+#include "core/engine.h"
+#include "gen/data_generator.h"
+#include "gen/query_generator.h"
+#include "net/cluster.h"
+
+namespace desis::bench {
+
+/// Global workload scale; DESIS_BENCH_SCALE=0.1 runs every bench on 10% of
+/// its default event counts (useful on slow machines / CI).
+inline double ScaleFactor() {
+  static const double scale = [] {
+    const char* env = std::getenv("DESIS_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+inline size_t Scaled(size_t base) {
+  const double scaled = static_cast<double>(base) * ScaleFactor();
+  return scaled < 1 ? 1 : static_cast<size_t>(scaled);
+}
+
+inline int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Centralized engine factory (the single-node systems of §6.1.1).
+inline std::unique_ptr<StreamEngine> MakeEngine(const std::string& name) {
+  if (name == "Desis") return std::make_unique<DesisEngine>();
+  if (name == "DeSW") return std::make_unique<DeSWEngine>();
+  if (name == "Scotty") return std::make_unique<ScottyEngine>();
+  if (name == "DeBucket") return std::make_unique<DeBucketEngine>();
+  if (name == "CeBuffer") return std::make_unique<CeBufferEngine>();
+  std::fprintf(stderr, "unknown engine %s\n", name.c_str());
+  std::abort();
+}
+
+/// Single-node sustainable throughput: wall time to drain a pre-generated
+/// event stream (results consumed by a counting sink).
+struct ThroughputResult {
+  double events_per_sec = 0;
+  uint64_t results = 0;
+  EngineStats stats;
+};
+
+inline ThroughputResult MeasureThroughput(StreamEngine& engine,
+                                          const std::vector<Event>& events) {
+  ThroughputResult out;
+  engine.set_sink([&](const WindowResult&) { ++out.results; });
+  const int64_t t0 = NowNs();
+  for (const Event& e : events) engine.Ingest(e);
+  engine.AdvanceTo(events.back().ts + kMinute);
+  const int64_t dt = NowNs() - t0;
+  out.events_per_sec =
+      static_cast<double>(events.size()) * 1e9 / static_cast<double>(dt);
+  out.stats = engine.stats();
+  return out;
+}
+
+/// Result-production latency: the mean / p99-ish max stall of the Ingest
+/// call that fires a window. Incremental engines pay O(slices) there;
+/// CeBuffer iterates the whole window buffer (§6.2.1). The event-time
+/// latency of the paper additionally contains the window wait, which is
+/// engine-independent; this isolates the engine-dependent part.
+struct LatencyResult {
+  double avg_us = 0;
+  double max_us = 0;
+  uint64_t samples = 0;
+};
+
+inline LatencyResult MeasureFireLatency(StreamEngine& engine,
+                                        const std::vector<Event>& events) {
+  LatencyResult out;
+  uint64_t fired = 0;
+  engine.set_sink([&](const WindowResult&) { ++fired; });
+  double total_us = 0;
+  uint64_t warmup = 0;
+  for (const Event& e : events) {
+    const uint64_t before = fired;
+    const int64_t t0 = NowNs();
+    engine.Ingest(e);
+    const int64_t dt = NowNs() - t0;
+    if (fired > before) {
+      if (warmup < 1) {  // the first fire hits cold allocators/caches
+        ++warmup;
+        continue;
+      }
+      const double us = static_cast<double>(dt) / 1000.0;
+      total_us += us;
+      if (us > out.max_us) out.max_us = us;
+      ++out.samples;
+    }
+  }
+  if (out.samples > 0) out.avg_us = total_us / static_cast<double>(out.samples);
+  return out;
+}
+
+/// One decentralized run, reduced to the pipeline model of DESIGN.md.
+struct DecentralizedResult {
+  uint64_t total_events = 0;
+  uint64_t results = 0;
+  /// events / max-node-busy-time: the throughput if all nodes ran
+  /// concurrently (the slowest node binds the pipeline).
+  double pipeline_events_per_sec = 0;
+  /// Per-role throughput: events / busiest-node-of-role busy time.
+  double local_events_per_sec = 0;
+  double intermediate_events_per_sec = 0;
+  double root_events_per_sec = 0;
+  /// Per-role busy microseconds per emitted result (Fig 12's latency).
+  double local_us_per_result = 0;
+  double intermediate_us_per_result = 0;
+  double root_us_per_result = 0;
+  uint64_t local_bytes = 0;
+  uint64_t intermediate_bytes = 0;
+  /// Raw inputs for custom deployment models (e.g. the bandwidth-capped
+  /// Raspberry Pi cluster of Fig 13).
+  int64_t max_busy_ns = 0;
+  uint64_t root_rx_bytes = 0;
+};
+
+/// Drives `events_per_local` generator events into every local node in
+/// event-time rounds of `round_us`, then reads the meters.
+inline DecentralizedResult RunDecentralized(
+    ClusterSystem system, ClusterTopology topology,
+    const std::vector<Query>& queries, size_t events_per_local,
+    Timestamp mean_interval = 10, uint32_t data_keys = 10,
+    Timestamp round_us = 100 * kMillisecond, double marker_probability = 0.0) {
+  Cluster cluster(system, topology);
+  auto status = cluster.Configure(queries);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cluster config failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+
+  std::vector<std::vector<Event>> streams(
+      static_cast<size_t>(topology.num_locals));
+  Timestamp max_ts = 0;
+  for (size_t i = 0; i < streams.size(); ++i) {
+    DataGeneratorConfig cfg;
+    cfg.num_keys = data_keys;
+    cfg.mean_interval = mean_interval;
+    cfg.marker_probability = marker_probability;
+    cfg.seed = 1000 + i;
+    streams[i] = DataGenerator(cfg).Take(events_per_local);
+    if (streams[i].back().ts > max_ts) max_ts = streams[i].back().ts;
+  }
+
+  std::vector<size_t> cursor(streams.size(), 0);
+  for (Timestamp t = 0; t <= max_ts + round_us; t += round_us) {
+    for (size_t i = 0; i < streams.size(); ++i) {
+      const size_t begin = cursor[i];
+      while (cursor[i] < streams[i].size() &&
+             streams[i][cursor[i]].ts < t + round_us) {
+        ++cursor[i];
+      }
+      if (cursor[i] > begin) {
+        cluster.IngestAt(static_cast<int>(i), streams[i].data() + begin,
+                         cursor[i] - begin);
+      }
+    }
+    cluster.Advance(t + round_us);
+  }
+  cluster.Advance(max_ts + kMinute);
+
+  DecentralizedResult out;
+  out.total_events = events_per_local * streams.size();
+  out.results = cluster.results();
+  auto rate = [&](int64_t busy_ns) {
+    return busy_ns <= 0 ? 0.0
+                        : static_cast<double>(out.total_events) * 1e9 /
+                              static_cast<double>(busy_ns);
+  };
+  out.pipeline_events_per_sec = rate(cluster.MaxBusyNs());
+  out.local_events_per_sec = rate(cluster.MaxBusyNsByRole(NodeRole::kLocal) *
+                                  topology.num_locals);
+  out.intermediate_events_per_sec =
+      rate(cluster.MaxBusyNsByRole(NodeRole::kIntermediate));
+  out.root_events_per_sec = rate(cluster.MaxBusyNsByRole(NodeRole::kRoot));
+  auto us_per_result = [&](int64_t busy_ns) {
+    return out.results == 0 ? 0.0
+                            : static_cast<double>(busy_ns) / 1000.0 /
+                                  static_cast<double>(out.results);
+  };
+  out.local_us_per_result =
+      us_per_result(cluster.MaxBusyNsByRole(NodeRole::kLocal));
+  out.intermediate_us_per_result =
+      us_per_result(cluster.MaxBusyNsByRole(NodeRole::kIntermediate));
+  out.root_us_per_result =
+      us_per_result(cluster.MaxBusyNsByRole(NodeRole::kRoot));
+  out.local_bytes = cluster.BytesSentByRole(NodeRole::kLocal);
+  out.intermediate_bytes = cluster.BytesSentByRole(NodeRole::kIntermediate);
+  out.max_busy_ns = cluster.MaxBusyNs();
+  out.root_rx_bytes = cluster.root_stats().bytes_received;
+  return out;
+}
+
+/// Pretty-prints one table row of doubles after a label column.
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n%-16s", title.c_str(), "x");
+  for (const auto& c : columns) std::printf(" %14s", c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& cells) {
+  std::printf("%-16s", label.c_str());
+  for (double v : cells) {
+    if (v < 0) {
+      std::printf(" %14s", "-");
+    } else if (v >= 1e6) {
+      std::printf(" %13.2fM", v / 1e6);
+    } else if (v >= 1e3) {
+      std::printf(" %13.2fk", v / 1e3);
+    } else {
+      std::printf(" %14.2f", v);
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace desis::bench
+
+#endif  // DESIS_BENCH_HARNESS_H_

@@ -1,0 +1,87 @@
+// Cross-function sharing demo: 1000 concurrent queries with mixed window
+// types, measures and aggregation functions — processed in a handful of
+// query-groups, with each event aggregated once per shared operator.
+// Compare against the DeBucket strategy (one bucket per window, no sharing).
+//
+//   build/examples/multi_query_sharing
+
+#include <chrono>
+#include <cstdio>
+
+#include "baselines/de_bucket.h"
+#include "core/engine.h"
+#include "gen/data_generator.h"
+#include "gen/query_generator.h"
+
+namespace {
+
+void Report(const char* name, const desis::EngineStats& stats,
+            size_t groups, double seconds) {
+  std::printf("%-10s %8zu groups  %12.0f ev/s  %6.2f ops/event  %8llu slices\n",
+              name, groups,
+              static_cast<double>(stats.events) / seconds,
+              static_cast<double>(stats.operator_executions) /
+                  static_cast<double>(stats.events),
+              static_cast<unsigned long long>(stats.slices_created));
+}
+
+}  // namespace
+
+int main() {
+  using namespace desis;
+
+  // 1000 random queries: every window type, time and count measures, and a
+  // mix of decomposable functions over 5 sensor keys.
+  QueryGeneratorConfig qcfg;
+  qcfg.num_keys = 5;
+  qcfg.window_types = {WindowType::kTumbling, WindowType::kSliding,
+                       WindowType::kSession, WindowType::kUserDefined};
+  qcfg.functions = {AggregationFunction::kAverage, AggregationFunction::kSum,
+                    AggregationFunction::kCount, AggregationFunction::kMax,
+                    AggregationFunction::kMin};
+  qcfg.count_measure_probability = 0.1;
+  qcfg.min_count = 10'000;
+  qcfg.max_count = 50'000;
+  qcfg.seed = 42;
+  auto queries = QueryGenerator(qcfg).Take(1000);
+
+  DataGeneratorConfig dcfg;
+  dcfg.num_keys = 5;
+  dcfg.mean_interval = 20;  // 50k events per second of event time
+  dcfg.marker_probability = 0.0005;
+  dcfg.gap_probability = 0.0002;
+  dcfg.gap_length = 1200 * kMillisecond;
+  auto events = DataGenerator(dcfg).Take(500'000);
+
+  auto run = [&](StreamEngine& engine, size_t groups) {
+    uint64_t results = 0;
+    engine.set_sink([&](const WindowResult&) { ++results; });
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const Event& e : events) engine.Ingest(e);
+    engine.AdvanceTo(events.back().ts + kMinute);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    Report(engine.name().c_str(), engine.stats(), groups, seconds);
+    return results;
+  };
+
+  std::printf("1000 random queries over %zu events:\n\n", events.size());
+  DesisEngine desis_engine;
+  if (auto s = desis_engine.Configure(queries); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  const uint64_t desis_results = run(desis_engine, desis_engine.num_groups());
+
+  DeBucketEngine debucket;
+  (void)debucket.Configure(queries);
+  const uint64_t debucket_results = run(debucket, queries.size());
+
+  std::printf(
+      "\nboth engines fired comparable result counts (%llu vs %llu); Desis "
+      "did it with shared slices instead of %zu independent buckets.\n",
+      static_cast<unsigned long long>(desis_results),
+      static_cast<unsigned long long>(debucket_results), queries.size());
+  return 0;
+}

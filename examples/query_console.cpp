@@ -1,0 +1,66 @@
+// Query console: submit continuous queries in Desis' textual query language
+// (the `interface` component of §3.1) and watch results over a synthetic
+// stream. Pass queries as arguments (';'-separated) or rely on the demo set.
+//
+//   build/examples/query_console
+//     "SELECT QUANTILE(value, 0.9) FROM stream WINDOW TUMBLING(SIZE 2s)"
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "core/query_parser.h"
+#include "gen/data_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace desis;
+
+  std::string text;
+  for (int i = 1; i < argc; ++i) {
+    text += argv[i];
+    text += ';';
+  }
+  if (text.empty()) {
+    text =
+        "SELECT AVG(value) FROM stream WINDOW TUMBLING(SIZE 2s);"
+        "SELECT MAX(value) FROM stream WHERE key = 0 "
+        "  WINDOW SLIDING(SIZE 4s, SLIDE 2s);"
+        "SELECT COUNT(value) FROM stream WHERE value >= 100 "
+        "  WINDOW TUMBLING(SIZE 2s);"
+        "SELECT MEDIAN(value) FROM stream WINDOW TUMBLING(SIZE 5000 EVENTS)";
+  }
+
+  auto queries = QueryParser::ParseAll(text);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 queries.status().ToString().c_str());
+    return 1;
+  }
+  for (const Query& q : queries.value()) {
+    std::printf("query %llu: %s, %s\n",
+                static_cast<unsigned long long>(q.id),
+                ToString(q.agg.fn).c_str(), q.window.ToString().c_str());
+  }
+
+  DesisEngine engine;
+  if (auto s = engine.Configure(queries.value()); !s.ok()) {
+    std::fprintf(stderr, "configure error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("-> %zu query-group(s)\n\n", engine.num_groups());
+  engine.set_sink([](const WindowResult& r) {
+    std::printf("q%llu [%8.2fs, %8.2fs)  %10.3f  (%llu events)\n",
+                static_cast<unsigned long long>(r.query_id),
+                static_cast<double>(r.window_start) / kSecond,
+                static_cast<double>(r.window_end) / kSecond, r.value,
+                static_cast<unsigned long long>(r.event_count));
+  });
+
+  DataGeneratorConfig cfg;
+  cfg.num_keys = 4;
+  cfg.mean_interval = 2 * kMillisecond;
+  DataGenerator gen(cfg);
+  while (gen.now() < 10 * kSecond) engine.Ingest(gen.Next());
+  engine.Finish();
+  return 0;
+}

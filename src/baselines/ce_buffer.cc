@@ -1,0 +1,160 @@
+#include "baselines/ce_buffer.h"
+
+#include <algorithm>
+
+#include "core/operators.h"
+
+namespace desis {
+namespace {
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+Status CeBufferEngine::Configure(const std::vector<Query>& queries) {
+  queries_.clear();
+  for (const Query& q : queries) {
+    if (auto s = q.Validate(); !s.ok()) return s;
+    QueryState qs;
+    qs.query = q;
+    queries_.push_back(std::move(qs));
+  }
+  return Status::OK();
+}
+
+void CeBufferEngine::InitializeQuery(QueryState& qs, Timestamp first_ts) {
+  const WindowSpec& w = qs.query.window;
+  if (w.measure == WindowMeasure::kTime && w.IsFixedSize()) {
+    const Timestamp ws_min = (FloorDiv(first_ts - w.length, w.slide) + 1) * w.slide;
+    for (Timestamp ws = ws_min; ws <= first_ts; ws += w.slide) {
+      qs.open.push_back({ws, ws + w.length, {}});
+      ++stats_.slices_created;
+    }
+    qs.next_start = (FloorDiv(first_ts, w.slide) + 1) * w.slide;
+  } else if (w.measure == WindowMeasure::kCount) {
+    qs.open.push_back({first_ts, kMaxTimestamp, {}});
+    ++stats_.slices_created;
+    qs.events_in_current = 0;
+  }
+  qs.initialized = true;
+}
+
+void CeBufferEngine::FireWindow(QueryState& qs, OpenWindow& window,
+                                Timestamp end_ts) {
+  if (window.buffer.empty()) return;
+  // No incremental aggregation: iterate the whole buffer at window end.
+  PartialAggregate agg(OperatorsFor(qs.query.agg.fn));
+  for (double v : window.buffer) {
+    stats_.operator_executions += static_cast<uint64_t>(agg.Add(v));
+  }
+  agg.Seal();
+  Emit({qs.query.id, window.start, end_ts, agg.Finalize(qs.query.agg),
+        window.buffer.size()});
+}
+
+void CeBufferEngine::CloseWindowsUpTo(QueryState& qs, Timestamp limit) {
+  const WindowSpec& w = qs.query.window;
+  if (w.measure == WindowMeasure::kTime && w.IsFixedSize()) {
+    while (!qs.open.empty() && qs.open.front().end <= limit) {
+      FireWindow(qs, qs.open.front(), qs.open.front().end);
+      qs.open.pop_front();
+    }
+  } else if (w.type == WindowType::kSession && qs.active &&
+             qs.last_event_ts + w.gap <= limit) {
+    if (!qs.open.empty()) {
+      FireWindow(qs, qs.open.front(), qs.last_event_ts + w.gap);
+      qs.open.pop_front();
+    }
+    qs.active = false;
+  }
+}
+
+void CeBufferEngine::Ingest(const Event& event) {
+  ++stats_.events;
+  last_ts_ = event.ts;
+  for (QueryState& qs : queries_) {
+    const WindowSpec& w = qs.query.window;
+    if (!qs.initialized) InitializeQuery(qs, event.ts);
+
+    CloseWindowsUpTo(qs, event.ts);
+
+    // Open fixed windows whose start has been reached.
+    if (w.measure == WindowMeasure::kTime && w.IsFixedSize()) {
+      while (qs.next_start <= event.ts) {
+        qs.open.push_back({qs.next_start, qs.next_start + w.length, {}});
+        ++stats_.slices_created;
+        qs.next_start += w.slide;
+      }
+    }
+
+    ++stats_.selection_evals;
+    if (!qs.query.predicate.Matches(event)) continue;
+
+    if (w.type == WindowType::kSession || w.type == WindowType::kUserDefined) {
+      if (!qs.active) {
+        qs.open.push_back({event.ts, kMaxTimestamp, {}});
+        ++stats_.slices_created;
+        qs.active = true;
+      }
+      qs.last_event_ts = event.ts;
+    }
+
+    // Buffer the event in every open window that contains it.
+    for (OpenWindow& window : qs.open) {
+      if (event.ts >= window.start) window.buffer.push_back(event.value);
+    }
+
+    if (w.measure == WindowMeasure::kCount) {
+      ++qs.events_in_current;
+      if (qs.events_in_current % static_cast<uint64_t>(w.slide) == 0) {
+        qs.open.push_back({event.ts, kMaxTimestamp, {}});
+        ++stats_.slices_created;
+      }
+      while (!qs.open.empty() &&
+             qs.open.front().buffer.size() >=
+                 static_cast<size_t>(w.length)) {
+        FireWindow(qs, qs.open.front(), event.ts);
+        qs.open.pop_front();
+      }
+    } else if (w.type == WindowType::kUserDefined &&
+               (event.marker & kWindowEnd) != 0 && qs.active) {
+      FireWindow(qs, qs.open.front(), event.ts);
+      qs.open.pop_front();
+      qs.active = false;
+    }
+  }
+}
+
+void CeBufferEngine::AdvanceTo(Timestamp watermark) {
+  for (QueryState& qs : queries_) {
+    if (qs.initialized) CloseWindowsUpTo(qs, watermark);
+  }
+}
+
+void CeBufferEngine::Finish() {
+  if (last_ts_ == kNoTimestamp) return;
+  Timestamp extent = 0;
+  for (const QueryState& qs : queries_) {
+    const WindowSpec& w = qs.query.window;
+    if (w.measure == WindowMeasure::kTime && w.IsFixedSize()) {
+      extent = std::max(extent, w.length);
+    } else if (w.type == WindowType::kSession) {
+      extent = std::max(extent, w.gap);
+    }
+  }
+  AdvanceTo(last_ts_ + extent + 1);
+}
+
+size_t CeBufferEngine::buffered_events() const {
+  size_t total = 0;
+  for (const QueryState& qs : queries_) {
+    for (const OpenWindow& w : qs.open) total += w.buffer.size();
+  }
+  return total;
+}
+
+}  // namespace desis

@@ -1,0 +1,60 @@
+#ifndef DESIS_BASELINES_CE_BUFFER_H_
+#define DESIS_BASELINES_CE_BUFFER_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/engine_iface.h"
+#include "core/query.h"
+
+namespace desis {
+
+/// CeBuffer baseline (§6.1.1): one event buffer per concurrent window, no
+/// incremental aggregation and no sharing. Every arriving event is appended
+/// to the buffer of every open window it belongs to; when a window ends its
+/// whole buffer is iterated to compute the aggregate from scratch.
+class CeBufferEngine : public StreamEngine {
+ public:
+  CeBufferEngine() = default;
+
+  Status Configure(const std::vector<Query>& queries) override;
+  void Ingest(const Event& event) override;
+  void AdvanceTo(Timestamp watermark) override;
+  std::string name() const override { return "CeBuffer"; }
+
+  /// Fires remaining fixed-size windows past the last event.
+  void Finish();
+
+  /// Total events currently buffered across all open windows (a window's
+  /// events are dropped only when that window closed — big windows pin
+  /// memory, §2.3).
+  size_t buffered_events() const;
+
+ private:
+  struct OpenWindow {
+    Timestamp start;
+    Timestamp end;  // kMaxTimestamp while unknown (session/user-defined)
+    std::vector<double> buffer;
+  };
+  struct QueryState {
+    Query query;
+    std::deque<OpenWindow> open;
+    Timestamp next_start = kNoTimestamp;  // fixed windows
+    uint64_t events_in_current = 0;       // count windows
+    bool active = false;                  // session/user-defined
+    Timestamp last_event_ts = kNoTimestamp;
+    bool initialized = false;
+  };
+
+  void InitializeQuery(QueryState& qs, Timestamp first_ts);
+  void CloseWindowsUpTo(QueryState& qs, Timestamp limit);
+  void FireWindow(QueryState& qs, OpenWindow& window, Timestamp end_ts);
+
+  std::vector<QueryState> queries_;
+  Timestamp last_ts_ = kNoTimestamp;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_BASELINES_CE_BUFFER_H_

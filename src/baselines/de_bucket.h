@@ -1,0 +1,57 @@
+#ifndef DESIS_BASELINES_DE_BUCKET_H_
+#define DESIS_BASELINES_DE_BUCKET_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/engine_iface.h"
+#include "core/operators.h"
+#include "core/query.h"
+
+namespace desis {
+
+/// DeBucket baseline (§6.1.1, after Li et al.'s window buckets): one
+/// incremental aggregate bucket per concurrent window. Events are folded
+/// into every open bucket they belong to — incremental, but nothing is
+/// shared between overlapping windows or queries.
+class DeBucketEngine : public StreamEngine {
+ public:
+  DeBucketEngine() = default;
+
+  Status Configure(const std::vector<Query>& queries) override;
+  void Ingest(const Event& event) override;
+  void AdvanceTo(Timestamp watermark) override;
+  std::string name() const override { return "DeBucket"; }
+
+  void Finish();
+
+ private:
+  struct Bucket {
+    Timestamp start;
+    Timestamp end;
+    PartialAggregate agg;
+    uint64_t events = 0;
+  };
+  struct QueryState {
+    Query query;
+    OperatorMask mask = 0;
+    std::deque<Bucket> open;
+    Timestamp next_start = kNoTimestamp;
+    uint64_t matched_events = 0;
+    bool active = false;
+    Timestamp last_event_ts = kNoTimestamp;
+    bool initialized = false;
+  };
+
+  void InitializeQuery(QueryState& qs, Timestamp first_ts);
+  void CloseBucketsUpTo(QueryState& qs, Timestamp limit);
+  void FireBucket(QueryState& qs, Bucket& bucket, Timestamp end_ts);
+
+  std::vector<QueryState> queries_;
+  Timestamp last_ts_ = kNoTimestamp;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_BASELINES_DE_BUCKET_H_

@@ -1,0 +1,32 @@
+#ifndef DESIS_BASELINES_DE_SW_H_
+#define DESIS_BASELINES_DE_SW_H_
+
+#include "core/engine.h"
+
+namespace desis {
+
+/// DeSW baseline (§6.1.1): Desis' architecture, but partial results are
+/// shared only between windows with the *same* aggregation function and
+/// window measure (like Scotty). Each (function, measure) class forms its
+/// own query-group, and window ends are re-checked per event instead of
+/// being scheduled in advance.
+class DeSWEngine : public SlicingEngine {
+ public:
+  explicit DeSWEngine(DeploymentMode mode = DeploymentMode::kCentralized)
+      : SlicingEngine("DeSW", SharingPolicy::kPerFunction,
+                      PunctuationStrategy::kPerEventScan, mode) {}
+};
+
+/// Scotty baseline (§6.1.1): general stream slicing with same-function
+/// sharing, deployed centralized — in decentralized topologies all raw
+/// events are forwarded to the root, where this engine runs.
+class ScottyEngine : public SlicingEngine {
+ public:
+  ScottyEngine()
+      : SlicingEngine("Scotty", SharingPolicy::kPerFunction,
+                      PunctuationStrategy::kPerEventScan) {}
+};
+
+}  // namespace desis
+
+#endif  // DESIS_BASELINES_DE_SW_H_

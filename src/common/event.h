@@ -1,0 +1,45 @@
+#ifndef DESIS_COMMON_EVENT_H_
+#define DESIS_COMMON_EVENT_H_
+
+#include <cstdint>
+
+namespace desis {
+
+/// Event timestamps are event time in microseconds since an arbitrary epoch.
+using Timestamp = int64_t;
+
+/// Commonly used time literals (microsecond-based).
+constexpr Timestamp kMicrosecond = 1;
+constexpr Timestamp kMillisecond = 1000 * kMicrosecond;
+constexpr Timestamp kSecond = 1000 * kMillisecond;
+constexpr Timestamp kMinute = 60 * kSecond;
+
+/// Sentinel for "no timestamp" / uninitialized.
+constexpr Timestamp kNoTimestamp = INT64_MIN;
+/// Largest representable timestamp; used as "+infinity" for open slices.
+constexpr Timestamp kMaxTimestamp = INT64_MAX;
+
+/// Flags carried in Event::marker to delimit user-defined windows.
+/// A marker event both belongs to the stream and controls windowing:
+/// kWindowEnd closes the current user-defined window, kWindowStart opens the
+/// next one (both may be set, e.g. "new trip starts now").
+enum EventMarker : uint32_t {
+  kNoMarker = 0,
+  kWindowStart = 1u << 0,
+  kWindowEnd = 1u << 1,
+};
+
+/// A single stream event. The schema follows the paper's generator (§6.1.2):
+/// time, key, value, and a user-defined-window marker ("event" field).
+struct Event {
+  Timestamp ts = 0;
+  uint32_t key = 0;
+  double value = 0.0;
+  uint32_t marker = kNoMarker;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_COMMON_EVENT_H_

@@ -1,0 +1,46 @@
+#ifndef DESIS_COMMON_RNG_H_
+#define DESIS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace desis {
+
+/// Deterministic 64-bit RNG (splitmix64). Workload generators must be
+/// reproducible across runs and platforms, so we avoid std::mt19937's
+/// distribution-implementation variance and seed everything explicitly.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    state_ += 0x9E3779B97f4A7C15ull;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return NextU64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_COMMON_RNG_H_

@@ -1,0 +1,96 @@
+#ifndef DESIS_COMMON_STATUS_H_
+#define DESIS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace desis {
+
+/// Minimal RocksDB-style status object. Desis does not use exceptions across
+/// its public API; fallible operations return Status (or Result<T>).
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kUnsupported,
+    kInternal,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  static std::string CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kNotFound: return "NotFound";
+      case Code::kAlreadyExists: return "AlreadyExists";
+      case Code::kUnsupported: return "Unsupported";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// A value-or-Status pair, for APIs that produce a value on success.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intended implicit, mirrors
+  // absl::StatusOr so call sites can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return value_; }
+  const T& value() const& { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  T& operator*() & { return value_; }
+  const T& operator*() const& { return value_; }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace desis
+
+#endif  // DESIS_COMMON_STATUS_H_

@@ -1,0 +1,87 @@
+#include "core/aggregation.h"
+
+#include <bit>
+
+namespace desis {
+
+OperatorMask OperatorsFor(AggregationFunction fn) {
+  switch (fn) {
+    case AggregationFunction::kSum:
+      return MaskOf(OperatorKind::kSum);
+    case AggregationFunction::kCount:
+      return MaskOf(OperatorKind::kCount);
+    case AggregationFunction::kAverage:
+      return MaskOf(OperatorKind::kSum) | MaskOf(OperatorKind::kCount);
+    case AggregationFunction::kProduct:
+      return MaskOf(OperatorKind::kMultiply);
+    case AggregationFunction::kGeometricMean:
+      return MaskOf(OperatorKind::kMultiply) | MaskOf(OperatorKind::kCount);
+    case AggregationFunction::kMin:
+    case AggregationFunction::kMax:
+      return MaskOf(OperatorKind::kDecomposableSort);
+    case AggregationFunction::kMedian:
+    case AggregationFunction::kQuantile:
+      return MaskOf(OperatorKind::kNonDecomposableSort);
+    case AggregationFunction::kVariance:
+    case AggregationFunction::kStdDev:
+      return MaskOf(OperatorKind::kSum) | MaskOf(OperatorKind::kCount) |
+             MaskOf(OperatorKind::kSumSquares);
+  }
+  return 0;
+}
+
+bool IsDecomposable(AggregationFunction fn) {
+  return fn != AggregationFunction::kMedian &&
+         fn != AggregationFunction::kQuantile;
+}
+
+std::string ToString(AggregationFunction fn) {
+  switch (fn) {
+    case AggregationFunction::kSum: return "sum";
+    case AggregationFunction::kCount: return "count";
+    case AggregationFunction::kAverage: return "average";
+    case AggregationFunction::kProduct: return "product";
+    case AggregationFunction::kGeometricMean: return "geometric_mean";
+    case AggregationFunction::kMin: return "min";
+    case AggregationFunction::kMax: return "max";
+    case AggregationFunction::kMedian: return "median";
+    case AggregationFunction::kQuantile: return "quantile";
+    case AggregationFunction::kVariance: return "variance";
+    case AggregationFunction::kStdDev: return "stddev";
+  }
+  return "unknown";
+}
+
+std::string ToString(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kSum: return "sum";
+    case OperatorKind::kCount: return "count";
+    case OperatorKind::kMultiply: return "multiplication";
+    case OperatorKind::kDecomposableSort: return "decomposable_sort";
+    case OperatorKind::kNonDecomposableSort: return "non_decomposable_sort";
+    case OperatorKind::kSumSquares: return "sum_of_squares";
+  }
+  return "unknown";
+}
+
+int OperatorCount(OperatorMask mask) { return std::popcount(mask); }
+
+OperatorMask ResolveNeeded(OperatorMask needed, OperatorMask group_mask) {
+  if (MaskHas(needed, OperatorKind::kDecomposableSort) &&
+      !MaskHas(group_mask, OperatorKind::kDecomposableSort)) {
+    needed = static_cast<OperatorMask>(
+        (needed & ~MaskOf(OperatorKind::kDecomposableSort)) |
+        MaskOf(OperatorKind::kNonDecomposableSort));
+  }
+  return needed;
+}
+
+OperatorMask ReduceMask(OperatorMask mask) {
+  if (MaskHas(mask, OperatorKind::kNonDecomposableSort)) {
+    mask &= static_cast<OperatorMask>(
+        ~MaskOf(OperatorKind::kDecomposableSort));
+  }
+  return mask;
+}
+
+}  // namespace desis

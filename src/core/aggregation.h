@@ -1,0 +1,90 @@
+#ifndef DESIS_CORE_AGGREGATION_H_
+#define DESIS_CORE_AGGREGATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace desis {
+
+/// Window aggregation functions supported by Desis (paper Table 1).
+enum class AggregationFunction : uint8_t {
+  kSum = 0,
+  kCount,
+  kAverage,
+  kProduct,
+  kGeometricMean,
+  kMin,
+  kMax,
+  kMedian,
+  kQuantile,
+  // User-defined operator extensions (§4.2.1: "for complex aggregation
+  // functions, users can define new operators to break down functions"):
+  // variance and standard deviation decompose into {sum, count, sum_sq}.
+  kVariance,
+  kStdDev,
+};
+
+/// Primitive operators that aggregation functions are broken down into.
+/// Sharing happens at this level: a query-group executes each *operator*
+/// once per event, regardless of how many queries need it (paper §4.2.1).
+enum class OperatorKind : uint8_t {
+  kSum = 0,
+  kCount,
+  kMultiply,
+  kDecomposableSort,     // incremental; keeps only running min/max
+  kNonDecomposableSort,  // keeps all events, sorts once per slice
+  kSumSquares,           // user-defined operator example: sum of squares
+};
+
+inline constexpr int kNumOperatorKinds = 6;
+
+/// Bitset over OperatorKind. Bit i set <=> operator i is required/active.
+using OperatorMask = uint8_t;
+
+inline constexpr OperatorMask MaskOf(OperatorKind kind) {
+  return static_cast<OperatorMask>(1u << static_cast<uint8_t>(kind));
+}
+
+inline constexpr bool MaskHas(OperatorMask mask, OperatorKind kind) {
+  return (mask & MaskOf(kind)) != 0;
+}
+
+/// An aggregation function instance; `quantile` in (0,1) is only meaningful
+/// for kQuantile (e.g. 0.5 == median via the quantile path).
+struct AggregationSpec {
+  AggregationFunction fn = AggregationFunction::kSum;
+  double quantile = 0.5;
+
+  friend bool operator==(const AggregationSpec&,
+                         const AggregationSpec&) = default;
+};
+
+/// Table 1: the operator set an aggregation function decomposes into.
+OperatorMask OperatorsFor(AggregationFunction fn);
+
+/// Decomposable functions admit partial aggregation on sub-streams
+/// (distributive or algebraic per Gray et al.); non-decomposable (holistic)
+/// functions — median, quantile — require all events at the root (§5.2).
+bool IsDecomposable(AggregationFunction fn);
+
+/// Human-readable names, used by benches and error messages.
+std::string ToString(AggregationFunction fn);
+std::string ToString(OperatorKind kind);
+
+/// Number of set bits, i.e. operators a mask requires per event.
+int OperatorCount(OperatorMask mask);
+
+/// Drops operators subsumed by others in a combined mask: when a
+/// non-decomposable sort is already required (median/quantile), min/max read
+/// their extrema from the sorted state and the decomposable sort is
+/// redundant — "quantile and max can share the same operator" (§6.3.2).
+OperatorMask ReduceMask(OperatorMask mask);
+
+/// Maps a query's needed operators onto a (possibly reduced) group mask:
+/// if the group dropped the decomposable sort because a non-decomposable
+/// sort subsumes it, min/max queries read the sorted state instead.
+OperatorMask ResolveNeeded(OperatorMask needed, OperatorMask group_mask);
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_AGGREGATION_H_

@@ -1,0 +1,109 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+namespace desis {
+
+SlicingEngine::SlicingEngine(std::string name, SharingPolicy policy,
+                             PunctuationStrategy punctuation,
+                             DeploymentMode mode)
+    : name_(std::move(name)),
+      policy_(policy),
+      punctuation_(punctuation),
+      mode_(mode) {}
+
+std::unique_ptr<StreamSlicer> SlicingEngine::MakeSlicer(QueryGroup group) {
+  SlicerOptions options;
+  options.punctuation = punctuation_;
+  options.assemble_windows = assemble_windows_;
+  options.keep_slices = keep_slices_;
+  auto slicer = std::make_unique<StreamSlicer>(std::move(group), options,
+                                               &stats_);
+  slicer->set_window_sink(
+      [this](const WindowResult& result) { Emit(result); });
+  if (slice_sink_) slicer->set_slice_sink(slice_sink_);
+  return slicer;
+}
+
+Status SlicingEngine::Configure(const std::vector<Query>& queries) {
+  QueryAnalyzer analyzer(mode_, policy_);
+  auto groups = analyzer.Analyze(queries);
+  if (!groups.ok()) return groups.status();
+  slicers_.clear();
+  for (QueryGroup& group : groups.value()) {
+    slicers_.push_back(MakeSlicer(std::move(group)));
+  }
+  next_query_seq_ = queries.size();
+  return Status::OK();
+}
+
+void SlicingEngine::IngestOrdered(const Event& event) {
+  ++stats_.events;
+  last_ts_ = event.ts;
+  for (auto& slicer : slicers_) slicer->Ingest(event);
+}
+
+void SlicingEngine::Ingest(const Event& event) {
+  if (!reorder_.has_value()) {
+    IngestOrdered(event);
+    return;
+  }
+  reorder_->Push(event);
+  Event released;
+  while (reorder_->Pop(&released)) IngestOrdered(released);
+}
+
+void SlicingEngine::AdvanceTo(Timestamp watermark) {
+  if (reorder_.has_value()) {
+    Event released;
+    while (reorder_->PopUpTo(watermark, &released)) IngestOrdered(released);
+  }
+  for (auto& slicer : slicers_) slicer->AdvanceTo(watermark);
+}
+
+void SlicingEngine::Finish() {
+  if (last_ts_ == kNoTimestamp) return;
+  Timestamp extent = 0;
+  for (auto& slicer : slicers_) {
+    extent = std::max(extent, slicer->MaxFixedWindowExtent());
+  }
+  AdvanceTo(last_ts_ + extent + 1);
+}
+
+Status SlicingEngine::AddQuery(const Query& query) {
+  if (auto s = query.Validate(); !s.ok()) return s;
+  for (const auto& slicer : slicers_) {
+    for (const GroupedQuery& gq : slicer->group().queries) {
+      if (gq.query.id == query.id) {
+        return Status::AlreadyExists("query id already registered");
+      }
+    }
+  }
+  // Runtime additions form their own group so running groups keep their
+  // in-flight slices; a full restart re-partitions optimally.
+  QueryAnalyzer analyzer(mode_, policy_);
+  auto groups = analyzer.Analyze({query});
+  if (!groups.ok()) return groups.status();
+  for (QueryGroup& group : groups.value()) {
+    group.id = static_cast<uint32_t>(slicers_.size());
+    slicers_.push_back(MakeSlicer(std::move(group)));
+  }
+  return Status::OK();
+}
+
+Status SlicingEngine::RemoveQuery(QueryId id) {
+  for (auto it = slicers_.begin(); it != slicers_.end(); ++it) {
+    if ((*it)->SuppressQuery(id)) {
+      if ((*it)->active_queries() == 0) slicers_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no running query with this id");
+}
+
+void SlicingEngine::SetSliceSink(SliceSink sink) {
+  slice_sink_ = std::move(sink);
+  for (auto& slicer : slicers_) slicer->set_slice_sink(slice_sink_);
+}
+
+}  // namespace desis

@@ -1,0 +1,57 @@
+#ifndef DESIS_CORE_ENGINE_IFACE_H_
+#define DESIS_CORE_ENGINE_IFACE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "core/stats.h"
+
+namespace desis {
+
+/// Receives window results as they are produced.
+using ResultSink = std::function<void(const WindowResult&)>;
+
+/// Common single-node interface implemented by the Desis aggregation engine
+/// and by every centralized baseline (CeBuffer, DeBucket, DeSW, Scotty).
+/// Processing is event-time driven and fully deterministic: results fire
+/// from Ingest()/AdvanceTo() calls, never from wall-clock timers.
+class StreamEngine {
+ public:
+  virtual ~StreamEngine() = default;
+
+  /// Installs the query set. Must be called before Ingest().
+  virtual Status Configure(const std::vector<Query>& queries) = 0;
+
+  /// Processes one event. Events must arrive in non-decreasing ts order.
+  virtual void Ingest(const Event& event) = 0;
+
+  /// Advances the event-time watermark, firing windows that end at or
+  /// before `watermark` even if no further events arrive.
+  virtual void AdvanceTo(Timestamp watermark) = 0;
+
+  /// Engine name for benchmark tables ("Desis", "Scotty", ...).
+  virtual std::string name() const = 0;
+
+  virtual const EngineStats& stats() const { return stats_; }
+
+  void set_sink(ResultSink sink) { sink_ = std::move(sink); }
+
+ protected:
+  void Emit(const WindowResult& result) {
+    ++stats_.windows_fired;
+    if (sink_) sink_(result);
+  }
+
+  EngineStats stats_;
+
+ private:
+  ResultSink sink_;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_ENGINE_IFACE_H_

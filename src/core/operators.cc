@@ -1,0 +1,223 @@
+#include "core/operators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace desis {
+
+void SortedState::Add(double v) {
+  assert(!sealed_);
+  values_.push_back(v);
+}
+
+void SortedState::Seal() {
+  if (!sealed_) {
+    std::sort(values_.begin(), values_.end());
+    represented_ = values_.size();
+    sealed_ = true;
+    ThinToCap();
+  }
+}
+
+void SortedState::ThinToCap() {
+  if (sample_cap_ == 0 || values_.size() <= sample_cap_) return;
+  // Stride-sample the sorted values: rank structure (and thus quantiles)
+  // is preserved up to O(1/cap) rank error.
+  std::vector<double> kept;
+  kept.reserve(sample_cap_);
+  const double stride = static_cast<double>(values_.size()) /
+                        static_cast<double>(sample_cap_);
+  for (size_t i = 0; i < sample_cap_; ++i) {
+    kept.push_back(values_[static_cast<size_t>(
+        (static_cast<double>(i) + 0.5) * stride)]);
+  }
+  values_ = std::move(kept);
+}
+
+void SortedState::Merge(const SortedState& other) {
+  assert(sealed_ && other.sealed_);
+  const size_t mid = values_.size();
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  std::inplace_merge(values_.begin(), values_.begin() + mid, values_.end());
+  represented_ += other.represented_;
+  ThinToCap();
+}
+
+double SortedState::Median() const {
+  assert(sealed_ && !values_.empty());
+  const size_t n = values_.size();
+  if (n % 2 == 1) return values_[n / 2];
+  return 0.5 * (values_[n / 2 - 1] + values_[n / 2]);
+}
+
+double SortedState::Quantile(double q) const {
+  assert(sealed_ && !values_.empty());
+  if (q <= 0.0) return values_.front();
+  if (q >= 1.0) return values_.back();
+  // Linear interpolation between closest ranks (type-7 quantile).
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_[lo];
+  return values_[lo] + frac * (values_[lo + 1] - values_[lo]);
+}
+
+void SortedState::SerializeTo(ByteWriter& out) const {
+  out.WriteU8(sealed_ ? 1 : 0);
+  out.WriteU64(represented_);
+  out.WriteU64(sample_cap_);
+  out.WritePodVector(values_);
+}
+
+SortedState SortedState::DeserializeFrom(ByteReader& in) {
+  SortedState state;
+  state.sealed_ = in.ReadU8() != 0;
+  state.represented_ = in.ReadU64();
+  state.sample_cap_ = in.ReadU64();
+  state.values_ = in.ReadPodVector<double>();
+  return state;
+}
+
+int PartialAggregate::Add(double v) {
+  int executed = 0;
+  if (MaskHas(mask_, OperatorKind::kSum)) {
+    sum_.Add(v);
+    ++executed;
+  }
+  if (MaskHas(mask_, OperatorKind::kCount)) {
+    count_.Add(v);
+    ++executed;
+  }
+  if (MaskHas(mask_, OperatorKind::kMultiply)) {
+    multiply_.Add(v);
+    ++executed;
+  }
+  if (MaskHas(mask_, OperatorKind::kDecomposableSort)) {
+    minmax_.Add(v);
+    ++executed;
+  }
+  if (MaskHas(mask_, OperatorKind::kNonDecomposableSort)) {
+    sorted_.Add(v);
+    ++executed;
+  }
+  if (MaskHas(mask_, OperatorKind::kSumSquares)) {
+    sum_squares_.Add(v);
+    ++executed;
+  }
+  return executed;
+}
+
+void PartialAggregate::Seal() {
+  if (MaskHas(mask_, OperatorKind::kNonDecomposableSort)) sorted_.Seal();
+}
+
+void PartialAggregate::Merge(const PartialAggregate& other) {
+  assert((mask_ & ~other.mask_) == 0);
+  if (MaskHas(mask_, OperatorKind::kSum)) sum_.Merge(other.sum_);
+  if (MaskHas(mask_, OperatorKind::kCount)) count_.Merge(other.count_);
+  if (MaskHas(mask_, OperatorKind::kMultiply)) {
+    multiply_.Merge(other.multiply_);
+  }
+  if (MaskHas(mask_, OperatorKind::kDecomposableSort)) {
+    minmax_.Merge(other.minmax_);
+  }
+  if (MaskHas(mask_, OperatorKind::kNonDecomposableSort)) {
+    sorted_.Merge(other.sorted_);
+  }
+  if (MaskHas(mask_, OperatorKind::kSumSquares)) {
+    sum_squares_.Merge(other.sum_squares_);
+  }
+}
+
+double PartialAggregate::Finalize(const AggregationSpec& spec) const {
+  assert((ResolveNeeded(OperatorsFor(spec.fn), mask_) & ~mask_) == 0);
+  switch (spec.fn) {
+    case AggregationFunction::kSum:
+      return sum_.sum;
+    case AggregationFunction::kCount:
+      return static_cast<double>(count_.count);
+    case AggregationFunction::kAverage:
+      return count_.count == 0 ? 0.0
+                               : sum_.sum / static_cast<double>(count_.count);
+    case AggregationFunction::kProduct:
+      return multiply_.product;
+    case AggregationFunction::kGeometricMean:
+      return count_.count == 0
+                 ? 0.0
+                 : std::pow(multiply_.product,
+                            1.0 / static_cast<double>(count_.count));
+    case AggregationFunction::kMin:
+      // When a non-decomposable sort subsumed the decomposable one
+      // (ReduceMask), extrema come from the sorted state.
+      if (!MaskHas(mask_, OperatorKind::kDecomposableSort)) {
+        return sorted_.size() == 0 ? 0.0 : sorted_.NthValue(0);
+      }
+      return minmax_.min;
+    case AggregationFunction::kMax:
+      if (!MaskHas(mask_, OperatorKind::kDecomposableSort)) {
+        return sorted_.size() == 0 ? 0.0 : sorted_.NthValue(sorted_.size() - 1);
+      }
+      return minmax_.max;
+    case AggregationFunction::kMedian:
+      return sorted_.Median();
+    case AggregationFunction::kQuantile:
+      return sorted_.Quantile(spec.quantile);
+    case AggregationFunction::kVariance:
+    case AggregationFunction::kStdDev: {
+      if (count_.count == 0) return 0.0;
+      const double n = static_cast<double>(count_.count);
+      const double mean = sum_.sum / n;
+      const double variance =
+          std::max(0.0, sum_squares_.sum_sq / n - mean * mean);
+      return spec.fn == AggregationFunction::kVariance ? variance
+                                                       : std::sqrt(variance);
+    }
+  }
+  return 0.0;
+}
+
+void PartialAggregate::SerializeTo(ByteWriter& out) const {
+  out.WriteU8(mask_);
+  if (MaskHas(mask_, OperatorKind::kSum)) out.WriteDouble(sum_.sum);
+  if (MaskHas(mask_, OperatorKind::kCount)) out.WriteU64(count_.count);
+  if (MaskHas(mask_, OperatorKind::kMultiply)) {
+    out.WriteDouble(multiply_.product);
+  }
+  if (MaskHas(mask_, OperatorKind::kDecomposableSort)) {
+    out.WriteDouble(minmax_.min);
+    out.WriteDouble(minmax_.max);
+  }
+  if (MaskHas(mask_, OperatorKind::kNonDecomposableSort)) {
+    sorted_.SerializeTo(out);
+  }
+  if (MaskHas(mask_, OperatorKind::kSumSquares)) {
+    out.WriteDouble(sum_squares_.sum_sq);
+  }
+}
+
+PartialAggregate PartialAggregate::DeserializeFrom(ByteReader& in) {
+  PartialAggregate agg(in.ReadU8());
+  if (MaskHas(agg.mask_, OperatorKind::kSum)) {
+    agg.sum_.sum = in.ReadDouble();
+  }
+  if (MaskHas(agg.mask_, OperatorKind::kCount)) {
+    agg.count_.count = in.ReadU64();
+  }
+  if (MaskHas(agg.mask_, OperatorKind::kMultiply)) {
+    agg.multiply_.product = in.ReadDouble();
+  }
+  if (MaskHas(agg.mask_, OperatorKind::kDecomposableSort)) {
+    agg.minmax_.min = in.ReadDouble();
+    agg.minmax_.max = in.ReadDouble();
+  }
+  if (MaskHas(agg.mask_, OperatorKind::kNonDecomposableSort)) {
+    agg.sorted_ = SortedState::DeserializeFrom(in);
+  }
+  if (MaskHas(agg.mask_, OperatorKind::kSumSquares)) {
+    agg.sum_squares_.sum_sq = in.ReadDouble();
+  }
+  return agg;
+}
+
+}  // namespace desis

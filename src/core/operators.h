@@ -1,0 +1,155 @@
+#ifndef DESIS_CORE_OPERATORS_H_
+#define DESIS_CORE_OPERATORS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/serde.h"
+#include "core/aggregation.h"
+
+namespace desis {
+
+/// Running sum of event values.
+struct SumState {
+  double sum = 0.0;
+  void Add(double v) { sum += v; }
+  void Merge(const SumState& other) { sum += other.sum; }
+};
+
+/// Running event count.
+struct CountState {
+  uint64_t count = 0;
+  void Add(double /*v*/) { ++count; }
+  void Merge(const CountState& other) { count += other.count; }
+};
+
+/// Sum of squared event values — the "user-defined operator" example of
+/// §4.2.1: together with {sum, count} it decomposes variance and standard
+/// deviation.
+struct SumSquaresState {
+  double sum_sq = 0.0;
+  void Add(double v) { sum_sq += v * v; }
+  void Merge(const SumSquaresState& other) { sum_sq += other.sum_sq; }
+};
+
+/// Running product of event values.
+struct MultiplyState {
+  double product = 1.0;
+  void Add(double v) { product *= v; }
+  void Merge(const MultiplyState& other) { product *= other.product; }
+};
+
+/// "Decomposable sort" (paper §4.2.1): sorts incrementally and drops
+/// computed events — concretely only the running extrema survive. Shared
+/// between min and max queries.
+struct MinMaxState {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  void Add(double v) {
+    if (v < min) min = v;
+    if (v > max) max = v;
+  }
+  void Merge(const MinMaxState& other) {
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+};
+
+/// "Non-decomposable sort": keeps all events and performs one final sort
+/// when the slice ends. Shared between max, min, median, and quantile.
+/// Merging two sealed states merges their sorted runs.
+class SortedState {
+ public:
+  void Add(double v);
+  /// Sorts the buffered values; called once when the owning slice ends.
+  /// With a sample cap set, the sealed state is thinned to at most `cap`
+  /// quantile-preserving stride samples (approximate-quantile extension).
+  void Seal();
+  void Merge(const SortedState& other);
+
+  /// Enables approximate mode: sealed states keep at most `cap` values.
+  /// Estimated quantile error is O(1/cap). 0 = exact (default).
+  void set_sample_cap(size_t cap) { sample_cap_ = cap; }
+
+  bool sealed() const { return sealed_; }
+  size_t size() const { return values_.size(); }
+  /// Requires sealed(). k-th smallest value, k in [0, size).
+  double NthValue(size_t k) const { return values_[k]; }
+  const std::vector<double>& values() const { return values_; }
+
+  /// Median of the sealed values (mean of the middle two for even sizes).
+  double Median() const;
+  /// Nearest-rank-with-interpolation quantile, q in [0, 1], of sealed values.
+  double Quantile(double q) const;
+
+  void SerializeTo(ByteWriter& out) const;
+  static SortedState DeserializeFrom(ByteReader& in);
+
+ private:
+  void ThinToCap();
+
+  std::vector<double> values_;
+  bool sealed_ = false;
+  size_t sample_cap_ = 0;
+  /// Number of raw values this (possibly thinned) state represents.
+  uint64_t represented_ = 0;
+};
+
+/// The shared per-slice aggregate: one state per *operator* active in the
+/// owning query-group. Adding an event touches each active operator exactly
+/// once — this is the cross-function sharing at the heart of the paper.
+class PartialAggregate {
+ public:
+  PartialAggregate() = default;
+  explicit PartialAggregate(OperatorMask mask, size_t quantile_sample_cap = 0)
+      : mask_(mask) {
+    if (quantile_sample_cap > 0) sorted_.set_sample_cap(quantile_sample_cap);
+  }
+
+  OperatorMask mask() const { return mask_; }
+
+  /// Folds one event value into every active operator. Returns the number
+  /// of operator executions performed (for the Fig 9b/9d calculation count).
+  int Add(double v);
+
+  /// Finishes per-slice work (sorts the non-decomposable buffer).
+  void Seal();
+
+  /// Merges another partial into this one, folding only this partial's
+  /// active operators. `other` must carry at least this partial's operators
+  /// (window assembly merges a query's needed subset out of the group's
+  /// wider slice partials).
+  void Merge(const PartialAggregate& other);
+
+  /// Final value of `spec` computed from the shared operator states.
+  /// Requires that OperatorsFor(spec.fn) is a subset of mask() and, for
+  /// sort-based functions, that the state is sealed.
+  double Finalize(const AggregationSpec& spec) const;
+
+  uint64_t event_count() const { return count_.count; }
+
+  const SumState& sum_state() const { return sum_; }
+  const SumSquaresState& sum_squares_state() const { return sum_squares_; }
+  const CountState& count_state() const { return count_; }
+  const MultiplyState& multiply_state() const { return multiply_; }
+  const MinMaxState& minmax_state() const { return minmax_; }
+  const SortedState& sorted_state() const { return sorted_; }
+  SortedState& mutable_sorted_state() { return sorted_; }
+
+  void SerializeTo(ByteWriter& out) const;
+  static PartialAggregate DeserializeFrom(ByteReader& in);
+
+ private:
+  OperatorMask mask_ = 0;
+  SumState sum_;
+  SumSquaresState sum_squares_;
+  CountState count_;
+  MultiplyState multiply_;
+  MinMaxState minmax_;
+  SortedState sorted_;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_OPERATORS_H_

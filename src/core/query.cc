@@ -1,0 +1,33 @@
+#include "core/query.h"
+
+#include <sstream>
+
+namespace desis {
+
+PredicateRelation Predicate::RelationTo(const Predicate& other) const {
+  if (*this == other) return PredicateRelation::kIdentical;
+  // Different keys can never match the same event.
+  if (has_key && other.has_key && key != other.key) {
+    return PredicateRelation::kDisjoint;
+  }
+  // Same key constraint (or at least one side unconstrained on key):
+  // disjoint iff the value intervals cannot intersect.
+  if (has_range && other.has_range &&
+      (value_hi <= other.value_lo || other.value_hi <= value_lo)) {
+    return PredicateRelation::kDisjoint;
+  }
+  return PredicateRelation::kOverlapping;
+}
+
+std::string Predicate::ToString() const {
+  if (!has_key && !has_range) return "true";
+  std::ostringstream out;
+  if (has_key) out << "key == " << key;
+  if (has_range) {
+    if (has_key) out << " AND ";
+    out << value_lo << " <= value < " << value_hi;
+  }
+  return out.str();
+}
+
+}  // namespace desis

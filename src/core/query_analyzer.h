@@ -1,0 +1,79 @@
+#ifndef DESIS_CORE_QUERY_ANALYZER_H_
+#define DESIS_CORE_QUERY_ANALYZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+
+namespace desis {
+
+/// One selection lane inside a query-group. All queries with an identical
+/// predicate (and dedup setting) share a lane; every lane owns its own
+/// partial results within each slice, so each event is aggregated at most
+/// once per lane it matches (§4.2.3). Lanes in one group are pairwise
+/// disjoint or identical, never overlapping.
+struct SelectionLane {
+  Predicate predicate;
+  bool deduplicate = false;
+};
+
+/// A query placed in a group, with its lane binding.
+struct GroupedQuery {
+  Query query;
+  uint32_t lane = 0;
+};
+
+/// A query-group: "a set of queries that partial results can be shared
+/// between and in which every event is processed only once" (§4.1).
+struct QueryGroup {
+  uint32_t id = 0;
+  std::vector<GroupedQuery> queries;
+  std::vector<SelectionLane> lanes;
+  /// Union of the operators every query in the group decomposes into.
+  OperatorMask mask = 0;
+  /// Decentralized deployments evaluate this group only on the root node
+  /// (count-based measures cannot be terminated locally, §5.2); local nodes
+  /// forward matching raw events instead of slice partials.
+  bool root_only = false;
+};
+
+/// Deployment mode; affects which groups must be evaluated at the root.
+enum class DeploymentMode : uint8_t {
+  kCentralized = 0,
+  kDecentralized,
+};
+
+/// Grouping policy. Desis shares across aggregation functions and window
+/// measures; the DeSW/Scotty baselines only share within the same function
+/// (and measure), which this policy reproduces (§6.1.1).
+enum class SharingPolicy : uint8_t {
+  /// One group per compatible predicate partition (full sharing).
+  kCrossFunction = 0,
+  /// Separate groups per (function, quantile, measure) — Scotty/DeSW.
+  kPerFunction,
+  /// Separate group per query — no sharing at all (DeBucket-style).
+  kPerQuery,
+};
+
+/// The query analyzer (§3.1): validates queries and partitions them into
+/// query-groups whose window attributes are distributed to all nodes.
+class QueryAnalyzer {
+ public:
+  explicit QueryAnalyzer(DeploymentMode mode = DeploymentMode::kCentralized,
+                         SharingPolicy policy = SharingPolicy::kCrossFunction)
+      : mode_(mode), policy_(policy) {}
+
+  /// Partitions `queries` into query-groups. Fails if any query is invalid.
+  Result<std::vector<QueryGroup>> Analyze(
+      const std::vector<Query>& queries) const;
+
+ private:
+  DeploymentMode mode_;
+  SharingPolicy policy_;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_QUERY_ANALYZER_H_

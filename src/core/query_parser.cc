@@ -1,0 +1,391 @@
+#include "core/query_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+namespace desis {
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+
+enum class TokenKind {
+  kIdent,   // keywords and identifiers (case-insensitive)
+  kNumber,  // integer or decimal literal; `unit` holds a trailing suffix
+  kLParen,
+  kRParen,
+  kComma,
+  kEquals,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // uppercased for idents
+  double number = 0;
+  std::string unit;    // lowercase suffix directly after a number (us/ms/s/m)
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '(') {
+        tokens.push_back({TokenKind::kLParen, "(", 0, ""});
+        ++pos_;
+      } else if (c == ')') {
+        tokens.push_back({TokenKind::kRParen, ")", 0, ""});
+        ++pos_;
+      } else if (c == ',') {
+        tokens.push_back({TokenKind::kComma, ",", 0, ""});
+        ++pos_;
+      } else if (c == '=') {
+        tokens.push_back({TokenKind::kEquals, "=", 0, ""});
+        ++pos_;
+      } else if (c == '<' || c == '>') {
+        const bool less = c == '<';
+        ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '=') {
+          ++pos_;
+          tokens.push_back({less ? TokenKind::kLessEq : TokenKind::kGreaterEq,
+                            less ? "<=" : ">=", 0, ""});
+        } else {
+          tokens.push_back({less ? TokenKind::kLess : TokenKind::kGreater,
+                            less ? "<" : ">", 0, ""});
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+                 c == '-') {
+        Token t;
+        t.kind = TokenKind::kNumber;
+        size_t end = pos_ + 1;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E' ||
+                ((text_[end] == '+' || text_[end] == '-') &&
+                 (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
+          ++end;
+        }
+        t.number = std::stod(std::string(text_.substr(pos_, end - pos_)));
+        pos_ = end;
+        // A duration unit may follow without whitespace ("5s", "100ms"),
+        // but only if it is one of the known unit suffixes — otherwise the
+        // letters belong to the next identifier (e.g. "1000 EVENTS").
+        size_t unit_end = pos_;
+        while (unit_end < text_.size() &&
+               std::isalpha(static_cast<unsigned char>(text_[unit_end]))) {
+          ++unit_end;
+        }
+        std::string suffix(text_.substr(pos_, unit_end - pos_));
+        std::transform(suffix.begin(), suffix.end(), suffix.begin(),
+                       [](unsigned char ch) { return std::tolower(ch); });
+        if (suffix == "us" || suffix == "ms" || suffix == "s" ||
+            suffix == "m") {
+          t.unit = suffix;
+          pos_ = unit_end;
+        }
+        tokens.push_back(std::move(t));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '_')) {
+          ++end;
+        }
+        Token t;
+        t.kind = TokenKind::kIdent;
+        t.text = std::string(text_.substr(pos_, end - pos_));
+        std::transform(t.text.begin(), t.text.end(), t.text.begin(),
+                       [](unsigned char ch) { return std::toupper(ch); });
+        pos_ = end;
+        tokens.push_back(std::move(t));
+      } else {
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "' in query");
+      }
+    }
+    tokens.push_back({TokenKind::kEnd, "", 0, ""});
+    return tokens;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// --------------------------------------------------------------- parser --
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery(QueryId id) {
+    Query query;
+    query.id = id;
+
+    if (auto s = ExpectIdent("SELECT"); !s.ok()) return s;
+    if (auto s = ParseAggregation(&query); !s.ok()) return s;
+    if (auto s = ExpectIdent("FROM"); !s.ok()) return s;
+    if (auto s = ExpectIdent("STREAM"); !s.ok()) return s;
+
+    if (PeekIdent("WHERE")) {
+      Advance();
+      if (auto s = ParsePredicates(&query); !s.ok()) return s;
+    }
+    if (auto s = ExpectIdent("WINDOW"); !s.ok()) return s;
+    if (auto s = ParseWindow(&query); !s.ok()) return s;
+    if (PeekIdent("DEDUPLICATE")) {
+      Advance();
+      query.deduplicate = true;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::InvalidArgument("trailing tokens after query: " +
+                                     Peek().text);
+    }
+    if (auto s = query.Validate(); !s.ok()) return s;
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool PeekIdent(const std::string& word) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == word;
+  }
+  Status ExpectIdent(const std::string& word) {
+    if (!PeekIdent(word)) {
+      return Status::InvalidArgument("expected '" + word + "', got '" +
+                                     Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument("expected " + what + ", got '" +
+                                     Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseAggregation(Query* query) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected aggregation function");
+    }
+    const std::string fn = Advance().text;
+    if (auto s = Expect(TokenKind::kLParen, "'('"); !s.ok()) return s;
+    if (auto s = ExpectIdent("VALUE"); !s.ok()) return s;
+
+    if (fn == "SUM") {
+      query->agg.fn = AggregationFunction::kSum;
+    } else if (fn == "COUNT") {
+      query->agg.fn = AggregationFunction::kCount;
+    } else if (fn == "AVG" || fn == "AVERAGE") {
+      query->agg.fn = AggregationFunction::kAverage;
+    } else if (fn == "MIN") {
+      query->agg.fn = AggregationFunction::kMin;
+    } else if (fn == "MAX") {
+      query->agg.fn = AggregationFunction::kMax;
+    } else if (fn == "PRODUCT") {
+      query->agg.fn = AggregationFunction::kProduct;
+    } else if (fn == "GEOMEAN" || fn == "GEOMETRIC_MEAN") {
+      query->agg.fn = AggregationFunction::kGeometricMean;
+    } else if (fn == "MEDIAN") {
+      query->agg.fn = AggregationFunction::kMedian;
+    } else if (fn == "VARIANCE" || fn == "VAR") {
+      query->agg.fn = AggregationFunction::kVariance;
+    } else if (fn == "STDDEV") {
+      query->agg.fn = AggregationFunction::kStdDev;
+    } else if (fn == "QUANTILE") {
+      query->agg.fn = AggregationFunction::kQuantile;
+      if (auto s = Expect(TokenKind::kComma, "','"); !s.ok()) return s;
+      if (Peek().kind != TokenKind::kNumber) {
+        return Status::InvalidArgument("QUANTILE needs a numeric parameter");
+      }
+      query->agg.quantile = Advance().number;
+    } else {
+      return Status::InvalidArgument("unknown aggregation function " + fn);
+    }
+    return Expect(TokenKind::kRParen, "')'");
+  }
+
+  Status ParsePredicates(Query* query) {
+    while (true) {
+      if (PeekIdent("KEY")) {
+        Advance();
+        if (auto s = Expect(TokenKind::kEquals, "'='"); !s.ok()) return s;
+        if (Peek().kind != TokenKind::kNumber) {
+          return Status::InvalidArgument("key predicate needs a number");
+        }
+        if (query->predicate.has_key) {
+          return Status::InvalidArgument("duplicate key predicate");
+        }
+        query->predicate.has_key = true;
+        query->predicate.key = static_cast<uint32_t>(Advance().number);
+      } else if (PeekIdent("VALUE")) {
+        Advance();
+        const Token op = Advance();
+        if (Peek().kind != TokenKind::kNumber) {
+          return Status::InvalidArgument("value predicate needs a number");
+        }
+        const double bound = Advance().number;
+        if (!query->predicate.has_range) {
+          query->predicate.has_range = true;
+          query->predicate.value_lo = -std::numeric_limits<double>::infinity();
+          query->predicate.value_hi = std::numeric_limits<double>::infinity();
+        }
+        // Half-open [lo, hi): strictness beyond double resolution is folded
+        // into the nearest representable bound.
+        switch (op.kind) {
+          case TokenKind::kLess:
+            query->predicate.value_hi = bound;
+            break;
+          case TokenKind::kLessEq:
+            query->predicate.value_hi =
+                std::nextafter(bound, std::numeric_limits<double>::infinity());
+            break;
+          case TokenKind::kGreater:
+            query->predicate.value_lo =
+                std::nextafter(bound, std::numeric_limits<double>::infinity());
+            break;
+          case TokenKind::kGreaterEq:
+            query->predicate.value_lo = bound;
+            break;
+          default:
+            return Status::InvalidArgument(
+                "value predicate needs <, <=, > or >=");
+        }
+      } else {
+        return Status::InvalidArgument("expected key or value predicate");
+      }
+      if (PeekIdent("AND")) {
+        Advance();
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  // Duration or `<n> EVENTS`; sets measure accordingly.
+  Status ParseExtent(int64_t* out, WindowMeasure* measure) {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Status::InvalidArgument("expected a window extent");
+    }
+    const Token t = Advance();
+    if (!t.unit.empty()) {
+      Timestamp factor = 0;
+      if (t.unit == "us") factor = kMicrosecond;
+      if (t.unit == "ms") factor = kMillisecond;
+      if (t.unit == "s") factor = kSecond;
+      if (t.unit == "m") factor = kMinute;
+      *out = static_cast<int64_t>(t.number * static_cast<double>(factor));
+      *measure = WindowMeasure::kTime;
+      return Status::OK();
+    }
+    if (PeekIdent("EVENTS")) {
+      Advance();
+      *out = static_cast<int64_t>(t.number);
+      *measure = WindowMeasure::kCount;
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "window extent needs a time unit (us/ms/s/m) or EVENTS");
+  }
+
+  Status ParseWindow(Query* query) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected window type");
+    }
+    const std::string type = Advance().text;
+    if (type == "USER_DEFINED") {
+      query->window = WindowSpec::UserDefined();
+      return Status::OK();
+    }
+    if (auto s = Expect(TokenKind::kLParen, "'('"); !s.ok()) return s;
+
+    if (type == "TUMBLING" || type == "SLIDING") {
+      if (auto s = ExpectIdent("SIZE"); !s.ok()) return s;
+      int64_t length = 0;
+      WindowMeasure measure = WindowMeasure::kTime;
+      if (auto s = ParseExtent(&length, &measure); !s.ok()) return s;
+      int64_t slide = length;
+      if (type == "SLIDING") {
+        if (auto s = Expect(TokenKind::kComma, "','"); !s.ok()) return s;
+        if (auto s = ExpectIdent("SLIDE"); !s.ok()) return s;
+        WindowMeasure slide_measure = WindowMeasure::kTime;
+        if (auto s = ParseExtent(&slide, &slide_measure); !s.ok()) return s;
+        if (slide_measure != measure) {
+          return Status::InvalidArgument(
+              "SIZE and SLIDE must use the same measure");
+        }
+      }
+      query->window.type =
+          type == "TUMBLING" ? WindowType::kTumbling : WindowType::kSliding;
+      query->window.measure = measure;
+      query->window.length = length;
+      query->window.slide = slide;
+    } else if (type == "SESSION") {
+      if (auto s = ExpectIdent("GAP"); !s.ok()) return s;
+      int64_t gap = 0;
+      WindowMeasure measure = WindowMeasure::kTime;
+      if (auto s = ParseExtent(&gap, &measure); !s.ok()) return s;
+      if (measure != WindowMeasure::kTime) {
+        return Status::InvalidArgument("session gaps are time-based");
+      }
+      query->window = WindowSpec::Session(gap);
+    } else {
+      return Status::InvalidArgument("unknown window type " + type);
+    }
+    return Expect(TokenKind::kRParen, "')'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> QueryParser::Parse(std::string_view text, QueryId id) {
+  auto tokens = Lexer(text).Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  return Parser(std::move(tokens.value())).ParseQuery(id);
+}
+
+Result<std::vector<Query>> QueryParser::ParseAll(std::string_view text) {
+  std::vector<Query> queries;
+  size_t start = 0;
+  QueryId next_id = 1;
+  while (start <= text.size()) {
+    size_t end = text.find(';', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view one = text.substr(start, end - start);
+    // Skip blank segments (trailing semicolons, empty lines).
+    const bool blank =
+        std::all_of(one.begin(), one.end(), [](unsigned char c) {
+          return std::isspace(c);
+        });
+    if (!blank) {
+      auto query = Parse(one, next_id++);
+      if (!query.ok()) return query.status();
+      queries.push_back(std::move(query.value()));
+    }
+    start = end + 1;
+  }
+  return queries;
+}
+
+}  // namespace desis

@@ -1,0 +1,52 @@
+#ifndef DESIS_CORE_QUERY_PARSER_H_
+#define DESIS_CORE_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/query.h"
+
+namespace desis {
+
+/// Textual query interface (the `interface` component of §3.1): parses a
+/// small continuous-query language into Query objects. Grammar (case
+/// insensitive keywords):
+///
+///   SELECT <fn>(value) FROM stream
+///     [WHERE <predicate> [AND <predicate>]...]
+///     WINDOW <window>
+///     [DEDUPLICATE]
+///
+///   <fn>        := SUM | COUNT | AVG | AVERAGE | MIN | MAX | PRODUCT |
+///                  GEOMEAN | MEDIAN | VARIANCE | STDDEV |
+///                  QUANTILE(value, <q>)
+///   <predicate> := key = <int> | value < <num> | value <= <num> |
+///                  value > <num> | value >= <num>
+///   <window>    := TUMBLING(SIZE <extent>)
+///                | SLIDING(SIZE <extent>, SLIDE <extent>)
+///                | SESSION(GAP <duration>)
+///                | USER_DEFINED
+///   <extent>    := <duration> | <int> EVENTS        (count measure)
+///   <duration>  := <num> (us | ms | s | m)
+///
+/// Examples:
+///   SELECT AVG(value) FROM stream WINDOW TUMBLING(SIZE 5s)
+///   SELECT QUANTILE(value, 0.95) FROM stream WHERE key = 3
+///     WINDOW SLIDING(SIZE 10s, SLIDE 1s)
+///   SELECT SUM(value) FROM stream WHERE value >= 80
+///     WINDOW SESSION(GAP 500ms)
+///   SELECT MAX(value) FROM stream WINDOW TUMBLING(SIZE 1000 EVENTS)
+class QueryParser {
+ public:
+  /// Parses a single query; `id` is assigned to the result.
+  static Result<Query> Parse(std::string_view text, QueryId id);
+
+  /// Parses a ';'-separated list of queries with ids 1, 2, ...
+  static Result<std::vector<Query>> ParseAll(std::string_view text);
+};
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_QUERY_PARSER_H_

@@ -1,0 +1,79 @@
+#ifndef DESIS_CORE_REORDER_BUFFER_H_
+#define DESIS_CORE_REORDER_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/event.h"
+
+namespace desis {
+
+/// Bounded-lateness reordering stage for out-of-order streams. The engines
+/// in this library require non-decreasing timestamps; placing a
+/// ReorderBuffer in front tolerates events up to `allowed_lateness`
+/// microseconds late: an event is released once the maximum timestamp seen
+/// exceeds its own by more than the allowed lateness, so released output is
+/// globally ordered. Later events are reported as dropped (the standard
+/// allowed-lateness contract, e.g. Flink).
+class ReorderBuffer {
+ public:
+  explicit ReorderBuffer(Timestamp allowed_lateness)
+      : allowed_lateness_(allowed_lateness) {}
+
+  /// Inserts an event. Returns false (and counts the drop) if the event is
+  /// older than the release frontier and would break ordering downstream.
+  bool Push(const Event& event) {
+    if (event.ts < frontier_) {
+      ++dropped_;
+      return false;
+    }
+    heap_.push(event);
+    if (event.ts > max_ts_) max_ts_ = event.ts;
+    return true;
+  }
+
+  /// Pops the next in-order event whose release is safe, if any.
+  bool Pop(Event* out) {
+    if (heap_.empty() || max_ts_ == kNoTimestamp) return false;
+    if (heap_.top().ts + allowed_lateness_ > max_ts_) return false;
+    *out = heap_.top();
+    heap_.pop();
+    if (out->ts > frontier_) frontier_ = out->ts;
+    return true;
+  }
+
+  /// Releases everything up to `watermark` regardless of lateness slack
+  /// (stream end / external watermark).
+  bool PopUpTo(Timestamp watermark, Event* out) {
+    if (heap_.empty() || heap_.top().ts > watermark) return false;
+    *out = heap_.top();
+    heap_.pop();
+    if (out->ts > frontier_) frontier_ = out->ts;
+    return true;
+  }
+
+  size_t pending() const { return heap_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  /// Timestamp below which no further event will be released (already
+  /// released or would be dropped).
+  Timestamp frontier() const { return frontier_; }
+
+ private:
+  struct LaterTs {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.ts > b.ts;
+    }
+  };
+
+  Timestamp allowed_lateness_;
+  std::priority_queue<Event, std::vector<Event>, LaterTs> heap_;
+  Timestamp max_ts_ = kNoTimestamp;
+  Timestamp frontier_ = kNoTimestamp;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_REORDER_BUFFER_H_

@@ -1,0 +1,538 @@
+#include "core/slicer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <tuple>
+
+namespace desis {
+namespace {
+
+// Floor division for possibly-negative numerators.
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+uint64_t HashEvent(const Event& e) {
+  // 64-bit mix over all fields; used only for intra-slice deduplication.
+  uint64_t h = static_cast<uint64_t>(e.ts) * 0x9E3779B97F4A7C15ull;
+  h ^= (static_cast<uint64_t>(e.key) + 0x517CC1B727220A95ull) * 0xBF58476D1CE4E5B9ull;
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(e.value));
+  std::memcpy(&bits, &e.value, sizeof(bits));
+  h ^= bits * 0x94D049BB133111EBull;
+  h ^= e.marker;
+  h ^= h >> 29;
+  return h;
+}
+
+}  // namespace
+
+StreamSlicer::StreamSlicer(QueryGroup group, SlicerOptions options,
+                           EngineStats* stats)
+    : group_(std::move(group)), options_(options), stats_(stats) {
+  assert(stats_ != nullptr);
+  // Deduplicate window specs: queries with identical specs share
+  // punctuations, open-window bookkeeping, and window assembly. Dynamic
+  // (session/user-defined) and count-based windows are additionally scoped
+  // to their query's selection lane, since their boundaries depend on which
+  // events match.
+  using SpecKey = std::tuple<WindowType, WindowMeasure, int64_t, int64_t,
+                             Timestamp, int>;
+  std::map<SpecKey, uint32_t> spec_lookup;  // groups can hold 100k+ queries
+  for (uint32_t qi = 0; qi < group_.queries.size(); ++qi) {
+    const WindowSpec& spec = group_.queries[qi].query.window;
+    const bool lane_scoped = spec.measure == WindowMeasure::kCount ||
+                             spec.type == WindowType::kSession ||
+                             spec.type == WindowType::kUserDefined;
+    const int lane_filter =
+        lane_scoped ? static_cast<int>(group_.queries[qi].lane) : -1;
+    const SpecKey key{spec.type, spec.measure, spec.length, spec.slide,
+                      spec.gap, lane_filter};
+    uint32_t si;
+    auto found = spec_lookup.find(key);
+    if (found != spec_lookup.end()) {
+      si = found->second;
+    } else {
+      si = static_cast<uint32_t>(specs_.size());
+      spec_lookup.emplace(key, si);
+    }
+    if (si == specs_.size()) {
+      SpecState state;
+      state.spec = spec;
+      state.lane_filter = lane_filter;
+      specs_.push_back(std::move(state));
+      if (spec.measure == WindowMeasure::kCount) {
+        count_specs_.push_back(si);
+      } else if (spec.type == WindowType::kUserDefined) {
+        ud_specs_.push_back(si);
+      }
+    }
+    specs_[si].query_idxs.push_back(qi);
+  }
+
+  // Group session specs by lane, sorted ascending by gap (see SessionLane).
+  lane_session_idx_.assign(group_.lanes.size(), -1);
+  for (uint32_t si = 0; si < specs_.size(); ++si) {
+    const SpecState& st = specs_[si];
+    if (st.spec.type != WindowType::kSession ||
+        st.spec.measure != WindowMeasure::kTime) {
+      continue;
+    }
+    const auto lane = static_cast<uint32_t>(st.lane_filter);
+    if (lane_session_idx_[lane] < 0) {
+      lane_session_idx_[lane] = static_cast<int>(session_lanes_.size());
+      session_lanes_.push_back({lane, {}, 0, kNoTimestamp});
+    }
+    session_lanes_[static_cast<size_t>(lane_session_idx_[lane])]
+        .specs_by_gap.push_back(si);
+  }
+  for (SessionLane& sl : session_lanes_) {
+    std::sort(sl.specs_by_gap.begin(), sl.specs_by_gap.end(),
+              [&](uint32_t a, uint32_t b) {
+                return specs_[a].spec.gap < specs_[b].spec.gap;
+              });
+    sl.num_inactive = sl.specs_by_gap.size();
+  }
+  count_heaps_.resize(group_.lanes.size());
+
+  current_lanes_.reserve(group_.lanes.size());
+  for (const SelectionLane& lane : group_.lanes) {
+    current_lanes_.emplace_back(group_.mask);
+    any_dedup_ = any_dedup_ || lane.deduplicate;
+  }
+  current_lane_events_.assign(group_.lanes.size(), 0);
+  current_lane_last_ts_.assign(group_.lanes.size(), kNoTimestamp);
+  lane_total_events_.assign(group_.lanes.size(), 0);
+  if (any_dedup_) dedup_sets_.resize(group_.lanes.size());
+}
+
+Timestamp StreamSlicer::MaxFixedWindowExtent() const {
+  Timestamp extent = 0;
+  for (const SpecState& st : specs_) {
+    if (st.spec.measure == WindowMeasure::kTime && st.spec.IsFixedSize()) {
+      extent = std::max(extent, st.spec.length);
+    } else if (st.spec.type == WindowType::kSession) {
+      extent = std::max(extent, st.spec.gap);
+    }
+  }
+  return extent;
+}
+
+bool StreamSlicer::SuppressQuery(QueryId id) {
+  for (const GroupedQuery& gq : group_.queries) {
+    if (gq.query.id == id && !suppressed_.contains(id)) {
+      suppressed_.insert(id);
+      return true;
+    }
+  }
+  return false;
+}
+
+void StreamSlicer::Initialize(Timestamp first_ts) {
+  current_slice_start_ = first_ts;
+  for (uint32_t si = 0; si < specs_.size(); ++si) {
+    SpecState& st = specs_[si];
+    if (st.spec.measure == WindowMeasure::kCount) {
+      // The first count window opens with the first matching event.
+      st.open.push_back({first_ts, 0});
+      auto& heap = count_heaps_[static_cast<size_t>(st.lane_filter)];
+      heap.push({static_cast<uint64_t>(st.spec.length), 0, si});
+      heap.push({static_cast<uint64_t>(st.spec.slide), 1, si});
+    } else if (st.spec.IsFixedSize()) {
+      ScheduleInitial(si, first_ts);
+    }
+    // Session / user-defined windows start inactive and are activated by
+    // the first matching event.
+  }
+  initialized_ = true;
+}
+
+void StreamSlicer::ScheduleInitial(uint32_t spec_idx, Timestamp first_ts) {
+  SpecState& st = specs_[spec_idx];
+  const int64_t l = st.spec.length;
+  const int64_t s = st.spec.slide;
+  // Windows are aligned to multiples of the slide from timestamp 0. Open
+  // every window that already contains first_ts.
+  const Timestamp ws_min = (FloorDiv(first_ts - l, s) + 1) * s;
+  for (Timestamp ws = ws_min; ws <= first_ts; ws += s) {
+    st.open.push_back({ws, 0});
+  }
+  st.next_ep = ws_min + l;
+  st.next_sp = (FloorDiv(first_ts, s) + 1) * s;
+  if (options_.punctuation == PunctuationStrategy::kPrecomputed) {
+    boundary_heap_.push({st.next_ep, 0, spec_idx});
+    boundary_heap_.push({st.next_sp, 1, spec_idx});
+  }
+}
+
+void StreamSlicer::ProcessBoundariesUpTo(Timestamp limit) {
+  while (true) {
+    Timestamp best_ts = kMaxTimestamp;
+    uint8_t best_kind = 2;
+    uint32_t best_spec = 0;
+    enum class Source { kNone, kFixed, kSession } source = Source::kNone;
+
+    if (options_.punctuation == PunctuationStrategy::kPrecomputed) {
+      if (!boundary_heap_.empty()) {
+        const Boundary& top = boundary_heap_.top();
+        best_ts = top.ts;
+        best_kind = top.kind;
+        best_spec = top.spec_idx;
+        source = Source::kFixed;
+      }
+    } else {
+      // Baseline behaviour: re-scan every window spec on each step instead
+      // of consulting a precomputed schedule.
+      for (uint32_t si = 0; si < specs_.size(); ++si) {
+        const SpecState& st = specs_[si];
+        if (st.spec.measure != WindowMeasure::kTime || !st.spec.IsFixedSize()) {
+          continue;
+        }
+        if (st.next_ep != kNoTimestamp &&
+            (st.next_ep < best_ts || (st.next_ep == best_ts && best_kind > 0))) {
+          best_ts = st.next_ep;
+          best_kind = 0;
+          best_spec = si;
+          source = Source::kFixed;
+        }
+        if (st.next_sp != kNoTimestamp &&
+            (st.next_sp < best_ts || (st.next_sp == best_ts && best_kind > 1))) {
+          best_ts = st.next_sp;
+          best_kind = 1;
+          best_spec = si;
+          source = Source::kFixed;
+        }
+      }
+    }
+
+    size_t best_session_lane = 0;
+    for (size_t li = 0; li < session_lanes_.size(); ++li) {
+      const SessionLane& sl = session_lanes_[li];
+      if (sl.num_inactive >= sl.specs_by_gap.size()) continue;  // none active
+      // The smallest active gap holds the earliest deadline.
+      const uint32_t si = sl.specs_by_gap[sl.num_inactive];
+      const Timestamp deadline = sl.last_event + specs_[si].spec.gap;
+      if (deadline < best_ts || (deadline == best_ts && best_kind > 0)) {
+        best_ts = deadline;
+        best_kind = 0;
+        best_spec = si;
+        best_session_lane = li;
+        source = Source::kSession;
+      }
+    }
+
+    if (source == Source::kNone || best_ts > limit) return;
+
+    if (source == Source::kSession) {
+      ProcessSessionEnd(best_spec, best_ts);
+      ++session_lanes_[best_session_lane].num_inactive;
+      continue;
+    }
+    if (options_.punctuation == PunctuationStrategy::kPrecomputed) {
+      boundary_heap_.pop();
+    }
+    if (best_kind == 0) {
+      ProcessEp(best_spec, best_ts);
+    } else {
+      ProcessSp(best_spec, best_ts);
+    }
+  }
+}
+
+void StreamSlicer::ProcessEp(uint32_t spec_idx, Timestamp ts) {
+  SpecState& st = specs_[spec_idx];
+  const uint64_t last = SealCurrentSlice(ts);
+  if (!st.open.empty()) {
+    SpecState::OpenWindow window = st.open.front();
+    st.open.pop_front();
+    CloseWindow(spec_idx, window, last, ts);
+  }
+  st.next_ep = ts + st.spec.slide;
+  if (options_.punctuation == PunctuationStrategy::kPrecomputed) {
+    boundary_heap_.push({st.next_ep, 0, spec_idx});
+  }
+}
+
+void StreamSlicer::ProcessSp(uint32_t spec_idx, Timestamp ts) {
+  SpecState& st = specs_[spec_idx];
+  SealCurrentSlice(ts);
+  st.open.push_back({ts, current_slice_id_});
+  st.next_sp = ts + st.spec.slide;
+  if (options_.punctuation == PunctuationStrategy::kPrecomputed) {
+    boundary_heap_.push({st.next_sp, 1, spec_idx});
+  }
+}
+
+void StreamSlicer::ProcessSessionEnd(uint32_t spec_idx, Timestamp deadline) {
+  SpecState& st = specs_[spec_idx];
+  const uint64_t last = SealCurrentSlice(deadline);
+  if (!st.open.empty()) {
+    SpecState::OpenWindow window = st.open.front();
+    st.open.pop_front();
+    CloseWindow(spec_idx, window, last, deadline);
+  }
+  st.active = false;
+}
+
+void StreamSlicer::ProcessCountBoundaries(Timestamp now, uint32_t lane) {
+  auto& heap = count_heaps_[lane];
+  const uint64_t lane_count = lane_total_events_[lane];
+  // The heap orders by (count, kind): end punctuations fire before start
+  // punctuations at the same count.
+  while (!heap.empty() && heap.top().count <= lane_count) {
+    const CountBoundary boundary = heap.top();
+    heap.pop();
+    SpecState& st = specs_[boundary.spec_idx];
+    if (boundary.kind == 0) {
+      const uint64_t last = SealCurrentSlice(now);
+      if (!st.open.empty()) {
+        SpecState::OpenWindow window = st.open.front();
+        st.open.pop_front();
+        CloseWindow(boundary.spec_idx, window, last, now);
+      }
+    } else {
+      SealCurrentSlice(now);
+      st.open.push_back({now, current_slice_id_});
+    }
+    heap.push({boundary.count + static_cast<uint64_t>(st.spec.slide),
+               boundary.kind, boundary.spec_idx});
+  }
+}
+
+uint64_t StreamSlicer::SealCurrentSlice(Timestamp end_ts) {
+  bool empty = true;
+  for (uint64_t n : current_lane_events_) {
+    if (n != 0) {
+      empty = false;
+      break;
+    }
+  }
+  if (empty) {
+    // Empty slices leave no record; the boundary still advances.
+    current_slice_start_ = end_ts;
+    return current_slice_id_ - 1;  // wraps when nothing sealed yet; callers
+                                   // only use it against existing records.
+  }
+
+  FlushShippableSlice();
+
+  SliceRecord rec;
+  rec.id = current_slice_id_;
+  rec.start = current_slice_start_;
+  rec.end = end_ts;
+  rec.last_event_ts = current_last_event_;
+  for (PartialAggregate& lane : current_lanes_) lane.Seal();
+  rec.lanes = std::move(current_lanes_);
+  rec.lane_events = std::move(current_lane_events_);
+  rec.lane_last_ts = std::move(current_lane_last_ts_);
+  records_.push_back(std::move(rec));
+  have_unshipped_ = true;
+  ++stats_->slices_created;
+
+  current_lanes_.clear();
+  for (size_t i = 0; i < group_.lanes.size(); ++i) {
+    current_lanes_.emplace_back(group_.mask);
+  }
+  current_lane_events_.assign(group_.lanes.size(), 0);
+  current_lane_last_ts_.assign(group_.lanes.size(), kNoTimestamp);
+  if (any_dedup_) {
+    for (auto& set : dedup_sets_) set.clear();
+  }
+  current_last_event_ = kNoTimestamp;
+  ++current_slice_id_;
+  current_slice_start_ = end_ts;
+  return current_slice_id_ - 1;
+}
+
+void StreamSlicer::CloseWindow(uint32_t spec_idx,
+                               SpecState::OpenWindow window,
+                               uint64_t last_slice_id, Timestamp end_ts) {
+  SpecState& st = specs_[spec_idx];
+  // Ship the end punctuation with the closing slice so downstream nodes can
+  // terminate user-defined windows (§5.1.2). Fixed windows and sessions are
+  // terminated downstream from window attributes / gap tracking instead.
+  if (slice_sink_ && st.spec.type == WindowType::kUserDefined &&
+      have_unshipped_ && !records_.empty()) {
+    records_.back().eps.push_back({spec_idx, window.start_ts, end_ts});
+  }
+  if (!options_.assemble_windows) return;
+  if (records_.empty()) return;
+
+  const uint64_t base = records_.front().id;
+  const uint64_t lo = std::max(window.first_slice_id, base);
+  const uint64_t hi = std::min(last_slice_id, records_.back().id);
+
+  // Assemble once per selection lane, then finalize once per query; queries
+  // sharing a lane share the merged operator states (§4.3).
+  for (uint32_t lane = 0; lane < group_.lanes.size(); ++lane) {
+    OperatorMask needed = 0;
+    for (uint32_t qi : st.query_idxs) {
+      const GroupedQuery& gq = group_.queries[qi];
+      if (gq.lane == lane && !suppressed_.contains(gq.query.id)) {
+        needed |= OperatorsFor(gq.query.agg.fn);
+      }
+    }
+    if (needed == 0) continue;
+    needed = ResolveNeeded(needed, group_.mask);
+
+    PartialAggregate acc(needed);
+    acc.Seal();
+    uint64_t events = 0;
+    for (uint64_t id = lo; id <= hi && hi >= lo; ++id) {
+      const SliceRecord& rec = records_[id - base];
+      if (rec.lane_events[lane] == 0) continue;
+      acc.Merge(rec.lanes[lane]);
+      events += rec.lane_events[lane];
+      ++stats_->merges;
+    }
+    if (events == 0) continue;
+
+    for (uint32_t qi : st.query_idxs) {
+      const GroupedQuery& gq = group_.queries[qi];
+      if (gq.lane != lane || suppressed_.contains(gq.query.id)) continue;
+      if (window_partial_sink_) {
+        window_partial_sink_(gq.query.id, window.start_ts, end_ts, acc,
+                             events);
+      } else if (window_sink_) {
+        window_sink_({gq.query.id, window.start_ts, end_ts,
+                      acc.Finalize(gq.query.agg), events});
+      }
+    }
+  }
+}
+
+void StreamSlicer::FlushShippableSlice() {
+  if (have_unshipped_ && slice_sink_) slice_sink_(records_.back());
+  have_unshipped_ = false;
+}
+
+void StreamSlicer::CollectGarbage() {
+  if (!options_.keep_slices) {
+    records_.clear();
+    return;
+  }
+  uint64_t min_first = kMaxTimestamp;
+  for (const SpecState& st : specs_) {
+    if (!st.open.empty()) {
+      min_first = std::min(min_first, st.open.front().first_slice_id);
+    }
+  }
+  while (!records_.empty() && records_.front().id < min_first) {
+    records_.pop_front();
+  }
+}
+
+void StreamSlicer::Ingest(const Event& event) {
+  if (!initialized_) Initialize(event.ts);
+  last_seen_ts_ = std::max(last_seen_ts_, event.ts);
+  ProcessBoundariesUpTo(event.ts);
+
+  // Selection lanes: each lane evaluates its predicate; an event is folded
+  // into the shared operators once per matching lane.
+  bool matched = false;
+  matched_lanes_scratch_.clear();
+  for (uint32_t i = 0; i < group_.lanes.size(); ++i) {
+    ++stats_->selection_evals;
+    if (!group_.lanes[i].predicate.Matches(event)) continue;
+    if (group_.lanes[i].deduplicate) {
+      if (!dedup_sets_[i].insert(HashEvent(event)).second) continue;
+    }
+    matched_lanes_scratch_.push_back(i);
+    matched = true;
+  }
+
+  auto lane_matched = [&](int lane_filter) {
+    for (uint32_t lane : matched_lanes_scratch_) {
+      if (static_cast<int>(lane) == lane_filter) return true;
+    }
+    return false;
+  };
+
+  if (matched) {
+    // Session and user-defined windows open with the first matching event
+    // after inactivity; the current slice is cut first so the new window's
+    // slices contain no earlier events.
+    for (uint32_t lane : matched_lanes_scratch_) {
+      if (lane_session_idx_[lane] < 0) continue;
+      SessionLane& sl =
+          session_lanes_[static_cast<size_t>(lane_session_idx_[lane])];
+      if (sl.num_inactive > 0) {
+        SealCurrentSlice(event.ts);
+        for (size_t i = 0; i < sl.num_inactive; ++i) {
+          SpecState& st = specs_[sl.specs_by_gap[i]];
+          st.active = true;
+          st.open.push_back({event.ts, current_slice_id_});
+        }
+        sl.num_inactive = 0;
+      }
+    }
+    for (uint32_t si : ud_specs_) {
+      SpecState& st = specs_[si];
+      if (!st.active && lane_matched(st.lane_filter)) {
+        SealCurrentSlice(event.ts);
+        st.active = true;
+        st.open.push_back({event.ts, current_slice_id_});
+      }
+    }
+  }
+
+  for (uint32_t lane : matched_lanes_scratch_) {
+    stats_->operator_executions +=
+        static_cast<uint64_t>(current_lanes_[lane].Add(event.value));
+    ++current_lane_events_[lane];
+    ++lane_total_events_[lane];
+    current_lane_last_ts_[lane] = event.ts;
+  }
+
+  if (matched) {
+    current_last_event_ = event.ts;
+    for (uint32_t lane : matched_lanes_scratch_) {
+      if (!count_heaps_[lane].empty()) {
+        ProcessCountBoundaries(event.ts, lane);
+      }
+      if (lane_session_idx_[lane] >= 0) {
+        session_lanes_[static_cast<size_t>(lane_session_idx_[lane])]
+            .last_event = event.ts;
+      }
+    }
+    if ((event.marker & kWindowEnd) != 0) {
+      for (uint32_t si : ud_specs_) {
+        SpecState& st = specs_[si];
+        if (!st.active || !lane_matched(st.lane_filter)) continue;
+        const uint64_t last = SealCurrentSlice(event.ts);
+        SpecState::OpenWindow window = st.open.front();
+        st.open.pop_front();
+        CloseWindow(si, window, last, event.ts);
+        st.active = false;
+      }
+    }
+    if ((event.marker & kWindowStart) != 0) {
+      for (uint32_t si : ud_specs_) {
+        SpecState& st = specs_[si];
+        if (!st.active && lane_matched(st.lane_filter)) {
+          SealCurrentSlice(event.ts);
+          st.active = true;
+          st.open.push_back({event.ts, current_slice_id_});
+        }
+      }
+    }
+  }
+
+  FlushShippableSlice();
+  // Garbage collection scans every spec's open-window deque; amortize it.
+  if ((++gc_tick_ & 63u) == 0) CollectGarbage();
+}
+
+void StreamSlicer::AdvanceTo(Timestamp watermark) {
+  last_seen_ts_ = std::max(last_seen_ts_, watermark);
+  if (!initialized_) return;
+  ProcessBoundariesUpTo(watermark);
+  FlushShippableSlice();
+  CollectGarbage();
+}
+
+}  // namespace desis

@@ -1,0 +1,243 @@
+#ifndef DESIS_CORE_SLICER_H_
+#define DESIS_CORE_SLICER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/event.h"
+#include "core/operators.h"
+#include "core/query_analyzer.h"
+#include "core/stats.h"
+
+namespace desis {
+
+/// Marks a window that ended exactly at the end of a slice; shipped with
+/// slice partials so downstream nodes can terminate windows (§5.1).
+struct EpInfo {
+  uint32_t spec_idx = 0;
+  Timestamp window_start = 0;
+  Timestamp window_end = 0;
+};
+
+/// A sealed slice: the shared partial results of all events between two
+/// punctuations, one PartialAggregate per selection lane (§4.1).
+struct SliceRecord {
+  /// Auto-incrementing slice id (§5.1.1); ids are dense over non-empty
+  /// slices and used to match partials across nodes for fixed windows.
+  uint64_t id = 0;
+  Timestamp start = 0;
+  Timestamp end = 0;
+  /// Timestamp of the last event folded into this slice (kNoTimestamp when
+  /// empty); carried for distributed session-gap tracking (§5.1.2).
+  Timestamp last_event_ts = kNoTimestamp;
+  std::vector<PartialAggregate> lanes;
+  std::vector<uint64_t> lane_events;
+  /// Per-lane timestamp of the last matching event (session windows are
+  /// lane-scoped: a query's gap is measured on its own selection).
+  std::vector<Timestamp> lane_last_ts;
+  /// Windows that ended at `end` (used by user-defined windows downstream).
+  std::vector<EpInfo> eps;
+
+  uint64_t TotalEvents() const {
+    uint64_t total = 0;
+    for (uint64_t n : lane_events) total += n;
+    return total;
+  }
+};
+
+using SliceSink = std::function<void(const SliceRecord&)>;
+using WindowSink = std::function<void(const WindowResult&)>;
+/// Receives the merged (not yet finalized) operator states of a closing
+/// window; used by systems that ship per-window partial results upstream
+/// (the Disco baseline, §5).
+using WindowPartialSink =
+    std::function<void(QueryId, Timestamp window_start, Timestamp window_end,
+                       const PartialAggregate&, uint64_t events)>;
+
+/// How window boundaries are detected. Desis precomputes upcoming
+/// punctuations in a priority queue ("calculate window ends in advance",
+/// §6.2.1); the DeSW/Scotty baselines re-check every window spec on each
+/// arriving event.
+enum class PunctuationStrategy : uint8_t {
+  kPrecomputed = 0,
+  kPerEventScan,
+};
+
+struct SlicerOptions {
+  PunctuationStrategy punctuation = PunctuationStrategy::kPrecomputed;
+  /// Assemble and emit final window results on this node. Disabled on
+  /// decentralized local/intermediate nodes, which only ship slice partials.
+  bool assemble_windows = true;
+  /// Retain sealed slices for window assembly. Disabled together with
+  /// assemble_windows so local nodes keep no slice history.
+  bool keep_slices = true;
+};
+
+/// Stream slicer + window merger for one query-group: cuts the stream into
+/// slices at start/end punctuations, folds each event into the group's
+/// shared operators once per matching lane, and assembles window results
+/// from slice partials when end punctuations fire (§4).
+class StreamSlicer {
+ public:
+  StreamSlicer(QueryGroup group, SlicerOptions options, EngineStats* stats);
+
+  StreamSlicer(const StreamSlicer&) = delete;
+  StreamSlicer& operator=(const StreamSlicer&) = delete;
+
+  void set_window_sink(WindowSink sink) { window_sink_ = std::move(sink); }
+  void set_slice_sink(SliceSink sink) { slice_sink_ = std::move(sink); }
+  /// When set, closing windows emit merged partials through this sink
+  /// instead of finalized results.
+  void set_window_partial_sink(WindowPartialSink sink) {
+    window_partial_sink_ = std::move(sink);
+  }
+
+  /// Processes one event (non-decreasing ts order).
+  void Ingest(const Event& event);
+
+  /// Advances event time, firing punctuations at or before `watermark`.
+  void AdvanceTo(Timestamp watermark);
+
+  const QueryGroup& group() const { return group_; }
+
+  /// Marks a query's results as suppressed (runtime query removal, §3.2).
+  /// Returns false if the id is not in this group.
+  bool SuppressQuery(QueryId id);
+  /// Number of queries still active (not suppressed).
+  size_t active_queries() const { return group_.queries.size() - suppressed_.size(); }
+
+  /// Largest window extent over the group's fixed-size windows, in
+  /// microseconds; used by callers to pick a final flush watermark.
+  Timestamp MaxFixedWindowExtent() const;
+
+  /// The timestamp up to which everything has been sealed (and shipped via
+  /// the slice sink): decentralized nodes must advertise this — not the raw
+  /// processed timestamp — as their watermark, or the root would terminate
+  /// windows while events still sit in an unsealed slice (§5.1.2).
+  Timestamp SafeWatermark() const {
+    bool current_empty = true;
+    for (uint64_t n : current_lane_events_) current_empty &= (n == 0);
+    return current_empty ? last_seen_ts_ : current_slice_start_;
+  }
+
+ private:
+  // One distinct WindowSpec in the group. Queries with identical specs
+  // share punctuations, open-window bookkeeping, and assembly.
+  struct SpecState {
+    WindowSpec spec;
+    std::vector<uint32_t> query_idxs;  // indices into group_.queries
+    // Session, user-defined and count windows are scoped to one selection
+    // lane (their boundaries depend on which events match); fixed time
+    // windows are lane-independent (-1).
+    int lane_filter = -1;
+    struct OpenWindow {
+      Timestamp start_ts;
+      uint64_t first_slice_id;
+    };
+    std::deque<OpenWindow> open;
+    // Time-based fixed windows: next scheduled punctuations.
+    Timestamp next_sp = kNoTimestamp;
+    Timestamp next_ep = kNoTimestamp;
+    // Session / user-defined window state.
+    bool active = false;
+  };
+
+  // All session specs selecting the same lane share that lane's activity:
+  // their deadlines are `lane_last_event + gap`, so keeping the specs
+  // sorted by gap gives O(1) next-deadline lookups regardless of how many
+  // session queries run (the inactive ones form the sorted prefix).
+  struct SessionLane {
+    uint32_t lane = 0;
+    std::vector<uint32_t> specs_by_gap;  // ascending gap
+    size_t num_inactive = 0;             // prefix [0, num_inactive) closed
+    Timestamp last_event = kNoTimestamp;
+  };
+
+  struct CountBoundary {
+    uint64_t count;
+    uint8_t kind;  // 0 = ep, 1 = sp
+    uint32_t spec_idx;
+    bool operator>(const CountBoundary& other) const {
+      if (count != other.count) return count > other.count;
+      return kind > other.kind;
+    }
+  };
+
+  struct Boundary {
+    Timestamp ts;
+    uint8_t kind;  // 0 = ep, 1 = sp (eps processed first at equal ts)
+    uint32_t spec_idx;
+    bool operator>(const Boundary& other) const {
+      if (ts != other.ts) return ts > other.ts;
+      return kind > other.kind;
+    }
+  };
+
+  void Initialize(Timestamp first_ts);
+  void ScheduleInitial(uint32_t spec_idx, Timestamp first_ts);
+  // Fires all time-based punctuations (incl. session deadlines) <= limit.
+  void ProcessBoundariesUpTo(Timestamp limit);
+  void ProcessEp(uint32_t spec_idx, Timestamp ts);
+  void ProcessSp(uint32_t spec_idx, Timestamp ts);
+  void ProcessSessionEnd(uint32_t spec_idx, Timestamp deadline);
+  void ProcessCountBoundaries(Timestamp now, uint32_t lane);
+  // Seals the current slice at `end_ts`; returns the id of the last sealed
+  // slice (the fresh current slice gets the next id). Empty slices leave no
+  // record.
+  uint64_t SealCurrentSlice(Timestamp end_ts);
+  void CloseWindow(uint32_t spec_idx, SpecState::OpenWindow window,
+                   uint64_t last_slice_id, Timestamp end_ts);
+  void FlushShippableSlice();
+  void CollectGarbage();
+
+  QueryGroup group_;
+  SlicerOptions options_;
+  EngineStats* stats_;
+  WindowSink window_sink_;
+  SliceSink slice_sink_;
+  WindowPartialSink window_partial_sink_;
+
+  std::vector<SpecState> specs_;
+  std::vector<SessionLane> session_lanes_;
+  std::vector<int> lane_session_idx_;  // lane -> session_lanes_ index or -1
+  std::vector<uint32_t> ud_specs_;
+  // Per-lane count-window trigger heaps (lane-local event counts).
+  std::vector<
+      std::priority_queue<CountBoundary, std::vector<CountBoundary>,
+                          std::greater<CountBoundary>>>
+      count_heaps_;
+  uint64_t gc_tick_ = 0;
+  std::vector<uint32_t> count_specs_;  // spec indices with count measure
+  bool initialized_ = false;
+
+  // Precomputed-punctuation heap (Desis) — unused under kPerEventScan.
+  std::priority_queue<Boundary, std::vector<Boundary>, std::greater<Boundary>>
+      boundary_heap_;
+
+  // Current (open) slice.
+  uint64_t current_slice_id_ = 0;
+  Timestamp current_slice_start_ = kNoTimestamp;
+  Timestamp current_last_event_ = kNoTimestamp;
+  std::vector<PartialAggregate> current_lanes_;
+  std::vector<uint64_t> current_lane_events_;
+  std::vector<std::unordered_set<uint64_t>> dedup_sets_;
+  bool any_dedup_ = false;
+
+  // Sealed slices retained for assembly; front().id is the base id.
+  std::deque<SliceRecord> records_;
+  bool have_unshipped_ = false;
+
+  std::vector<uint64_t> lane_total_events_;
+  std::vector<Timestamp> current_lane_last_ts_;
+  Timestamp last_seen_ts_ = kNoTimestamp;
+  std::unordered_set<QueryId> suppressed_;
+  std::vector<uint32_t> matched_lanes_scratch_;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_SLICER_H_

@@ -1,0 +1,39 @@
+#ifndef DESIS_CORE_STATS_H_
+#define DESIS_CORE_STATS_H_
+
+#include <cstdint>
+
+namespace desis {
+
+/// Work counters maintained by every engine (Desis and baselines alike).
+/// These back the paper's "number of slices" (Fig 8b/8d) and "number of
+/// calculations" (Fig 9b/9d/9f) plots.
+struct EngineStats {
+  /// Events ingested.
+  uint64_t events = 0;
+  /// Per-event aggregation operator executions (one increment per operator
+  /// state an event was folded into).
+  uint64_t operator_executions = 0;
+  /// Slices (or, for non-slicing systems, window buffers/buckets) created.
+  uint64_t slices_created = 0;
+  /// Window results emitted.
+  uint64_t windows_fired = 0;
+  /// Selection-predicate evaluations.
+  uint64_t selection_evals = 0;
+  /// Partial-result merge operations (window assembly / upstream merging).
+  uint64_t merges = 0;
+
+  EngineStats& operator+=(const EngineStats& other) {
+    events += other.events;
+    operator_executions += other.operator_executions;
+    slices_created += other.slices_created;
+    windows_fired += other.windows_fired;
+    selection_evals += other.selection_evals;
+    merges += other.merges;
+    return *this;
+  }
+};
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_STATS_H_

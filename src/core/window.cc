@@ -1,0 +1,74 @@
+#include "core/window.h"
+
+#include <sstream>
+
+namespace desis {
+
+Status WindowSpec::Validate() const {
+  switch (type) {
+    case WindowType::kTumbling:
+      if (length <= 0) {
+        return Status::InvalidArgument("tumbling window needs length > 0");
+      }
+      if (slide != length) {
+        return Status::InvalidArgument("tumbling window must have slide == length");
+      }
+      break;
+    case WindowType::kSliding:
+      if (length <= 0 || slide <= 0) {
+        return Status::InvalidArgument("sliding window needs length, slide > 0");
+      }
+      if (slide > length) {
+        return Status::InvalidArgument(
+            "sliding window with slide > length has gaps; use tumbling");
+      }
+      break;
+    case WindowType::kSession:
+      if (measure != WindowMeasure::kTime) {
+        return Status::InvalidArgument("session windows are time-based");
+      }
+      if (gap <= 0) {
+        return Status::InvalidArgument("session window needs gap > 0");
+      }
+      break;
+    case WindowType::kUserDefined:
+      if (measure != WindowMeasure::kTime) {
+        return Status::InvalidArgument("user-defined windows are time-based");
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+std::string WindowSpec::ToString() const {
+  std::ostringstream out;
+  out << desis::ToString(type) << "(" << desis::ToString(measure);
+  if (type == WindowType::kSession) {
+    out << ", gap=" << gap;
+  } else if (type != WindowType::kUserDefined) {
+    out << ", length=" << length;
+    if (type == WindowType::kSliding) out << ", slide=" << slide;
+  }
+  out << ")";
+  return out.str();
+}
+
+std::string ToString(WindowType type) {
+  switch (type) {
+    case WindowType::kTumbling: return "tumbling";
+    case WindowType::kSliding: return "sliding";
+    case WindowType::kSession: return "session";
+    case WindowType::kUserDefined: return "user_defined";
+  }
+  return "unknown";
+}
+
+std::string ToString(WindowMeasure measure) {
+  switch (measure) {
+    case WindowMeasure::kTime: return "time";
+    case WindowMeasure::kCount: return "count";
+  }
+  return "unknown";
+}
+
+}  // namespace desis

@@ -1,0 +1,77 @@
+#ifndef DESIS_CORE_WINDOW_H_
+#define DESIS_CORE_WINDOW_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/event.h"
+#include "common/status.h"
+
+namespace desis {
+
+/// Window types from the Dataflow model plus user-defined windows (§2.1).
+enum class WindowType : uint8_t {
+  kTumbling = 0,
+  kSliding,
+  kSession,
+  kUserDefined,
+};
+
+/// How window extents are measured (§2.1): by event time or event count.
+enum class WindowMeasure : uint8_t {
+  kTime = 0,
+  kCount,
+};
+
+/// A window definition. `length`/`slide` are microseconds for time measure
+/// and event counts for count measure; `gap` (sessions) is always time.
+struct WindowSpec {
+  WindowType type = WindowType::kTumbling;
+  WindowMeasure measure = WindowMeasure::kTime;
+  int64_t length = 0;
+  int64_t slide = 0;
+  Timestamp gap = 0;
+
+  /// Time-based tumbling window of `length` microseconds.
+  static WindowSpec Tumbling(int64_t length) {
+    return {WindowType::kTumbling, WindowMeasure::kTime, length, length, 0};
+  }
+  /// Time-based sliding window: `length` long, advancing every `slide`.
+  static WindowSpec Sliding(int64_t length, int64_t slide) {
+    return {WindowType::kSliding, WindowMeasure::kTime, length, slide, 0};
+  }
+  /// Session window closed by `gap` microseconds of inactivity.
+  static WindowSpec Session(Timestamp gap) {
+    return {WindowType::kSession, WindowMeasure::kTime, 0, 0, gap};
+  }
+  /// Window delimited by kWindowStart / kWindowEnd marker events.
+  static WindowSpec UserDefined() {
+    return {WindowType::kUserDefined, WindowMeasure::kTime, 0, 0, 0};
+  }
+  /// Count-based tumbling window of `count` events.
+  static WindowSpec CountTumbling(int64_t count) {
+    return {WindowType::kTumbling, WindowMeasure::kCount, count, count, 0};
+  }
+  /// Count-based sliding window: `count` events, advancing every `slide`.
+  static WindowSpec CountSliding(int64_t count, int64_t slide) {
+    return {WindowType::kSliding, WindowMeasure::kCount, count, slide, 0};
+  }
+
+  /// True for tumbling/sliding windows, whose punctuations are computable
+  /// in advance; false for session/user-defined ("unfixed-sized", §5.1.2).
+  bool IsFixedSize() const {
+    return type == WindowType::kTumbling || type == WindowType::kSliding;
+  }
+
+  Status Validate() const;
+  std::string ToString() const;
+
+  friend bool operator==(const WindowSpec&, const WindowSpec&) = default;
+};
+
+std::string ToString(WindowType type);
+std::string ToString(WindowMeasure measure);
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_WINDOW_H_

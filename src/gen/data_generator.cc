@@ -1,0 +1,37 @@
+#include "gen/data_generator.h"
+
+namespace desis {
+
+Event DataGenerator::Next() {
+  Event e;
+  // Event time advances by U[1, 2*mean) so multiple streams with different
+  // seeds stay loosely aligned without being identical.
+  ts_ += rng_.NextInRange(1, 2 * config_.mean_interval - 1);
+  e.ts = ts_;
+  e.key = static_cast<uint32_t>(rng_.NextBounded(config_.num_keys));
+  // DEBS-2013-like speed values: 85% moderate (triangular around ~50 km/h),
+  // 15% sprints (uniform up to 200 km/h).
+  if (rng_.NextBool(0.85)) {
+    e.value = 0.5 * (rng_.NextDouble() + rng_.NextDouble()) * 100.0;
+  } else {
+    e.value = rng_.NextDouble() * 200.0;
+  }
+  e.marker = kNoMarker;
+  if (config_.marker_probability > 0 &&
+      rng_.NextBool(config_.marker_probability)) {
+    e.marker = kWindowEnd | kWindowStart;
+  }
+  if (config_.gap_probability > 0 && rng_.NextBool(config_.gap_probability)) {
+    ts_ += config_.gap_length;
+  }
+  return e;
+}
+
+std::vector<Event> DataGenerator::Take(size_t count) {
+  std::vector<Event> events;
+  events.reserve(count);
+  for (size_t i = 0; i < count; ++i) events.push_back(Next());
+  return events;
+}
+
+}  // namespace desis

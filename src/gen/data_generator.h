@@ -1,0 +1,53 @@
+#ifndef DESIS_GEN_DATA_GENERATOR_H_
+#define DESIS_GEN_DATA_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/event.h"
+#include "common/rng.h"
+
+namespace desis {
+
+/// Configuration of the synthetic stream generator (§6.1.2). Values follow
+/// the shape of the DEBS 2013 grand-challenge data (player speed readings):
+/// mostly moderate values with occasional sprints.
+struct DataGeneratorConfig {
+  /// Number of distinct event keys (sensors).
+  uint32_t num_keys = 10;
+  /// Mean event-time spacing between events, in microseconds.
+  Timestamp mean_interval = 10;
+  /// Probability that an event carries a user-defined end+start marker
+  /// ("trip done"); 0 disables markers.
+  double marker_probability = 0.0;
+  /// Probability of a burst pause (session gap) after an event, and its
+  /// length; 0 disables gaps.
+  double gap_probability = 0.0;
+  Timestamp gap_length = 0;
+  uint64_t seed = 1;
+};
+
+/// Deterministic synthetic data stream with non-decreasing timestamps.
+class DataGenerator {
+ public:
+  explicit DataGenerator(DataGeneratorConfig config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Produces the next event (event time advances by ~mean_interval).
+  Event Next();
+
+  /// Produces `count` consecutive events.
+  std::vector<Event> Take(size_t count);
+
+  Timestamp now() const { return ts_; }
+
+ private:
+  DataGeneratorConfig config_;
+  Rng rng_;
+  Timestamp ts_ = 0;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_GEN_DATA_GENERATOR_H_

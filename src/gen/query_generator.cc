@@ -1,0 +1,67 @@
+#include "gen/query_generator.h"
+
+namespace desis {
+
+Query QueryGenerator::Next() {
+  Query q;
+  q.id = next_id_++;
+
+  const WindowType type = config_.window_types[static_cast<size_t>(
+      rng_.NextBounded(config_.window_types.size()))];
+  switch (type) {
+    case WindowType::kTumbling:
+    case WindowType::kSliding: {
+      if (config_.count_measure_probability > 0 &&
+          rng_.NextBool(config_.count_measure_probability)) {
+        const int64_t count =
+            rng_.NextInRange(config_.min_count, config_.max_count);
+        q.window = type == WindowType::kTumbling
+                       ? WindowSpec::CountTumbling(count)
+                       : WindowSpec::CountSliding(
+                             count, std::max<int64_t>(
+                                        1, count / config_.slide_divisor));
+      } else {
+        const Timestamp length =
+            rng_.NextInRange(config_.min_length, config_.max_length);
+        q.window = type == WindowType::kTumbling
+                       ? WindowSpec::Tumbling(length)
+                       : WindowSpec::Sliding(
+                             length, std::max<Timestamp>(
+                                         1, length / config_.slide_divisor));
+      }
+      break;
+    }
+    case WindowType::kSession:
+      q.window = WindowSpec::Session(
+          rng_.NextInRange(config_.min_gap, config_.max_gap));
+      break;
+    case WindowType::kUserDefined:
+      q.window = WindowSpec::UserDefined();
+      break;
+  }
+
+  const AggregationFunction fn = config_.functions[static_cast<size_t>(
+      rng_.NextBounded(config_.functions.size()))];
+  q.agg.fn = fn;
+  if (fn == AggregationFunction::kQuantile) {
+    // Quantile parameters distributed over (0, 1) — the paper draws
+    // "quantile values from 1 to 1000" (Fig 9c), i.e. permille points.
+    q.agg.quantile =
+        static_cast<double>(rng_.NextInRange(1, 1000)) / 1001.0;
+  }
+
+  if (config_.num_keys > 0) {
+    q.predicate = Predicate::KeyEquals(
+        static_cast<uint32_t>(rng_.NextBounded(config_.num_keys)));
+  }
+  return q;
+}
+
+std::vector<Query> QueryGenerator::Take(size_t count) {
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) queries.push_back(Next());
+  return queries;
+}
+
+}  // namespace desis

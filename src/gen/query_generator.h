@@ -1,0 +1,58 @@
+#ifndef DESIS_GEN_QUERY_GENERATOR_H_
+#define DESIS_GEN_QUERY_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/query.h"
+
+namespace desis {
+
+/// Configuration of the random query generator (§6.1.2): mixes of window
+/// types, measures, aggregation functions, keys, and window lengths.
+struct QueryGeneratorConfig {
+  /// Keys queries may select on; 0 = all queries use Predicate::All().
+  uint32_t num_keys = 0;
+  /// Window length range [min, max], microseconds (uniform).
+  Timestamp min_length = 1 * kSecond;
+  Timestamp max_length = 10 * kSecond;
+  /// Candidate window types; queries draw uniformly.
+  std::vector<WindowType> window_types = {WindowType::kTumbling};
+  /// Probability of a count-based measure (fixed windows only).
+  double count_measure_probability = 0.0;
+  /// Count window length range (events) when count measure is drawn.
+  int64_t min_count = 1000;
+  int64_t max_count = 100000;
+  /// Candidate aggregation functions; queries draw uniformly.
+  std::vector<AggregationFunction> functions = {AggregationFunction::kAverage};
+  /// Session gap range when kSession is drawn.
+  Timestamp min_gap = 100 * kMillisecond;
+  Timestamp max_gap = 1 * kSecond;
+  /// Sliding windows use slide = length / slide_divisor.
+  int64_t slide_divisor = 5;
+  uint64_t seed = 1;
+};
+
+/// Generates arbitrary query mixes deterministically.
+class QueryGenerator {
+ public:
+  explicit QueryGenerator(QueryGeneratorConfig config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Produces the next query with a fresh id.
+  Query Next();
+
+  /// Produces `count` queries.
+  std::vector<Query> Take(size_t count);
+
+ private:
+  QueryGeneratorConfig config_;
+  Rng rng_;
+  QueryId next_id_ = 1;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_GEN_QUERY_GENERATOR_H_

@@ -1,0 +1,273 @@
+#include "net/cluster.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "baselines/ce_buffer.h"
+#include "baselines/de_sw.h"
+#include "net/desis_nodes.h"
+#include "net/disco_nodes.h"
+#include "net/forward_nodes.h"
+
+namespace desis {
+
+std::string ToString(ClusterSystem system) {
+  switch (system) {
+    case ClusterSystem::kDesis: return "Desis";
+    case ClusterSystem::kDisco: return "Disco";
+    case ClusterSystem::kScotty: return "Scotty";
+    case ClusterSystem::kCeBuffer: return "CeBuffer";
+  }
+  return "unknown";
+}
+
+Cluster::Cluster(ClusterSystem system, ClusterTopology topology)
+    : system_(system), topology_(topology) {}
+
+Cluster::~Cluster() = default;
+
+void Cluster::set_sink(WindowSink sink) { sink_ = std::move(sink); }
+
+Status Cluster::Configure(const std::vector<Query>& queries) {
+  if (configured_) return Status::Internal("cluster already configured");
+  if (topology_.num_locals < 1) {
+    return Status::InvalidArgument("need at least one local node");
+  }
+  if (topology_.intermediate_layers < 1) {
+    return Status::InvalidArgument("need at least one intermediate layer");
+  }
+  for (const Query& q : queries) {
+    if (auto s = q.Validate(); !s.ok()) return s;
+  }
+
+  uint32_t next_id = 0;
+  auto sink = [this](const WindowResult& r) {
+    ++results_;
+    if (sink_) sink_(r);
+  };
+
+  // Per-system node factories; the topology wiring below is shared.
+  std::function<std::unique_ptr<Node>(uint32_t)> make_intermediate;
+  std::function<std::unique_ptr<Node>(uint32_t)> make_local;
+
+  switch (system_) {
+    case ClusterSystem::kDesis: {
+      QueryAnalyzer analyzer(DeploymentMode::kDecentralized,
+                             SharingPolicy::kCrossFunction);
+      auto groups = analyzer.Analyze(queries);
+      if (!groups.ok()) return groups.status();
+      desis_groups_ = groups.value();
+      auto root = std::make_unique<DesisRootNode>(next_id++, desis_groups_);
+      root->set_sink(sink);
+      root_raw_ = root.get();
+      nodes_.push_back(std::move(root));
+      make_intermediate = [](uint32_t id) {
+        return std::make_unique<DesisIntermediateNode>(id);
+      };
+      make_local = [this](uint32_t id) {
+        return std::make_unique<DesisLocalNode>(id, desis_groups_);
+      };
+      break;
+    }
+    case ClusterSystem::kDisco: {
+      auto root = std::make_unique<DiscoRootNode>(next_id++, queries);
+      root->set_sink(sink);
+      root_raw_ = root.get();
+      nodes_.push_back(std::move(root));
+      make_intermediate = [](uint32_t id) {
+        return std::make_unique<DiscoIntermediateNode>(id);
+      };
+      make_local = [queries](uint32_t id) {
+        return std::make_unique<DiscoLocalNode>(id, queries);
+      };
+      break;
+    }
+    case ClusterSystem::kScotty:
+    case ClusterSystem::kCeBuffer: {
+      std::unique_ptr<StreamEngine> engine;
+      if (system_ == ClusterSystem::kScotty) {
+        engine = std::make_unique<ScottyEngine>();
+      } else {
+        engine = std::make_unique<CeBufferEngine>();
+      }
+      if (auto s = engine->Configure(queries); !s.ok()) return s;
+      engine->set_sink(sink);
+      auto root = std::make_unique<EngineRootNode>(next_id++, std::move(engine));
+      root_raw_ = root.get();
+      nodes_.push_back(std::move(root));
+      make_intermediate = [](uint32_t id) {
+        return std::make_unique<RelayIntermediateNode>(id);
+      };
+      make_local = [](uint32_t id) {
+        return std::make_unique<ForwardingLocalNode>(id);
+      };
+      break;
+    }
+  }
+
+  // Intermediate layers, top (attached to root) to bottom.
+  std::vector<Node*> layer_above = {root_raw_};
+  for (int layer = 0;
+       layer < (topology_.num_intermediates > 0 ? topology_.intermediate_layers : 0);
+       ++layer) {
+    std::vector<Node*> this_layer;
+    for (int i = 0; i < topology_.num_intermediates; ++i) {
+      auto node = make_intermediate(next_id++);
+      this_layer.push_back(node.get());
+      intermediates_raw_.push_back(node.get());
+      layer_above[static_cast<size_t>(i) % layer_above.size()]->AttachChild(
+          node.get());
+      nodes_.push_back(std::move(node));
+    }
+    layer_above = std::move(this_layer);
+  }
+
+  for (int i = 0; i < topology_.num_locals; ++i) {
+    auto node = make_local(next_id++);
+    locals_.push_back(dynamic_cast<LocalIngest*>(node.get()));
+    locals_raw_.push_back(node.get());
+    layer_above[static_cast<size_t>(i) % layer_above.size()]->AttachChild(
+        node.get());
+    nodes_.push_back(std::move(node));
+  }
+
+  local_removed_.assign(locals_.size(), false);
+  local_last_advance_.assign(locals_.size(), kNoTimestamp);
+  next_node_id_ = next_id;
+  next_group_id_ = 0;
+  for (const QueryGroup& g : desis_groups_) {
+    next_group_id_ = std::max(next_group_id_, g.id + 1);
+  }
+  configured_ = true;
+  return Status::OK();
+}
+
+Node* Cluster::ParentForLocal(size_t ordinal) const {
+  if (intermediates_raw_.empty()) return root_raw_;
+  // The bottom layer holds the last num_intermediates entries.
+  const size_t n = static_cast<size_t>(topology_.num_intermediates);
+  const size_t bottom_begin = intermediates_raw_.size() - n;
+  return intermediates_raw_[bottom_begin + ordinal % n];
+}
+
+void Cluster::AdvanceAt(int local_idx, Timestamp watermark) {
+  if (local_removed_[static_cast<size_t>(local_idx)]) return;
+  local_last_advance_[static_cast<size_t>(local_idx)] = watermark;
+  locals_[static_cast<size_t>(local_idx)]->Advance(watermark);
+}
+
+Result<int> Cluster::AddLocalNode() {
+  if (system_ != ClusterSystem::kDesis) {
+    return Status::Unsupported("runtime membership requires the Desis system");
+  }
+  auto node = std::make_unique<DesisLocalNode>(next_node_id_++, desis_groups_);
+  const int local_idx = static_cast<int>(locals_.size());
+  locals_.push_back(node.get());
+  locals_raw_.push_back(node.get());
+  local_removed_.push_back(false);
+  local_last_advance_.push_back(kNoTimestamp);
+  ParentForLocal(static_cast<size_t>(local_idx))->AttachChild(node.get());
+  nodes_.push_back(std::move(node));
+  ++topology_.num_locals;
+  return local_idx;
+}
+
+Status Cluster::RemoveLocalNode(int local_idx) {
+  if (system_ != ClusterSystem::kDesis) {
+    return Status::Unsupported("runtime membership requires the Desis system");
+  }
+  if (local_idx < 0 || static_cast<size_t>(local_idx) >= locals_.size()) {
+    return Status::NotFound("no such local node");
+  }
+  if (local_removed_[static_cast<size_t>(local_idx)]) {
+    return Status::NotFound("local node already removed");
+  }
+  local_removed_[static_cast<size_t>(local_idx)] = true;
+  Node* node = locals_raw_[static_cast<size_t>(local_idx)];
+  node->parent()->DetachChild(node->child_index_at_parent());
+  return Status::OK();
+}
+
+std::vector<int> Cluster::RemoveSilentLocals(Timestamp min_watermark) {
+  std::vector<int> removed;
+  for (size_t i = 0; i < locals_.size(); ++i) {
+    if (local_removed_[i]) continue;
+    if (local_last_advance_[i] == kNoTimestamp ||
+        local_last_advance_[i] < min_watermark) {
+      if (RemoveLocalNode(static_cast<int>(i)).ok()) {
+        removed.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return removed;
+}
+
+Status Cluster::AddQuery(const Query& query) {
+  if (system_ != ClusterSystem::kDesis) {
+    return Status::Unsupported("runtime queries require the Desis system");
+  }
+  if (auto s = query.Validate(); !s.ok()) return s;
+  for (const QueryGroup& g : desis_groups_) {
+    for (const GroupedQuery& gq : g.queries) {
+      if (gq.query.id == query.id) {
+        return Status::AlreadyExists("query id already registered");
+      }
+    }
+  }
+  QueryAnalyzer analyzer(DeploymentMode::kDecentralized,
+                         SharingPolicy::kCrossFunction);
+  auto groups = analyzer.Analyze({query});
+  if (!groups.ok()) return groups.status();
+  for (QueryGroup& g : groups.value()) g.id = next_group_id_++;
+  // Distribute the new window attributes to every node (§3.2).
+  static_cast<DesisRootNode*>(root_raw_)->AddGroups(groups.value());
+  for (size_t i = 0; i < locals_raw_.size(); ++i) {
+    if (local_removed_[i]) continue;
+    static_cast<DesisLocalNode*>(locals_raw_[i])->AddGroups(groups.value());
+  }
+  for (QueryGroup& g : groups.value()) {
+    desis_groups_.push_back(std::move(g));
+  }
+  return Status::OK();
+}
+
+Status Cluster::RemoveQuery(QueryId id) {
+  if (system_ != ClusterSystem::kDesis) {
+    return Status::Unsupported("runtime queries require the Desis system");
+  }
+  return static_cast<DesisRootNode*>(root_raw_)->SuppressQuery(id);
+}
+
+void Cluster::IngestAt(int local_idx, const Event* events, size_t count) {
+  locals_[static_cast<size_t>(local_idx)]->IngestBatch(events, count);
+}
+
+void Cluster::Advance(Timestamp watermark) {
+  for (size_t i = 0; i < locals_.size(); ++i) {
+    if (!local_removed_[i]) AdvanceAt(static_cast<int>(i), watermark);
+  }
+}
+
+uint64_t Cluster::BytesSentByRole(NodeRole role) const {
+  uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    if (node->role() == role) total += node->net_stats().bytes_sent;
+  }
+  return total;
+}
+
+int64_t Cluster::MaxBusyNsByRole(NodeRole role) const {
+  int64_t max_ns = 0;
+  for (const auto& node : nodes_) {
+    if (node->role() == role) max_ns = std::max(max_ns, node->busy_ns());
+  }
+  return max_ns;
+}
+
+int64_t Cluster::MaxBusyNs() const {
+  int64_t max_ns = 0;
+  for (const auto& node : nodes_) max_ns = std::max(max_ns, node->busy_ns());
+  return max_ns;
+}
+
+}  // namespace desis

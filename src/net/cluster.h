@@ -1,0 +1,135 @@
+#ifndef DESIS_NET_CLUSTER_H_
+#define DESIS_NET_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine_iface.h"
+#include "core/query.h"
+#include "net/node.h"
+
+namespace desis {
+
+/// Which system the simulated cluster runs (§6.1.1).
+enum class ClusterSystem : uint8_t {
+  kDesis = 0,    // decentralized, slice partials, cross-function sharing
+  kDisco,        // decentralized, per-window partials, string wire format
+  kScotty,       // centralized: raw events to the root, Scotty engine there
+  kCeBuffer,     // centralized: raw events to the root, CeBuffer there
+};
+
+std::string ToString(ClusterSystem system);
+
+/// Topology shape: `num_locals` leaf nodes attached round-robin to
+/// `num_intermediates` intermediate nodes (0 = attach directly to the
+/// root), intermediates attached to the single root (§2.4). With
+/// `intermediate_layers` > 1, the intermediates form a chain of layers —
+/// the "multiple hops between edge devices and the data center" the paper
+/// studies (§6.4.1): locals attach to the lowest layer, each layer
+/// forwards/merges into the one above, the top layer feeds the root.
+struct ClusterTopology {
+  int num_locals = 1;
+  int num_intermediates = 1;
+  int intermediate_layers = 1;
+};
+
+/// A deterministic in-process decentralized cluster: builds the topology,
+/// deploys the chosen system on it, counts every byte crossing a link, and
+/// meters per-node CPU busy time (see DESIGN.md for the pipeline throughput
+/// model derived from these meters).
+class Cluster {
+ public:
+  Cluster(ClusterSystem system, ClusterTopology topology);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Deploys the query set on all nodes. Call once before ingesting.
+  Status Configure(const std::vector<Query>& queries);
+
+  /// Final results (root emission) callback.
+  void set_sink(WindowSink sink);
+
+  /// Feeds events (non-decreasing ts per local) into local `local_idx`.
+  void IngestAt(int local_idx, const Event* events, size_t count);
+
+  /// Advances every active local's watermark (propagates to the root).
+  void Advance(Timestamp watermark);
+
+  /// Advances a single local's watermark (per-node drivers, §3.2).
+  void AdvanceAt(int local_idx, Timestamp watermark);
+
+  // --- Runtime membership and query management (§3.2, Desis system only) --
+
+  /// Joins a new local node to the cluster; returns its local index. The
+  /// node starts windowing with its first event.
+  Result<int> AddLocalNode();
+
+  /// Removes a local node from the membership; upstream nodes stop waiting
+  /// for its watermarks immediately.
+  Status RemoveLocalNode(int local_idx);
+
+  /// Removes every local whose last advanced watermark is below
+  /// `min_watermark` (the connection-timeout sweep); returns the removed
+  /// local indices so callers can inform users.
+  std::vector<int> RemoveSilentLocals(Timestamp min_watermark);
+
+  /// Registers a new query on every node at runtime.
+  Status AddQuery(const Query& query);
+
+  /// Stops a running query's result emission.
+  Status RemoveQuery(QueryId id);
+
+  bool local_active(int local_idx) const {
+    return !local_removed_[static_cast<size_t>(local_idx)];
+  }
+
+  ClusterSystem system() const { return system_; }
+  const ClusterTopology& topology() const { return topology_; }
+  uint64_t results() const { return results_; }
+
+  int num_locals() const { return topology_.num_locals; }
+  int num_intermediates() const { return topology_.num_intermediates; }
+
+  const NodeStats& local_stats(int i) const { return locals_raw_[i]->net_stats(); }
+  const NodeStats& intermediate_stats(int i) const {
+    return intermediates_raw_[i]->net_stats();
+  }
+  const NodeStats& root_stats() const { return root_raw_->net_stats(); }
+
+  /// Aggregate network bytes sent by all nodes of a role (the paper's
+  /// per-role network overhead, Fig 11).
+  uint64_t BytesSentByRole(NodeRole role) const;
+
+  /// Maximum busy time over the nodes of a role, and over all nodes — the
+  /// pipeline bottleneck (wall time if nodes ran concurrently).
+  int64_t MaxBusyNsByRole(NodeRole role) const;
+  int64_t MaxBusyNs() const;
+
+ private:
+  Node* ParentForLocal(size_t ordinal) const;
+
+  ClusterSystem system_;
+  ClusterTopology topology_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // owns everything
+  std::vector<LocalIngest*> locals_;
+  std::vector<Node*> locals_raw_;
+  std::vector<bool> local_removed_;
+  std::vector<Timestamp> local_last_advance_;
+  std::vector<Node*> intermediates_raw_;
+  Node* root_raw_ = nullptr;
+  WindowSink sink_;
+  uint64_t results_ = 0;
+  bool configured_ = false;
+  // Desis runtime state (for AddLocalNode / AddQuery).
+  std::vector<QueryGroup> desis_groups_;
+  uint32_t next_node_id_ = 0;
+  uint32_t next_group_id_ = 0;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_NET_CLUSTER_H_

@@ -1,0 +1,324 @@
+#include "net/desis_nodes.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace desis {
+
+// ---------------------------------------------------------------- local --
+
+DesisLocalNode::DesisLocalNode(uint32_t id,
+                               const std::vector<QueryGroup>& groups,
+                               size_t forward_batch_size)
+    : Node(id, NodeRole::kLocal), forward_batch_size_(forward_batch_size) {
+  AddGroups(groups);
+}
+
+void DesisLocalNode::AddGroups(const std::vector<QueryGroup>& groups) {
+  for (const QueryGroup& group : groups) {
+    if (group.root_only) {
+      forward_groups_.push_back({group, {}});
+      continue;
+    }
+    SlicerOptions options;
+    options.punctuation = PunctuationStrategy::kPrecomputed;
+    options.assemble_windows = false;  // the root assembles (§5.1)
+    options.keep_slices = false;
+    auto slicer = std::make_unique<StreamSlicer>(group, options, &stats_);
+    const uint32_t gid = group.id;
+    slicer->set_slice_sink(
+        [this, gid](const SliceRecord& rec) { ShipSlice(gid, rec); });
+    slicers_.emplace_back(gid, std::move(slicer));
+  }
+}
+
+void DesisLocalNode::IngestOne(const Event& event) {
+  ++stats_.events;
+  last_ts_ = event.ts;
+  for (auto& [gid, slicer] : slicers_) slicer->Ingest(event);
+  for (ForwardGroup& fg : forward_groups_) {
+    for (const SelectionLane& lane : fg.group.lanes) {
+      ++stats_.selection_evals;
+      if (lane.predicate.Matches(event)) {
+        fg.pending.push_back(event);
+        break;  // forwarded once; the root re-evaluates lanes
+      }
+    }
+    if (fg.pending.size() >= forward_batch_size_) {
+      FlushForwardBatch(fg.group.id);
+    }
+  }
+}
+
+void DesisLocalNode::IngestBatch(const Event* events, size_t count) {
+  Metered([&] {
+    for (size_t i = 0; i < count; ++i) IngestOne(events[i]);
+  });
+}
+
+void DesisLocalNode::ShipSlice(uint32_t group_id, const SliceRecord& rec) {
+  SlicePartialMsg msg = SlicePartialMsg::FromRecord(rec, last_ts_);
+  ByteWriter out;
+  msg.SerializeTo(out);
+  SendToParent({MessageType::kSlicePartial, group_id, out.TakeBytes()});
+}
+
+void DesisLocalNode::FlushForwardBatch(uint32_t group_id) {
+  for (ForwardGroup& fg : forward_groups_) {
+    if (fg.group.id != group_id || fg.pending.empty()) continue;
+    SendToParent({MessageType::kEventBatch, group_id,
+                  EncodeEventBatch(fg.pending)});
+    fg.pending.clear();
+  }
+}
+
+void DesisLocalNode::Advance(Timestamp watermark) {
+  Metered([&] {
+    Timestamp safe = watermark;
+    for (auto& [gid, slicer] : slicers_) {
+      slicer->AdvanceTo(watermark);
+      // Advertise only what has been sealed and shipped: events in an
+      // unsealed slice (e.g. a running session) are not upstream yet.
+      const Timestamp slicer_safe = slicer->SafeWatermark();
+      if (slicer_safe != kNoTimestamp) safe = std::min(safe, slicer_safe);
+    }
+    for (ForwardGroup& fg : forward_groups_) FlushForwardBatch(fg.group.id);
+    SendToParent({MessageType::kWatermark, 0, EncodeWatermark(safe)});
+  });
+}
+
+void DesisLocalNode::HandleMessage(const Message& /*message*/,
+                                   int /*child_index*/) {
+  // Local nodes have no children in this topology.
+}
+
+// --------------------------------------------------------- intermediate --
+
+void DesisIntermediateNode::NoteChildWatermark(int child_index, Timestamp wm) {
+  if (child_wms_.size() < num_children()) {
+    child_wms_.resize(num_children(), kNoTimestamp);
+  }
+  child_wms_[static_cast<size_t>(child_index)] =
+      std::max(child_wms_[static_cast<size_t>(child_index)], wm);
+}
+
+Timestamp DesisIntermediateNode::MinChildWatermark() const {
+  if (child_wms_.size() < num_children()) return kNoTimestamp;
+  Timestamp min_wm = kMaxTimestamp;
+  for (size_t i = 0; i < child_wms_.size(); ++i) {
+    if (child_detached(static_cast<int>(i))) continue;
+    if (child_wms_[i] == kNoTimestamp) return kNoTimestamp;
+    min_wm = std::min(min_wm, child_wms_[i]);
+  }
+  return min_wm;
+}
+
+void DesisIntermediateNode::OnChildDetached(int child_index) {
+  if (child_wms_.size() < num_children()) {
+    child_wms_.resize(num_children(), kNoTimestamp);
+  }
+  child_wms_[static_cast<size_t>(child_index)] = kMaxTimestamp;
+  FlushUpTo(MinChildWatermark());
+}
+
+void DesisIntermediateNode::ForwardEntry(uint32_t group_id,
+                                         SlicePartialMsg&& msg) {
+  ByteWriter out;
+  msg.SerializeTo(out);
+  SendToParent({MessageType::kSlicePartial, group_id, out.TakeBytes()});
+}
+
+void DesisIntermediateNode::FlushUpTo(Timestamp watermark) {
+  if (watermark == kNoTimestamp || watermark <= sent_wm_) return;
+  // Forward intermediate slices that can no longer grow (children's
+  // watermarks passed their end), even if not every child contributed —
+  // dynamic windows punctuate at different times on different children.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto& [key, value] = *it;
+    if (std::get<2>(key) <= watermark) {
+      ForwardEntry(std::get<0>(key), std::move(value.first));
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sent_wm_ = watermark;
+  SendToParent({MessageType::kWatermark, 0, EncodeWatermark(watermark)});
+}
+
+void DesisIntermediateNode::HandleMessage(const Message& message,
+                                          int child_index) {
+  switch (message.type) {
+    case MessageType::kSlicePartial: {
+      ByteReader in(message.payload);
+      SlicePartialMsg msg = SlicePartialMsg::DeserializeFrom(in);
+      auto key = std::make_tuple(message.group_id, msg.start, msg.end);
+      auto it = entries_.find(key);
+      if (it == entries_.end()) {
+        ++stats_.slices_created;  // a new intermediate slice
+        it = entries_.emplace(key, std::make_pair(std::move(msg), 1)).first;
+      } else {
+        SlicePartialMsg& entry = it->second.first;
+        for (size_t i = 0; i < entry.lanes.size(); ++i) {
+          if (msg.lane_events[i] == 0) continue;
+          entry.lanes[i].Merge(msg.lanes[i]);
+          entry.lane_events[i] += msg.lane_events[i];
+          entry.lane_last_ts[i] =
+              std::max(entry.lane_last_ts[i], msg.lane_last_ts[i]);
+          ++stats_.merges;
+        }
+        entry.last_event_ts = std::max(entry.last_event_ts, msg.last_event_ts);
+        entry.watermark = std::min(entry.watermark, msg.watermark);
+        for (const EpInfo& ep : msg.eps) {
+          bool known = false;
+          for (const EpInfo& have : entry.eps) {
+            known = known || (have.spec_idx == ep.spec_idx &&
+                              have.window_end == ep.window_end);
+          }
+          if (!known) entry.eps.push_back(ep);
+        }
+        ++it->second.second;
+      }
+      // An intermediate slice is complete when every child reported (its
+      // "length" equals the number of children, §5.1.1).
+      if (it->second.second >= static_cast<int>(num_active_children())) {
+        SlicePartialMsg complete = std::move(it->second.first);
+        entries_.erase(it);
+        ForwardEntry(message.group_id, std::move(complete));
+      }
+      FlushUpTo(MinChildWatermark());
+      break;
+    }
+    case MessageType::kEventBatch:
+      // Root-only groups: pass raw batches through unchanged.
+      SendToParent(message);
+      break;
+    case MessageType::kWatermark:
+      NoteChildWatermark(child_index, DecodeWatermark(message.payload));
+      FlushUpTo(MinChildWatermark());
+      break;
+    case MessageType::kText:
+      SendToParent(message);
+      break;
+  }
+}
+
+// ----------------------------------------------------------------- root --
+
+DesisRootNode::DesisRootNode(uint32_t id,
+                             const std::vector<QueryGroup>& groups)
+    : Node(id, NodeRole::kRoot) {
+  AddGroups(groups);
+}
+
+Status DesisRootNode::SuppressQuery(QueryId id) {
+  for (auto& [gid, assembler] : assemblers_) {
+    if (assembler->SuppressQuery(id)) return Status::OK();
+  }
+  for (auto& [gid, rg] : root_only_) {
+    if (rg.slicer->SuppressQuery(id)) return Status::OK();
+  }
+  return Status::NotFound("no running query with this id");
+}
+
+void DesisRootNode::AddGroups(const std::vector<QueryGroup>& groups) {
+  for (const QueryGroup& group : groups) {
+    if (group.root_only) {
+      SlicerOptions options;  // full local evaluation at the root
+      auto slicer = std::make_unique<StreamSlicer>(group, options, &stats_);
+      slicer->set_window_sink(
+          [this](const WindowResult& r) { EmitResult(r); });
+      root_only_.emplace(group.id,
+                         RootOnlyGroup{std::move(slicer), {}, kNoTimestamp});
+    } else {
+      assemblers_.emplace(
+          group.id,
+          std::make_unique<RootAssembler>(
+              group, &stats_,
+              [this](const WindowResult& r) { EmitResult(r); }));
+    }
+  }
+}
+
+void DesisRootNode::EmitResult(const WindowResult& result) {
+  ++results_;
+  if (sink_) sink_(result);
+}
+
+void DesisRootNode::NoteChildWatermark(int child_index, Timestamp wm) {
+  if (child_wms_.size() < num_children()) {
+    child_wms_.resize(num_children(), kNoTimestamp);
+  }
+  child_wms_[static_cast<size_t>(child_index)] =
+      std::max(child_wms_[static_cast<size_t>(child_index)], wm);
+}
+
+Timestamp DesisRootNode::MinChildWatermark() const {
+  if (child_wms_.size() < num_children()) return kNoTimestamp;
+  Timestamp min_wm = kMaxTimestamp;
+  for (size_t i = 0; i < child_wms_.size(); ++i) {
+    if (child_detached(static_cast<int>(i))) continue;
+    if (child_wms_[i] == kNoTimestamp) return kNoTimestamp;
+    min_wm = std::min(min_wm, child_wms_[i]);
+  }
+  return min_wm;
+}
+
+void DesisRootNode::OnChildDetached(int child_index) {
+  if (child_wms_.size() < num_children()) {
+    child_wms_.resize(num_children(), kNoTimestamp);
+  }
+  child_wms_[static_cast<size_t>(child_index)] = kMaxTimestamp;
+  AdvanceAll(MinChildWatermark());
+}
+
+void DesisRootNode::AdvanceAll(Timestamp watermark) {
+  if (watermark == kNoTimestamp || watermark <= advanced_wm_) return;
+  advanced_wm_ = watermark;
+  for (auto& [gid, assembler] : assemblers_) assembler->AdvanceTo(watermark);
+  for (auto& [gid, rg] : root_only_) {
+    // Release reordered events up to the watermark into the root slicer.
+    std::sort(rg.pending.begin(), rg.pending.end(),
+              [](const Event& a, const Event& b) { return a.ts < b.ts; });
+    size_t released = 0;
+    for (const Event& e : rg.pending) {
+      if (e.ts > watermark) break;
+      rg.slicer->Ingest(e);
+      ++stats_.events;
+      ++released;
+    }
+    rg.pending.erase(rg.pending.begin(),
+                     rg.pending.begin() + static_cast<int64_t>(released));
+    rg.slicer->AdvanceTo(watermark);
+    rg.fed_up_to = watermark;
+  }
+}
+
+void DesisRootNode::HandleMessage(const Message& message, int child_index) {
+  switch (message.type) {
+    case MessageType::kSlicePartial: {
+      ByteReader in(message.payload);
+      SlicePartialMsg msg = SlicePartialMsg::DeserializeFrom(in);
+      auto it = assemblers_.find(message.group_id);
+      if (it != assemblers_.end()) it->second->AddPartial(msg);
+      break;
+    }
+    case MessageType::kEventBatch: {
+      auto it = root_only_.find(message.group_id);
+      if (it != root_only_.end()) {
+        std::vector<Event> events = DecodeEventBatch(message.payload);
+        it->second.pending.insert(it->second.pending.end(), events.begin(),
+                                  events.end());
+      }
+      break;
+    }
+    case MessageType::kWatermark:
+      NoteChildWatermark(child_index, DecodeWatermark(message.payload));
+      AdvanceAll(MinChildWatermark());
+      break;
+    case MessageType::kText:
+      break;  // Desis clusters never carry text payloads.
+  }
+}
+
+}  // namespace desis

@@ -1,0 +1,129 @@
+#ifndef DESIS_NET_DESIS_NODES_H_
+#define DESIS_NET_DESIS_NODES_H_
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/query_analyzer.h"
+#include "core/slicer.h"
+#include "core/stats.h"
+#include "net/node.h"
+#include "net/root_assembler.h"
+
+namespace desis {
+
+/// Desis local node (§5.1): runs the aggregation engine in slicing-only
+/// mode. Every sealed slice's partial results are shipped to the parent
+/// instead of raw events; for root-only query-groups (count-based measures)
+/// matching raw events are batched and forwarded.
+class DesisLocalNode : public Node, public LocalIngest {
+ public:
+  DesisLocalNode(uint32_t id, const std::vector<QueryGroup>& groups,
+                 size_t forward_batch_size = 512);
+
+  /// Feeds a batch of events (non-decreasing ts); CPU time is metered.
+  void IngestBatch(const Event* events, size_t count) override;
+
+  /// Flushes punctuations/batches up to `watermark` and ships a watermark.
+  void Advance(Timestamp watermark) override;
+
+  /// Deploys additional query-groups at runtime (§3.2); windowing starts
+  /// with the next event.
+  void AddGroups(const std::vector<QueryGroup>& groups);
+
+  const EngineStats& engine_stats() const { return stats_; }
+
+ protected:
+  void HandleMessage(const Message& message, int child_index) override;
+
+ private:
+  void IngestOne(const Event& event);
+  void ShipSlice(uint32_t group_id, const SliceRecord& rec);
+  void FlushForwardBatch(uint32_t group_id);
+
+  EngineStats stats_;
+  // Pushed-down groups: group id -> slicer.
+  std::vector<std::pair<uint32_t, std::unique_ptr<StreamSlicer>>> slicers_;
+  // Root-only groups: group id -> (group, pending forward batch).
+  struct ForwardGroup {
+    QueryGroup group;
+    std::vector<Event> pending;
+  };
+  std::vector<ForwardGroup> forward_groups_;
+  size_t forward_batch_size_;
+  Timestamp last_ts_ = kNoTimestamp;
+};
+
+/// Desis intermediate node (§5.1.1): builds intermediate slices of length
+/// = number of children by merging child partials with matching slice
+/// ranges; complete or watermark-expired intermediate slices are forwarded.
+class DesisIntermediateNode : public Node {
+ public:
+  explicit DesisIntermediateNode(uint32_t id) : Node(id, NodeRole::kIntermediate) {}
+
+  const EngineStats& engine_stats() const { return stats_; }
+
+ protected:
+  void HandleMessage(const Message& message, int child_index) override;
+  void OnChildDetached(int child_index) override;
+
+ private:
+  void NoteChildWatermark(int child_index, Timestamp wm);
+  Timestamp MinChildWatermark() const;
+  void FlushUpTo(Timestamp watermark);
+  void ForwardEntry(uint32_t group_id, SlicePartialMsg&& msg);
+
+  EngineStats stats_;
+  // (group, start, end) -> partially merged slice + report count.
+  std::map<std::tuple<uint32_t, Timestamp, Timestamp>,
+           std::pair<SlicePartialMsg, int>>
+      entries_;
+  std::vector<Timestamp> child_wms_;
+  Timestamp sent_wm_ = kNoTimestamp;
+};
+
+/// Desis root node (§5.1): assembles final windows from slice partials via
+/// RootAssembler; root-only groups run a full local slicer over forwarded
+/// raw events (reordered across children up to the watermark).
+class DesisRootNode : public Node {
+ public:
+  DesisRootNode(uint32_t id, const std::vector<QueryGroup>& groups);
+
+  void set_sink(WindowSink sink) { sink_ = std::move(sink); }
+  const EngineStats& engine_stats() const { return stats_; }
+  uint64_t results_emitted() const { return results_; }
+
+  /// Deploys additional query-groups at runtime (§3.2).
+  void AddGroups(const std::vector<QueryGroup>& groups);
+  /// Stops emitting results for a query (§3.2).
+  Status SuppressQuery(QueryId id);
+
+ protected:
+  void HandleMessage(const Message& message, int child_index) override;
+  void OnChildDetached(int child_index) override;
+
+ private:
+  void NoteChildWatermark(int child_index, Timestamp wm);
+  Timestamp MinChildWatermark() const;
+  void AdvanceAll(Timestamp watermark);
+  void EmitResult(const WindowResult& result);
+
+  EngineStats stats_;
+  WindowSink sink_;
+  uint64_t results_ = 0;
+  std::map<uint32_t, std::unique_ptr<RootAssembler>> assemblers_;
+  struct RootOnlyGroup {
+    std::unique_ptr<StreamSlicer> slicer;
+    std::vector<Event> pending;  // reorder buffer across children
+    Timestamp fed_up_to = kNoTimestamp;
+  };
+  std::map<uint32_t, RootOnlyGroup> root_only_;
+  std::vector<Timestamp> child_wms_;
+  Timestamp advanced_wm_ = kNoTimestamp;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_NET_DESIS_NODES_H_

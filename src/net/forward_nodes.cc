@@ -1,0 +1,97 @@
+#include "net/forward_nodes.h"
+
+#include <algorithm>
+
+namespace desis {
+
+void ForwardingLocalNode::IngestBatch(const Event* events, size_t count) {
+  Metered([&] {
+    for (size_t i = 0; i < count; ++i) {
+      pending_.push_back(events[i]);
+      if (pending_.size() >= batch_size_) Flush();
+    }
+  });
+}
+
+void ForwardingLocalNode::Flush() {
+  if (pending_.empty()) return;
+  SendToParent({MessageType::kEventBatch, 0, EncodeEventBatch(pending_)});
+  pending_.clear();
+}
+
+void ForwardingLocalNode::Advance(Timestamp watermark) {
+  Metered([&] {
+    Flush();
+    SendToParent({MessageType::kWatermark, 0, EncodeWatermark(watermark)});
+  });
+}
+
+void ForwardingLocalNode::HandleMessage(const Message& /*message*/,
+                                        int /*child_index*/) {}
+
+void RelayIntermediateNode::HandleMessage(const Message& message,
+                                          int child_index) {
+  if (message.type == MessageType::kWatermark) {
+    if (child_wms_.size() < num_children()) {
+      child_wms_.resize(num_children(), kNoTimestamp);
+    }
+    child_wms_[static_cast<size_t>(child_index)] =
+        std::max(child_wms_[static_cast<size_t>(child_index)],
+                 DecodeWatermark(message.payload));
+    Timestamp min_wm = kMaxTimestamp;
+    for (Timestamp wm : child_wms_) {
+      if (wm == kNoTimestamp) return;
+      min_wm = std::min(min_wm, wm);
+    }
+    SendToParent({MessageType::kWatermark, 0, EncodeWatermark(min_wm)});
+    return;
+  }
+  SendToParent(message);
+}
+
+Timestamp EngineRootNode::MinChildWatermark() const {
+  if (child_wms_.size() < num_children()) return kNoTimestamp;
+  Timestamp min_wm = kMaxTimestamp;
+  for (Timestamp wm : child_wms_) {
+    if (wm == kNoTimestamp) return kNoTimestamp;
+    min_wm = std::min(min_wm, wm);
+  }
+  return min_wm;
+}
+
+void EngineRootNode::HandleMessage(const Message& message, int child_index) {
+  switch (message.type) {
+    case MessageType::kEventBatch: {
+      std::vector<Event> events = DecodeEventBatch(message.payload);
+      pending_.insert(pending_.end(), events.begin(), events.end());
+      break;
+    }
+    case MessageType::kWatermark: {
+      if (child_wms_.size() < num_children()) {
+        child_wms_.resize(num_children(), kNoTimestamp);
+      }
+      child_wms_[static_cast<size_t>(child_index)] =
+          std::max(child_wms_[static_cast<size_t>(child_index)],
+                   DecodeWatermark(message.payload));
+      const Timestamp wm = MinChildWatermark();
+      if (wm == kNoTimestamp || wm <= released_wm_) break;
+      released_wm_ = wm;
+      std::sort(pending_.begin(), pending_.end(),
+                [](const Event& a, const Event& b) { return a.ts < b.ts; });
+      size_t released = 0;
+      for (const Event& e : pending_) {
+        if (e.ts > wm) break;
+        engine_->Ingest(e);
+        ++released;
+      }
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<int64_t>(released));
+      engine_->AdvanceTo(wm);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace desis

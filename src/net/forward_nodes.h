@@ -1,0 +1,70 @@
+#ifndef DESIS_NET_FORWARD_NODES_H_
+#define DESIS_NET_FORWARD_NODES_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine_iface.h"
+#include "net/node.h"
+
+namespace desis {
+
+/// Local node of a *centralized* deployment (Scotty / CeBuffer baselines):
+/// collects raw events and forwards them in batches — every event crosses
+/// the network (§6.4.1).
+class ForwardingLocalNode : public Node, public LocalIngest {
+ public:
+  explicit ForwardingLocalNode(uint32_t id, size_t batch_size = 512)
+      : Node(id, NodeRole::kLocal), batch_size_(batch_size) {}
+
+  void IngestBatch(const Event* events, size_t count) override;
+  void Advance(Timestamp watermark) override;
+
+ protected:
+  void HandleMessage(const Message& message, int child_index) override;
+
+ private:
+  void Flush();
+
+  std::vector<Event> pending_;
+  size_t batch_size_;
+};
+
+/// Intermediate node of a centralized deployment: transfers data unchanged
+/// to its parent (its network overhead equals the local nodes', §6.4.1).
+class RelayIntermediateNode : public Node {
+ public:
+  explicit RelayIntermediateNode(uint32_t id)
+      : Node(id, NodeRole::kIntermediate) {}
+
+ protected:
+  void HandleMessage(const Message& message, int child_index) override;
+
+ private:
+  std::vector<Timestamp> child_wms_;
+};
+
+/// Root node of a centralized deployment: runs any single-node engine over
+/// the merged event stream (reordered across children up to the watermark).
+class EngineRootNode : public Node {
+ public:
+  EngineRootNode(uint32_t id, std::unique_ptr<StreamEngine> engine)
+      : Node(id, NodeRole::kRoot), engine_(std::move(engine)) {}
+
+  StreamEngine& engine() { return *engine_; }
+
+ protected:
+  void HandleMessage(const Message& message, int child_index) override;
+
+ private:
+  Timestamp MinChildWatermark() const;
+
+  std::unique_ptr<StreamEngine> engine_;
+  std::vector<Event> pending_;
+  std::vector<Timestamp> child_wms_;
+  Timestamp released_wm_ = kNoTimestamp;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_NET_FORWARD_NODES_H_

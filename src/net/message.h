@@ -1,0 +1,74 @@
+#ifndef DESIS_NET_MESSAGE_H_
+#define DESIS_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "common/serde.h"
+#include "core/slicer.h"
+
+namespace desis {
+
+/// Wire message kinds exchanged between nodes.
+enum class MessageType : uint8_t {
+  /// Batched raw events (centralized forwarding; root-only query-groups).
+  kEventBatch = 0,
+  /// One Desis slice partial: operator states per lane, tagged with the
+  /// slice id and time range (§5.1).
+  kSlicePartial,
+  /// Event-time watermark heartbeat.
+  kWatermark,
+  /// ASCII payload (the Disco baseline serializes events and window
+  /// partials as strings, §6.4.1).
+  kText,
+};
+
+/// A serialized message. `payload` is the body; WireBytes() is the size
+/// accounted by channels as network overhead.
+struct Message {
+  MessageType type = MessageType::kEventBatch;
+  uint32_t group_id = 0;
+  std::vector<uint8_t> payload;
+
+  /// Bytes on the wire: 1B type + 4B group + 4B length prefix + payload.
+  size_t WireBytes() const { return 9 + payload.size(); }
+};
+
+/// Payload of kSlicePartial.
+struct SlicePartialMsg {
+  uint64_t slice_id = 0;
+  Timestamp start = 0;
+  Timestamp end = 0;
+  Timestamp last_event_ts = kNoTimestamp;
+  /// Sender's event-time watermark when the slice was shipped.
+  Timestamp watermark = kNoTimestamp;
+  std::vector<PartialAggregate> lanes;
+  std::vector<uint64_t> lane_events;
+  std::vector<Timestamp> lane_last_ts;
+  std::vector<EpInfo> eps;
+
+  uint64_t TotalEvents() const {
+    uint64_t total = 0;
+    for (uint64_t n : lane_events) total += n;
+    return total;
+  }
+
+  static SlicePartialMsg FromRecord(const SliceRecord& rec,
+                                    Timestamp watermark);
+  void SerializeTo(ByteWriter& out) const;
+  static SlicePartialMsg DeserializeFrom(ByteReader& in);
+};
+
+/// Encodes a batch of raw events (24 bytes per event on the wire).
+std::vector<uint8_t> EncodeEventBatch(const std::vector<Event>& events);
+std::vector<Event> DecodeEventBatch(const std::vector<uint8_t>& payload);
+
+/// Encodes a watermark payload.
+std::vector<uint8_t> EncodeWatermark(Timestamp watermark);
+Timestamp DecodeWatermark(const std::vector<uint8_t>& payload);
+
+}  // namespace desis
+
+#endif  // DESIS_NET_MESSAGE_H_

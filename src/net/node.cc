@@ -1,0 +1,66 @@
+#include "net/node.h"
+
+#include <chrono>
+
+namespace desis {
+namespace {
+
+// Nested-time accumulator for busy-time attribution: when node A's handler
+// synchronously triggers node B's handler, B's time must not count as A's.
+thread_local int64_t g_nested_ns = 0;
+
+}  // namespace
+
+std::string ToString(NodeRole role) {
+  switch (role) {
+    case NodeRole::kLocal: return "local";
+    case NodeRole::kIntermediate: return "intermediate";
+    case NodeRole::kRoot: return "root";
+  }
+  return "unknown";
+}
+
+int64_t Node::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t Node::ExchangeNested(int64_t value) {
+  const int64_t old = g_nested_ns;
+  g_nested_ns = value;
+  return old;
+}
+
+int Node::AttachChild(Node* child) {
+  child->parent_ = this;
+  child->child_index_at_parent_ = children_;
+  detached_flags_.push_back(false);
+  return children_++;
+}
+
+void Node::DetachChild(int child_index) {
+  if (child_index < 0 || child_index >= children_ ||
+      detached_flags_[static_cast<size_t>(child_index)]) {
+    return;
+  }
+  detached_flags_[static_cast<size_t>(child_index)] = true;
+  ++detached_;
+  Metered([&] { OnChildDetached(child_index); });
+}
+
+void Node::Receive(const Message& message, int child_index) {
+  if (child_detached(child_index)) return;  // stale traffic from a removed node
+  net_stats_.bytes_received += message.WireBytes();
+  ++net_stats_.messages_received;
+  Metered([&] { HandleMessage(message, child_index); });
+}
+
+void Node::SendToParent(const Message& message) {
+  if (parent_ == nullptr) return;
+  net_stats_.bytes_sent += message.WireBytes();
+  ++net_stats_.messages_sent;
+  parent_->Receive(message, child_index_at_parent_);
+}
+
+}  // namespace desis

@@ -1,0 +1,127 @@
+#ifndef DESIS_NET_NODE_H_
+#define DESIS_NET_NODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "net/message.h"
+
+namespace desis {
+
+/// Role of a node in the decentralized topology (§2.4).
+enum class NodeRole : uint8_t {
+  kLocal = 0,
+  kIntermediate,
+  kRoot,
+};
+
+std::string ToString(NodeRole role);
+
+/// Interface implemented by every system's local node so drivers can feed
+/// per-node data streams uniformly.
+class LocalIngest {
+ public:
+  virtual ~LocalIngest() = default;
+  /// Feeds a batch of events (non-decreasing ts); CPU time is metered.
+  virtual void IngestBatch(const Event* events, size_t count) = 0;
+  /// Flushes punctuations/batches and ships a watermark upstream.
+  virtual void Advance(Timestamp watermark) = 0;
+};
+
+/// Per-node counters: network bytes (the paper's network-overhead metric,
+/// Fig 11) and metered CPU busy time (backing the pipeline throughput model
+/// described in DESIGN.md).
+struct NodeStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  int64_t busy_ns = 0;
+};
+
+/// A node in the simulated decentralized network. Delivery is synchronous
+/// and deterministic: SendToParent() serializes the message (bytes are
+/// counted on both ends) and invokes the parent's handler inline. CPU time
+/// spent in each node's handlers is metered, with nested upstream handling
+/// subtracted, so per-node busy time is attributed as if nodes ran on
+/// separate machines.
+class Node {
+ public:
+  Node(uint32_t id, NodeRole role) : id_(id), role_(role) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  uint32_t id() const { return id_; }
+  NodeRole role() const { return role_; }
+  const NodeStats& net_stats() const { return net_stats_; }
+  int64_t busy_ns() const { return net_stats_.busy_ns; }
+
+  /// Registers `child` as a child of this node; messages the child sends
+  /// travel to this node. Returns the child's index.
+  int AttachChild(Node* child);
+
+  /// Removes a child from the membership (§3.2: node removal / connection
+  /// timeout). Messages from a detached child are dropped, and completeness
+  /// checks stop waiting for it.
+  void DetachChild(int child_index);
+
+  /// Entry point for messages from child `child_index`; metered.
+  void Receive(const Message& message, int child_index);
+
+  /// Total child slots ever attached (indices are stable).
+  size_t num_children() const { return static_cast<size_t>(children_); }
+  /// Children still in the membership.
+  size_t num_active_children() const {
+    return static_cast<size_t>(children_ - detached_);
+  }
+  bool child_detached(int child_index) const {
+    return detached_flags_.size() > static_cast<size_t>(child_index) &&
+           detached_flags_[static_cast<size_t>(child_index)];
+  }
+
+  int child_index_at_parent() const { return child_index_at_parent_; }
+  Node* parent() const { return parent_; }
+
+ protected:
+  virtual void HandleMessage(const Message& message, int child_index) = 0;
+
+  /// Subclass hook: membership changed (e.g. stop waiting for the child's
+  /// watermark).
+  virtual void OnChildDetached(int /*child_index*/) {}
+
+  /// Ships a message to the parent (no-op without a parent — the root).
+  void SendToParent(const Message& message);
+
+  /// Runs `fn` attributing its wall time (minus nested upstream work) to
+  /// this node's busy counter. Used by local nodes for event ingestion.
+  template <typename Fn>
+  void Metered(Fn&& fn) {
+    const int64_t saved = ExchangeNested(0);
+    const int64_t t0 = NowNs();
+    fn();
+    const int64_t dt = NowNs() - t0;
+    net_stats_.busy_ns += dt - ExchangeNested(saved + dt);
+  }
+
+  NodeStats net_stats_;
+
+ private:
+  static int64_t NowNs();
+  static int64_t ExchangeNested(int64_t value);
+
+  uint32_t id_;
+  NodeRole role_;
+  Node* parent_ = nullptr;
+  int child_index_at_parent_ = -1;
+  int children_ = 0;
+  int detached_ = 0;
+  std::vector<bool> detached_flags_;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_NET_NODE_H_

@@ -1,0 +1,275 @@
+#include "net/root_assembler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace desis {
+namespace {
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+RootAssembler::RootAssembler(QueryGroup group, EngineStats* stats,
+                             WindowSink sink)
+    : group_(std::move(group)), stats_(stats), sink_(std::move(sink)) {
+  // Mirror the slicer's spec deduplication so EpInfo::spec_idx values match
+  // between local nodes and the root.
+  for (uint32_t qi = 0; qi < group_.queries.size(); ++qi) {
+    const WindowSpec& spec = group_.queries[qi].query.window;
+    const bool lane_scoped = spec.measure == WindowMeasure::kCount ||
+                             spec.type == WindowType::kSession ||
+                             spec.type == WindowType::kUserDefined;
+    const int lane_filter =
+        lane_scoped ? static_cast<int>(group_.queries[qi].lane) : -1;
+    uint32_t si = 0;
+    for (; si < specs_.size(); ++si) {
+      if (specs_[si].spec == spec && specs_[si].lane_filter == lane_filter) {
+        break;
+      }
+    }
+    if (si == specs_.size()) {
+      SpecState st;
+      st.spec = spec;
+      st.lane_filter = lane_filter;
+      specs_.push_back(std::move(st));
+      if (spec.type == WindowType::kSession) {
+        session_specs_.push_back(si);
+      } else if (spec.type == WindowType::kUserDefined) {
+        ud_specs_.push_back(si);
+      }
+    }
+    specs_[si].query_idxs.push_back(qi);
+  }
+}
+
+bool RootAssembler::SuppressQuery(QueryId id) {
+  for (const GroupedQuery& gq : group_.queries) {
+    if (gq.query.id == id && !suppressed_.contains(id)) {
+      suppressed_.insert(id);
+      return true;
+    }
+  }
+  return false;
+}
+
+void RootAssembler::InitializeSchedules(Timestamp first_start) {
+  first_start_ = first_start;
+  for (SpecState& st : specs_) {
+    if (st.spec.measure == WindowMeasure::kTime && st.spec.IsFixedSize()) {
+      const int64_t l = st.spec.length;
+      const int64_t s = st.spec.slide;
+      st.next_ep = (FloorDiv(first_start - l, s) + 1) * s + l;
+    }
+  }
+  initialized_ = true;
+}
+
+void RootAssembler::AddPartial(const SlicePartialMsg& msg) {
+  if (!initialized_) {
+    InitializeSchedules(msg.start);
+  } else if (!any_closed_ && msg.start < first_start_) {
+    // A child joined with an earlier stream prefix before any window
+    // closed: rewind the schedules.
+    InitializeSchedules(msg.start);
+  }
+
+  auto [it, inserted] = entries_.try_emplace(EntryKey{msg.start, msg.end});
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.start = msg.start;
+    entry.end = msg.end;
+    entry.last_event_ts = msg.last_event_ts;
+    entry.lanes = msg.lanes;
+    entry.lane_events = msg.lane_events;
+    entry.lane_last_ts = msg.lane_last_ts;
+    entry.reports = 1;
+    ++stats_->slices_created;  // a new root slice
+  } else {
+    assert(entry.lanes.size() == msg.lanes.size());
+    for (size_t i = 0; i < entry.lanes.size(); ++i) {
+      if (msg.lane_events[i] == 0) continue;
+      entry.lanes[i].Merge(msg.lanes[i]);
+      entry.lane_events[i] += msg.lane_events[i];
+      entry.lane_last_ts[i] = std::max(entry.lane_last_ts[i], msg.lane_last_ts[i]);
+      ++stats_->merges;
+    }
+    entry.last_event_ts = std::max(entry.last_event_ts, msg.last_event_ts);
+    ++entry.reports;
+  }
+
+  // User-defined end punctuations: children that saw the delimiting marker
+  // ship an ep; deduplicate by window end (markers are stream-global).
+  for (const EpInfo& ep : msg.eps) {
+    if (ep.spec_idx >= specs_.size()) continue;
+    SpecState& st = specs_[ep.spec_idx];
+    if (st.spec.type != WindowType::kUserDefined) continue;
+    bool known = false;
+    for (const EpInfo& pending : st.pending_eps) {
+      if (pending.window_end == ep.window_end) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      st.pending_eps.push_back(ep);
+      // Keep eps ordered by window end.
+      std::sort(st.pending_eps.begin(), st.pending_eps.end(),
+                [](const EpInfo& a, const EpInfo& b) {
+                  return a.window_end < b.window_end;
+                });
+    }
+  }
+}
+
+void RootAssembler::AssembleWindow(uint32_t spec_idx, Timestamp ws,
+                                   Timestamp we) {
+  any_closed_ = true;
+  const SpecState& st = specs_[spec_idx];
+  for (uint32_t lane = 0; lane < group_.lanes.size(); ++lane) {
+    OperatorMask needed = 0;
+    for (uint32_t qi : st.query_idxs) {
+      if (group_.queries[qi].lane == lane &&
+          !suppressed_.contains(group_.queries[qi].query.id)) {
+        needed |= OperatorsFor(group_.queries[qi].query.agg.fn);
+      }
+    }
+    if (needed == 0) continue;
+    needed = ResolveNeeded(needed, group_.mask);
+
+    PartialAggregate acc(needed);
+    acc.Seal();
+    uint64_t events = 0;
+    for (auto it = entries_.lower_bound(EntryKey{ws, kNoTimestamp});
+         it != entries_.end() && it->second.start < we; ++it) {
+      const Entry& entry = it->second;
+      if (entry.end > we || entry.lane_events[lane] == 0) continue;
+      acc.Merge(entry.lanes[lane]);
+      events += entry.lane_events[lane];
+      ++stats_->merges;
+    }
+    if (events == 0) continue;
+
+    for (uint32_t qi : st.query_idxs) {
+      const GroupedQuery& gq = group_.queries[qi];
+      if (gq.lane != lane || suppressed_.contains(gq.query.id)) continue;
+      if (sink_) {
+        sink_({gq.query.id, ws, we, acc.Finalize(gq.query.agg), events});
+      }
+      ++stats_->windows_fired;
+    }
+  }
+}
+
+void RootAssembler::ScanSessionsUpTo(Timestamp watermark) {
+  if (session_specs_.empty()) return;
+  // Consume completed entries in global time order; an entry with events
+  // either extends the running session or — if it starts after the gap
+  // deadline — closes it and opens the next (§5.1.2).
+  auto it = session_cursor_.first == kNoTimestamp
+                ? entries_.begin()
+                : entries_.upper_bound(session_cursor_);
+  for (; it != entries_.end() && it->second.end <= watermark; ++it) {
+    const Entry& entry = it->second;
+    session_cursor_ = it->first;
+    for (uint32_t si : session_specs_) {
+      SpecState& st = specs_[si];
+      const size_t lane = static_cast<size_t>(st.lane_filter);
+      if (entry.lane_events[lane] == 0) continue;
+      const Timestamp lane_last = entry.lane_last_ts[lane];
+      if (!st.active) {
+        st.active = true;
+        st.session_start = entry.start;
+        st.global_last = lane_last;
+      } else if (entry.start >= st.global_last + st.spec.gap) {
+        AssembleWindow(si, st.session_start, st.global_last + st.spec.gap);
+        st.session_start = entry.start;
+        st.global_last = lane_last;
+      } else {
+        st.global_last = std::max(st.global_last, lane_last);
+      }
+    }
+  }
+  // Unconsumed entries (end beyond the watermark) may still carry events
+  // before the watermark — the earliest such start bounds how far the
+  // trailing gap check may reach, or a cross-child session would be cut
+  // while one child's long slice is still in flight (§5.1.2).
+  const Timestamp unconsumed_start =
+      it != entries_.end() ? it->second.start : kMaxTimestamp;
+  const Timestamp close_limit = std::min(watermark, unconsumed_start);
+  for (uint32_t si : session_specs_) {
+    SpecState& st = specs_[si];
+    if (st.active && st.global_last + st.spec.gap <= close_limit) {
+      AssembleWindow(si, st.session_start, st.global_last + st.spec.gap);
+      st.active = false;
+      st.session_start = kNoTimestamp;
+      st.global_last = kNoTimestamp;
+    }
+  }
+}
+
+void RootAssembler::AdvanceTo(Timestamp watermark) {
+  if (!initialized_ || watermark == kNoTimestamp) return;
+
+  for (uint32_t si = 0; si < specs_.size(); ++si) {
+    SpecState& st = specs_[si];
+    if (st.spec.measure != WindowMeasure::kTime || !st.spec.IsFixedSize()) {
+      continue;
+    }
+    while (st.next_ep <= watermark) {
+      AssembleWindow(si, st.next_ep - st.spec.length, st.next_ep);
+      st.next_ep += st.spec.slide;
+    }
+  }
+
+  ScanSessionsUpTo(watermark);
+
+  for (uint32_t si : ud_specs_) {
+    SpecState& st = specs_[si];
+    while (!st.pending_eps.empty() &&
+           st.pending_eps.front().window_end <= watermark) {
+      const EpInfo ep = st.pending_eps.front();
+      st.pending_eps.pop_front();
+      AssembleWindow(si, ep.window_start, ep.window_end);
+      st.last_closed_end = ep.window_end;
+    }
+  }
+
+  CollectGarbage(watermark);
+}
+
+void RootAssembler::CollectGarbage(Timestamp watermark) {
+  Timestamp keep_from = watermark;
+  for (const SpecState& st : specs_) {
+    if (st.spec.measure == WindowMeasure::kTime && st.spec.IsFixedSize()) {
+      keep_from = std::min(keep_from, st.next_ep - st.spec.length);
+    } else if (st.spec.type == WindowType::kSession) {
+      if (st.active) keep_from = std::min(keep_from, st.session_start);
+    } else if (st.spec.type == WindowType::kUserDefined) {
+      // The root only learns a user-defined window's start from its ep, so
+      // keep everything after the last closed window.
+      keep_from = std::min(keep_from, st.last_closed_end == kNoTimestamp
+                                          ? first_start_
+                                          : st.last_closed_end);
+      if (!st.pending_eps.empty()) {
+        keep_from = std::min(keep_from, st.pending_eps.front().window_start);
+      }
+    }
+  }
+  while (!entries_.empty()) {
+    const auto& [key, entry] = *entries_.begin();
+    if (entry.end > keep_from) break;
+    // Entries not yet consumed by the session scan must survive.
+    if (!session_specs_.empty() &&
+        (session_cursor_.first == kNoTimestamp || key > session_cursor_)) {
+      break;
+    }
+    entries_.erase(entries_.begin());
+  }
+}
+
+}  // namespace desis

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "baselines/ce_buffer.h"
+#include "baselines/de_bucket.h"
+#include "baselines/de_sw.h"
+#include "core/engine.h"
+#include "gen/data_generator.h"
+#include "gen/query_generator.h"
+
+namespace desis {
+namespace {
+
+using ResultMap = std::map<QueryId, std::map<Timestamp, WindowResult>>;
+
+ResultMap RunEngine(StreamEngine& engine, const std::vector<Event>& events,
+                    Timestamp final_wm) {
+  ResultMap results;
+  engine.set_sink([&](const WindowResult& r) {
+    results[r.query_id][r.window_start] = r;
+  });
+  for (const Event& e : events) engine.Ingest(e);
+  engine.AdvanceTo(final_wm);
+  return results;
+}
+
+void ExpectSameResults(const ResultMap& got, const ResultMap& want,
+                       const std::string& which) {
+  ASSERT_EQ(got.size(), want.size()) << which;
+  for (const auto& [qid, windows] : want) {
+    auto it = got.find(qid);
+    ASSERT_NE(it, got.end()) << which << ": query " << qid;
+    ASSERT_EQ(it->second.size(), windows.size()) << which << ": query " << qid;
+    for (const auto& [ws, result] : windows) {
+      auto wit = it->second.find(ws);
+      ASSERT_NE(wit, it->second.end())
+          << which << ": query " << qid << " window @" << ws;
+      EXPECT_NEAR(wit->second.value, result.value, 1e-9)
+          << which << ": query " << qid << " window @" << ws;
+      EXPECT_EQ(wit->second.event_count, result.event_count)
+          << which << ": query " << qid << " window @" << ws;
+    }
+  }
+}
+
+// Every engine must agree on every workload: Desis is the one under test,
+// the baselines are simple enough to serve as semantics oracles for it
+// (and vice versa).
+class EngineEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineEquivalence, AllEnginesAgreeOnRandomWorkload) {
+  const uint64_t seed = GetParam();
+
+  QueryGeneratorConfig qcfg;
+  qcfg.seed = seed;
+  qcfg.num_keys = 3;
+  qcfg.min_length = 50;
+  qcfg.max_length = 400;
+  qcfg.window_types = {WindowType::kTumbling, WindowType::kSliding,
+                       WindowType::kSession};
+  qcfg.functions = {AggregationFunction::kSum, AggregationFunction::kAverage,
+                    AggregationFunction::kMax, AggregationFunction::kCount,
+                    AggregationFunction::kMedian,
+                    AggregationFunction::kQuantile};
+  qcfg.min_gap = 30;
+  qcfg.max_gap = 120;
+  auto queries = QueryGenerator(qcfg).Take(12);
+
+  DataGeneratorConfig dcfg;
+  dcfg.seed = seed + 1000;
+  dcfg.num_keys = 3;
+  dcfg.mean_interval = 3;
+  auto events = DataGenerator(dcfg).Take(3000);
+  const Timestamp final_wm = events.back().ts + 10000;
+
+  DesisEngine desis;
+  DeSWEngine desw;
+  ScottyEngine scotty;
+  DeBucketEngine debucket;
+  CeBufferEngine cebuffer;
+  ASSERT_TRUE(desis.Configure(queries).ok());
+  ASSERT_TRUE(desw.Configure(queries).ok());
+  ASSERT_TRUE(scotty.Configure(queries).ok());
+  ASSERT_TRUE(debucket.Configure(queries).ok());
+  ASSERT_TRUE(cebuffer.Configure(queries).ok());
+
+  auto want = RunEngine(desis, events, final_wm);
+  ASSERT_FALSE(want.empty());
+  ExpectSameResults(RunEngine(desw, events, final_wm), want, "DeSW");
+  ExpectSameResults(RunEngine(scotty, events, final_wm), want, "Scotty");
+  ExpectSameResults(RunEngine(debucket, events, final_wm), want, "DeBucket");
+  ExpectSameResults(RunEngine(cebuffer, events, final_wm), want, "CeBuffer");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(EngineEquivalence, CountWindowsAgree) {
+  std::vector<Query> queries;
+  Query q;
+  q.id = 1;
+  q.window = WindowSpec::CountTumbling(100);
+  q.agg = {AggregationFunction::kSum, 0};
+  queries.push_back(q);
+  q.id = 2;
+  q.window = WindowSpec::CountSliding(100, 25);
+  q.agg = {AggregationFunction::kMax, 0};
+  queries.push_back(q);
+
+  DataGeneratorConfig dcfg;
+  dcfg.seed = 99;
+  auto events = DataGenerator(dcfg).Take(2000);
+  const Timestamp final_wm = events.back().ts + 1000;
+
+  DesisEngine desis;
+  DeBucketEngine debucket;
+  CeBufferEngine cebuffer;
+  ASSERT_TRUE(desis.Configure(queries).ok());
+  ASSERT_TRUE(debucket.Configure(queries).ok());
+  ASSERT_TRUE(cebuffer.Configure(queries).ok());
+  auto want = RunEngine(desis, events, final_wm);
+  ASSERT_FALSE(want.empty());
+  ExpectSameResults(RunEngine(debucket, events, final_wm), want, "DeBucket");
+  ExpectSameResults(RunEngine(cebuffer, events, final_wm), want, "CeBuffer");
+}
+
+TEST(EngineWorkCounters, DesisSharesWorkDeSWDoesNot) {
+  // 10 queries: 5 average + 5 sum over the same tumbling window. Desis puts
+  // them in one group with {sum, count}; DeSW needs two groups.
+  std::vector<Query> queries;
+  for (QueryId id = 1; id <= 10; ++id) {
+    Query q;
+    q.id = id;
+    q.window = WindowSpec::Tumbling(100);
+    q.agg = {id <= 5 ? AggregationFunction::kAverage
+                     : AggregationFunction::kSum,
+             0};
+    queries.push_back(q);
+  }
+  DataGeneratorConfig dcfg;
+  auto events = DataGenerator(dcfg).Take(5000);
+
+  DesisEngine desis;
+  DeSWEngine desw;
+  DeBucketEngine debucket;
+  ASSERT_TRUE(desis.Configure(queries).ok());
+  ASSERT_TRUE(desw.Configure(queries).ok());
+  ASSERT_TRUE(debucket.Configure(queries).ok());
+  EXPECT_EQ(desis.num_groups(), 1u);
+  EXPECT_EQ(desw.num_groups(), 2u);
+
+  for (const Event& e : events) {
+    desis.Ingest(e);
+    desw.Ingest(e);
+    debucket.Ingest(e);
+  }
+  // Desis: 2 operator executions per event ({sum, count} shared by all 10).
+  EXPECT_EQ(desis.stats().operator_executions, 2 * events.size());
+  // DeSW: avg group does {sum,count}, sum group does {sum}: 3 per event.
+  EXPECT_EQ(desw.stats().operator_executions, 3 * events.size());
+  // DeBucket: every query's bucket separately: 5*2 + 5*1 = 15 per event.
+  EXPECT_EQ(debucket.stats().operator_executions, 15 * events.size());
+}
+
+TEST(EngineWorkCounters, SliceCountsMatchPaperFig8) {
+  // Tumbling windows, lengths 1..10s: slice boundaries are the union of all
+  // window boundaries — with second-granularity lengths that is one slice
+  // per second (the paper reports 61/minute including both ends).
+  std::vector<Query> queries;
+  for (QueryId id = 1; id <= 10; ++id) {
+    Query q;
+    q.id = id;
+    q.window = WindowSpec::Tumbling(static_cast<Timestamp>(id) * kSecond);
+    q.agg = {AggregationFunction::kAverage, 0};
+    queries.push_back(q);
+  }
+  DesisEngine desis;
+  ASSERT_TRUE(desis.Configure(queries).ok());
+  EXPECT_EQ(desis.num_groups(), 1u);
+
+  DataGeneratorConfig dcfg;
+  dcfg.mean_interval = 10 * kMillisecond;
+  DataGenerator gen(dcfg);
+  while (gen.now() < kMinute) desis.Ingest(gen.Next());
+  // ~60 slices in the first minute, not 60 * 10 windows.
+  EXPECT_GE(desis.stats().slices_created, 58u);
+  EXPECT_LE(desis.stats().slices_created, 62u);
+}
+
+TEST(Generators, DataGeneratorIsDeterministic) {
+  DataGeneratorConfig cfg;
+  cfg.seed = 5;
+  auto a = DataGenerator(cfg).Take(100);
+  auto b = DataGenerator(cfg).Take(100);
+  EXPECT_EQ(a, b);
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_GE(a[i].ts, a[i - 1].ts);
+  for (const Event& e : a) {
+    EXPECT_GE(e.value, 0.0);
+    EXPECT_LE(e.value, 200.0);
+    EXPECT_LT(e.key, cfg.num_keys);
+  }
+}
+
+TEST(Generators, MarkersAndGapsAppear) {
+  DataGeneratorConfig cfg;
+  cfg.marker_probability = 0.1;
+  cfg.gap_probability = 0.05;
+  cfg.gap_length = 1000;
+  cfg.seed = 6;
+  auto events = DataGenerator(cfg).Take(1000);
+  int markers = 0;
+  int gaps = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].marker != kNoMarker) ++markers;
+    if (i > 0 && events[i].ts - events[i - 1].ts >= 1000) ++gaps;
+  }
+  EXPECT_GT(markers, 50);
+  EXPECT_GT(gaps, 20);
+}
+
+TEST(Generators, QueryGeneratorProducesValidQueries) {
+  QueryGeneratorConfig cfg;
+  cfg.seed = 7;
+  cfg.num_keys = 5;
+  cfg.window_types = {WindowType::kTumbling, WindowType::kSliding,
+                      WindowType::kSession, WindowType::kUserDefined};
+  cfg.functions = {AggregationFunction::kSum, AggregationFunction::kQuantile};
+  cfg.count_measure_probability = 0.3;
+  auto queries = QueryGenerator(cfg).Take(200);
+  std::map<WindowType, int> types;
+  for (const Query& q : queries) {
+    EXPECT_TRUE(q.Validate().ok()) << q.window.ToString();
+    ++types[q.window.type];
+  }
+  EXPECT_EQ(types.size(), 4u);  // all types appear
+}
+
+}  // namespace
+}  // namespace desis

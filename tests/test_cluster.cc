@@ -1,0 +1,352 @@
+#include "net/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace desis {
+namespace {
+
+Query MakeQuery(QueryId id, WindowSpec window, AggregationFunction fn,
+                Predicate pred = Predicate::All(), double quantile = 0.5) {
+  Query q;
+  q.id = id;
+  q.window = window;
+  q.agg = {fn, quantile};
+  q.predicate = pred;
+  return q;
+}
+
+using ResultMap = std::map<QueryId, std::map<Timestamp, WindowResult>>;
+
+// Feeds per-local streams through the cluster in lock-stepped time rounds
+// of `step` µs, advancing watermarks after each round.
+ResultMap RunCluster(Cluster& cluster,
+                     const std::vector<std::vector<Event>>& per_local,
+                     Timestamp step, Timestamp end_ts) {
+  ResultMap results;
+  cluster.set_sink([&](const WindowResult& r) {
+    results[r.query_id][r.window_start] = r;
+  });
+  std::vector<size_t> cursor(per_local.size(), 0);
+  for (Timestamp t = 0; t <= end_ts; t += step) {
+    for (size_t i = 0; i < per_local.size(); ++i) {
+      const size_t begin = cursor[i];
+      while (cursor[i] < per_local[i].size() &&
+             per_local[i][cursor[i]].ts < t + step) {
+        ++cursor[i];
+      }
+      if (cursor[i] > begin) {
+        cluster.IngestAt(static_cast<int>(i), per_local[i].data() + begin,
+                         cursor[i] - begin);
+      }
+    }
+    cluster.Advance(t + step);
+  }
+  cluster.Advance(end_ts + 10 * step);
+  return results;
+}
+
+// Single-node reference: merge all streams in ts order through DesisEngine.
+ResultMap RunReference(const std::vector<Query>& queries,
+                       const std::vector<std::vector<Event>>& per_local,
+                       Timestamp end_ts) {
+  std::vector<Event> merged;
+  for (const auto& stream : per_local) {
+    merged.insert(merged.end(), stream.begin(), stream.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+  DesisEngine engine;
+  EXPECT_TRUE(engine.Configure(queries).ok());
+  ResultMap results;
+  engine.set_sink([&](const WindowResult& r) {
+    results[r.query_id][r.window_start] = r;
+  });
+  for (const Event& e : merged) engine.Ingest(e);
+  engine.AdvanceTo(end_ts * 20 + 1000);
+  return results;
+}
+
+std::vector<std::vector<Event>> RandomStreams(int locals, int per_local,
+                                              Timestamp max_ts, uint64_t seed,
+                                              int keys = 1) {
+  std::vector<std::vector<Event>> streams(static_cast<size_t>(locals));
+  Rng rng(seed);
+  for (auto& stream : streams) {
+    Timestamp ts = 0;
+    for (int i = 0; i < per_local; ++i) {
+      ts += rng.NextInRange(1, std::max<int64_t>(1, max_ts / per_local));
+      stream.push_back({ts, static_cast<uint32_t>(rng.NextBounded(keys)),
+                        static_cast<double>(rng.NextBounded(1000)), kNoMarker});
+    }
+  }
+  return streams;
+}
+
+void ExpectSameResults(const ResultMap& got, const ResultMap& want,
+                       double tol = 1e-9) {
+  for (const auto& [qid, windows] : want) {
+    auto it = got.find(qid);
+    ASSERT_NE(it, got.end()) << "no results for query " << qid;
+    for (const auto& [ws, result] : windows) {
+      auto wit = it->second.find(ws);
+      ASSERT_NE(wit, it->second.end())
+          << "query " << qid << " missing window @" << ws;
+      EXPECT_NEAR(wit->second.value, result.value, tol)
+          << "query " << qid << " window @" << ws;
+      EXPECT_EQ(wit->second.event_count, result.event_count)
+          << "query " << qid << " window @" << ws;
+    }
+  }
+}
+
+TEST(DesisCluster, TumblingSumMatchesSingleNode) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kSum)};
+  auto streams = RandomStreams(3, 200, 1000, 42);
+  Cluster cluster(ClusterSystem::kDesis, {3, 1});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 50, 1200);
+  auto want = RunReference(queries, streams, 1200);
+  ASSERT_FALSE(want.empty());
+  ExpectSameResults(got, want);
+}
+
+TEST(DesisCluster, MultiQueryCrossFunctionMatchesSingleNode) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kAverage),
+      MakeQuery(2, WindowSpec::Sliding(200, 50), AggregationFunction::kSum),
+      MakeQuery(3, WindowSpec::Tumbling(100), AggregationFunction::kMax),
+      MakeQuery(4, WindowSpec::Tumbling(250), AggregationFunction::kCount),
+  };
+  auto streams = RandomStreams(4, 300, 2000, 7);
+  Cluster cluster(ClusterSystem::kDesis, {4, 2});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 50, 2500);
+  auto want = RunReference(queries, streams, 2500);
+  ExpectSameResults(got, want);
+}
+
+TEST(DesisCluster, NonDecomposableMedianMatchesSingleNode) {
+  // Median partials travel as sorted slice batches; the root merges runs.
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kMedian),
+      MakeQuery(2, WindowSpec::Tumbling(100), AggregationFunction::kQuantile,
+                Predicate::All(), 0.9),
+  };
+  auto streams = RandomStreams(3, 200, 1000, 13);
+  Cluster cluster(ClusterSystem::kDesis, {3, 1});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 50, 1200);
+  auto want = RunReference(queries, streams, 1200);
+  ExpectSameResults(got, want);
+}
+
+TEST(DesisCluster, SessionWindowsAcrossNodes) {
+  // Sessions are global: node 0 active at [0..40], node 1 at [30..80]
+  // with per-node gaps that a single node would close — the union stream
+  // has one session [0, 80+gap).
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Session(25), AggregationFunction::kCount)};
+  std::vector<std::vector<Event>> streams(2);
+  for (Timestamp t = 0; t <= 40; t += 20) streams[0].push_back({t, 0, 1.0, 0});
+  for (Timestamp t = 30; t <= 80; t += 20) streams[1].push_back({t, 0, 1.0, 0});
+  Cluster cluster(ClusterSystem::kDesis, {2, 1});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 10, 300);
+  ASSERT_TRUE(got.contains(1));
+  ASSERT_EQ(got[1].size(), 1u);
+  const WindowResult& r = got[1].begin()->second;
+  EXPECT_EQ(r.window_start, 0);
+  EXPECT_EQ(r.window_end, 95);  // last event 70 + gap 25
+  EXPECT_DOUBLE_EQ(r.value, 6.0);
+}
+
+TEST(DesisCluster, TwoSessionsAcrossNodes) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Session(25), AggregationFunction::kSum)};
+  std::vector<std::vector<Event>> streams(2);
+  streams[0] = {{0, 0, 1.0, 0}, {10, 0, 2.0, 0}, {200, 0, 5.0, 0}};
+  streams[1] = {{15, 0, 3.0, 0}, {210, 0, 7.0, 0}};
+  Cluster cluster(ClusterSystem::kDesis, {2, 0});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 10, 400);
+  ASSERT_EQ(got[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(got[1][0].value, 6.0);     // session [0, 40)
+  EXPECT_DOUBLE_EQ(got[1][200].value, 12.0);  // session [200, 235)
+}
+
+TEST(DesisCluster, UserDefinedWindowsWithBroadcastMarkers) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::UserDefined(), AggregationFunction::kMax)};
+  // Markers occur at the same ts on every stream (stream-global trips).
+  std::vector<std::vector<Event>> streams(2);
+  streams[0] = {{5, 0, 10.0, 0}, {20, 0, 50.0, kWindowEnd}, {30, 0, 7.0, 0},
+                {45, 0, 9.0, kWindowEnd}};
+  streams[1] = {{8, 0, 30.0, 0}, {20, 0, 40.0, kWindowEnd}, {35, 0, 80.0, 0},
+                {45, 0, 6.0, kWindowEnd}};
+  Cluster cluster(ClusterSystem::kDesis, {2, 1});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 5, 100);
+  ASSERT_EQ(got[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(got[1][5].value, 50.0);   // trip 1: max(10,30,50,40)
+  EXPECT_DOUBLE_EQ(got[1][30].value, 80.0);  // trip 2: max(7,80,9,6)
+}
+
+TEST(DesisCluster, CountWindowsEvaluateAtRoot) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::CountTumbling(10), AggregationFunction::kSum)};
+  auto streams = RandomStreams(3, 100, 1000, 5);
+  Cluster cluster(ClusterSystem::kDesis, {3, 1});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 50, 1200);
+  auto want = RunReference(queries, streams, 1200);
+  // Count windows depend on the global arrival order; ties across nodes at
+  // equal ts make window boundaries ambiguous, so compare totals instead of
+  // per-window values.
+  ASSERT_TRUE(got.contains(1));
+  EXPECT_EQ(got[1].size(), want[1].size());
+  double got_sum = 0;
+  double want_sum = 0;
+  for (auto& [ws, r] : got[1]) got_sum += r.value;
+  for (auto& [ws, r] : want[1]) want_sum += r.value;
+  EXPECT_NEAR(got_sum, want_sum, 1e-6);
+}
+
+TEST(DesisCluster, SelectionLanesAcrossNodes) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kSum,
+                Predicate::KeyEquals(0)),
+      MakeQuery(2, WindowSpec::Tumbling(100), AggregationFunction::kSum,
+                Predicate::KeyEquals(1)),
+  };
+  auto streams = RandomStreams(2, 200, 1000, 21, /*keys=*/3);
+  Cluster cluster(ClusterSystem::kDesis, {2, 1});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 50, 1200);
+  auto want = RunReference(queries, streams, 1200);
+  ExpectSameResults(got, want);
+}
+
+TEST(DesisCluster, DeeperTopologyGivesSameResults) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kAverage)};
+  auto streams = RandomStreams(6, 150, 1000, 33);
+  ResultMap per_topology[3];
+  int idx = 0;
+  for (int intermediates : {0, 1, 3}) {
+    Cluster cluster(ClusterSystem::kDesis, {6, intermediates});
+    ASSERT_TRUE(cluster.Configure(queries).ok());
+    per_topology[idx++] = RunCluster(cluster, streams, 50, 1200);
+  }
+  ExpectSameResults(per_topology[1], per_topology[0]);
+  ExpectSameResults(per_topology[2], per_topology[0]);
+}
+
+TEST(CentralizedCluster, ScottyMatchesReference) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kAverage),
+      MakeQuery(2, WindowSpec::Tumbling(100), AggregationFunction::kMedian),
+  };
+  auto streams = RandomStreams(3, 200, 1000, 9);
+  Cluster cluster(ClusterSystem::kScotty, {3, 1});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 50, 1200);
+  auto want = RunReference(queries, streams, 1200);
+  ExpectSameResults(got, want);
+}
+
+TEST(CentralizedCluster, CeBufferMatchesReference) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kSum)};
+  auto streams = RandomStreams(2, 150, 800, 17);
+  Cluster cluster(ClusterSystem::kCeBuffer, {2, 1});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 40, 1000);
+  auto want = RunReference(queries, streams, 1000);
+  ExpectSameResults(got, want);
+}
+
+TEST(DiscoCluster, TumblingAverageMatchesReference) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kAverage)};
+  auto streams = RandomStreams(3, 200, 1000, 23);
+  Cluster cluster(ClusterSystem::kDisco, {3, 1});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 50, 1200);
+  auto want = RunReference(queries, streams, 1200);
+  ExpectSameResults(got, want, 1e-6);  // text round-trip keeps 17 digits
+}
+
+TEST(DiscoCluster, MedianForwardsEventsAndMatches) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kMedian)};
+  auto streams = RandomStreams(2, 150, 800, 29);
+  Cluster cluster(ClusterSystem::kDisco, {2, 1});
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  auto got = RunCluster(cluster, streams, 40, 1000);
+  auto want = RunReference(queries, streams, 1000);
+  ExpectSameResults(got, want, 1e-6);
+}
+
+TEST(NetworkOverhead, DesisSavesBytesForDecomposable) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kAverage)};
+  auto streams = RandomStreams(3, 2000, 5000, 3);
+  Cluster desis(ClusterSystem::kDesis, {3, 1});
+  Cluster scotty(ClusterSystem::kScotty, {3, 1});
+  ASSERT_TRUE(desis.Configure(queries).ok());
+  ASSERT_TRUE(scotty.Configure(queries).ok());
+  RunCluster(desis, streams, 100, 6000);
+  RunCluster(scotty, streams, 100, 6000);
+
+  const uint64_t desis_bytes = desis.BytesSentByRole(NodeRole::kLocal) +
+                               desis.BytesSentByRole(NodeRole::kIntermediate);
+  const uint64_t scotty_bytes =
+      scotty.BytesSentByRole(NodeRole::kLocal) +
+      scotty.BytesSentByRole(NodeRole::kIntermediate);
+  // Decomposable functions: partial results instead of raw events — the
+  // paper reports ~99% savings (Fig 11a).
+  EXPECT_LT(desis_bytes * 10, scotty_bytes);
+}
+
+TEST(NetworkOverhead, MedianForcesEventsToRootEverywhere) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kMedian)};
+  auto streams = RandomStreams(3, 2000, 5000, 4);
+  Cluster desis(ClusterSystem::kDesis, {3, 1});
+  Cluster scotty(ClusterSystem::kScotty, {3, 1});
+  ASSERT_TRUE(desis.Configure(queries).ok());
+  ASSERT_TRUE(scotty.Configure(queries).ok());
+  RunCluster(desis, streams, 100, 6000);
+  RunCluster(scotty, streams, 100, 6000);
+
+  const uint64_t desis_bytes = desis.BytesSentByRole(NodeRole::kLocal);
+  const uint64_t scotty_bytes = scotty.BytesSentByRole(NodeRole::kLocal);
+  // All event values cross the wire either way (Fig 11b): same magnitude.
+  EXPECT_LT(desis_bytes, scotty_bytes * 3);
+  EXPECT_GT(desis_bytes * 3, scotty_bytes);
+}
+
+TEST(NetworkOverhead, DiscoStringsCostMoreThanDesisBinary) {
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kMedian)};
+  auto streams = RandomStreams(2, 1000, 3000, 6);
+  Cluster desis(ClusterSystem::kDesis, {2, 1});
+  Cluster disco(ClusterSystem::kDisco, {2, 1});
+  ASSERT_TRUE(desis.Configure(queries).ok());
+  ASSERT_TRUE(disco.Configure(queries).ok());
+  RunCluster(desis, streams, 100, 4000);
+  RunCluster(disco, streams, 100, 4000);
+  EXPECT_GT(disco.BytesSentByRole(NodeRole::kLocal),
+            desis.BytesSentByRole(NodeRole::kLocal));
+}
+
+}  // namespace
+}  // namespace desis

@@ -1,0 +1,121 @@
+// Engine-interface conformance suite: every StreamEngine implementation,
+// for every window type × aggregation function combination, must match the
+// brute-force oracle. Parameterized across (engine, window type, function).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "baselines/ce_buffer.h"
+#include "baselines/de_bucket.h"
+#include "baselines/de_sw.h"
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace desis {
+namespace {
+
+std::unique_ptr<StreamEngine> MakeEngine(const std::string& name) {
+  if (name == "Desis") return std::make_unique<DesisEngine>();
+  if (name == "DeSW") return std::make_unique<DeSWEngine>();
+  if (name == "Scotty") return std::make_unique<ScottyEngine>();
+  if (name == "DeBucket") return std::make_unique<DeBucketEngine>();
+  return std::make_unique<CeBufferEngine>();
+}
+
+WindowSpec MakeWindow(WindowType type) {
+  switch (type) {
+    case WindowType::kTumbling: return WindowSpec::Tumbling(97);
+    case WindowType::kSliding: return WindowSpec::Sliding(120, 37);
+    case WindowType::kSession: return WindowSpec::Session(23);
+    case WindowType::kUserDefined: return WindowSpec::UserDefined();
+  }
+  return WindowSpec::Tumbling(97);
+}
+
+double Oracle(const std::vector<Event>& events, Timestamp start, Timestamp end,
+              const AggregationSpec& spec, bool end_inclusive) {
+  // User-defined windows close *on* their delimiting marker event: the
+  // event at ts == window_end belongs to the window (end-inclusive).
+  PartialAggregate agg(OperatorsFor(spec.fn));
+  for (const Event& e : events) {
+    if (e.ts >= start && (e.ts < end || (end_inclusive && e.ts == end))) {
+      agg.Add(e.value);
+    }
+  }
+  agg.Seal();
+  return agg.Finalize(spec);
+}
+
+using Param = std::tuple<std::string, WindowType, AggregationFunction>;
+
+class EngineConformance : public ::testing::TestWithParam<Param> {};
+
+TEST_P(EngineConformance, MatchesOracle) {
+  const auto& [name, type, fn] = GetParam();
+  Query q;
+  q.id = 1;
+  q.window = MakeWindow(type);
+  q.agg = {fn, 0.75};
+
+  auto engine = MakeEngine(name);
+  ASSERT_TRUE(engine->Configure({q}).ok());
+
+  std::vector<std::pair<std::pair<Timestamp, Timestamp>, double>> results;
+  engine->set_sink([&](const WindowResult& r) {
+    results.push_back({{r.window_start, r.window_end}, r.value});
+  });
+
+  Rng rng(static_cast<uint64_t>(type) * 100 + static_cast<uint64_t>(fn));
+  std::vector<Event> events;
+  Timestamp ts = 0;
+  for (int i = 0; i < 600; ++i) {
+    // Occasional longer pauses close sessions; sparse markers end trips.
+    ts += rng.NextBool(0.03) ? rng.NextInRange(30, 60) : rng.NextInRange(1, 5);
+    const uint32_t marker = rng.NextBool(0.02) ? kWindowEnd : kNoMarker;
+    // Positive values so product/geomean stay finite.
+    events.push_back({ts, 0, 1.0 + static_cast<double>(rng.NextBounded(99)),
+                      marker});
+  }
+  for (const Event& e : events) engine->Ingest(e);
+  engine->AdvanceTo(ts + 10'000);
+
+  ASSERT_FALSE(results.empty())
+      << name << " " << q.window.ToString() << " " << ToString(fn);
+  for (const auto& [window, value] : results) {
+    const double want = Oracle(events, window.first, window.second, q.agg,
+                               type == WindowType::kUserDefined);
+    // Product can overflow double for long windows; compare with relative
+    // tolerance.
+    const double tol = std::max(1e-9, std::abs(want) * 1e-12);
+    EXPECT_NEAR(value, want, tol)
+        << name << " " << q.window.ToString() << " " << ToString(fn)
+        << " window [" << window.first << "," << window.second << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EngineConformance,
+    ::testing::Combine(
+        ::testing::Values("Desis", "DeSW", "Scotty", "DeBucket", "CeBuffer"),
+        ::testing::Values(WindowType::kTumbling, WindowType::kSliding,
+                          WindowType::kSession, WindowType::kUserDefined),
+        ::testing::Values(AggregationFunction::kSum,
+                          AggregationFunction::kCount,
+                          AggregationFunction::kAverage,
+                          AggregationFunction::kGeometricMean,
+                          AggregationFunction::kMin,
+                          AggregationFunction::kMax,
+                          AggregationFunction::kMedian,
+                          AggregationFunction::kQuantile,
+                          AggregationFunction::kVariance)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::get<0>(info.param) + "_" +
+             ToString(std::get<1>(info.param)) + "_" +
+             ToString(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace desis

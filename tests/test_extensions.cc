@@ -1,0 +1,161 @@
+// Tests for the operator-framework extensions: the user-defined
+// sum-of-squares operator (variance / stddev, §4.2.1) and the approximate
+// quantile sampling mode.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/query_parser.h"
+
+namespace desis {
+namespace {
+
+TEST(VarianceExtension, Table1Mapping) {
+  EXPECT_EQ(OperatorsFor(AggregationFunction::kVariance),
+            MaskOf(OperatorKind::kSum) | MaskOf(OperatorKind::kCount) |
+                MaskOf(OperatorKind::kSumSquares));
+  EXPECT_EQ(OperatorsFor(AggregationFunction::kStdDev),
+            OperatorsFor(AggregationFunction::kVariance));
+  EXPECT_TRUE(IsDecomposable(AggregationFunction::kVariance));
+  EXPECT_TRUE(IsDecomposable(AggregationFunction::kStdDev));
+}
+
+TEST(VarianceExtension, FinalizeMatchesDefinition) {
+  PartialAggregate agg(OperatorsFor(AggregationFunction::kVariance));
+  const double values[] = {2, 4, 4, 4, 5, 5, 7, 9};  // classic example
+  for (double v : values) agg.Add(v);
+  agg.Seal();
+  EXPECT_DOUBLE_EQ(agg.Finalize({AggregationFunction::kVariance, 0}), 4.0);
+  EXPECT_DOUBLE_EQ(agg.Finalize({AggregationFunction::kStdDev, 0}), 2.0);
+}
+
+TEST(VarianceExtension, MergeEqualsSingleShot) {
+  const OperatorMask mask = OperatorsFor(AggregationFunction::kVariance);
+  PartialAggregate whole(mask);
+  PartialAggregate left(mask);
+  PartialAggregate right(mask);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>(rng.NextBounded(50));
+    whole.Add(v);
+    (i % 3 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_NEAR(whole.Finalize({AggregationFunction::kVariance, 0}),
+              left.Finalize({AggregationFunction::kVariance, 0}), 1e-9);
+}
+
+TEST(VarianceExtension, SharesSumAndCountWithAverage) {
+  // avg + variance + stddev share {sum, count, sum_sq}: 3 ops per event.
+  DesisEngine engine;
+  std::vector<Query> queries;
+  for (QueryId id = 1; id <= 3; ++id) {
+    Query q;
+    q.id = id;
+    q.window = WindowSpec::Tumbling(10);
+    q.agg = {id == 1 ? AggregationFunction::kAverage
+             : id == 2 ? AggregationFunction::kVariance
+                       : AggregationFunction::kStdDev,
+             0};
+    queries.push_back(q);
+  }
+  ASSERT_TRUE(engine.Configure(queries).ok());
+  EXPECT_EQ(engine.num_groups(), 1u);
+  std::map<QueryId, double> results;
+  engine.set_sink([&](const WindowResult& r) { results[r.query_id] = r.value; });
+  engine.Ingest({0, 0, 1.0, 0});
+  engine.Ingest({2, 0, 3.0, 0});
+  engine.AdvanceTo(100);
+  EXPECT_DOUBLE_EQ(results[1], 2.0);
+  EXPECT_DOUBLE_EQ(results[2], 1.0);
+  EXPECT_DOUBLE_EQ(results[3], 1.0);
+  EXPECT_EQ(engine.stats().operator_executions, 2u * 3u);
+}
+
+TEST(VarianceExtension, ParserAccepts) {
+  auto q = QueryParser::Parse(
+      "SELECT VARIANCE(value) FROM stream WINDOW TUMBLING(SIZE 1s)", 1);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().agg.fn, AggregationFunction::kVariance);
+  auto q2 = QueryParser::Parse(
+      "SELECT STDDEV(value) FROM stream WINDOW SESSION(GAP 1s)", 2);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2.value().agg.fn, AggregationFunction::kStdDev);
+}
+
+TEST(ApproximateQuantiles, CapBoundsStateSize) {
+  SortedState s;
+  s.set_sample_cap(64);
+  Rng rng(9);
+  for (int i = 0; i < 100'000; ++i) {
+    s.Add(static_cast<double>(rng.NextBounded(1'000'000)));
+  }
+  s.Seal();
+  EXPECT_LE(s.size(), 64u);
+}
+
+TEST(ApproximateQuantiles, QuantilesStayAccurate) {
+  SortedState exact;
+  SortedState approx;
+  approx.set_sample_cap(256);
+  Rng rng(10);
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = static_cast<double>(rng.NextBounded(1'000'000));
+    exact.Add(v);
+    approx.Add(v);
+  }
+  exact.Seal();
+  approx.Seal();
+  for (double q : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+    // Rank error O(1/cap) translates to value error ~ range/cap for a
+    // uniform distribution; allow 3x slack.
+    EXPECT_NEAR(approx.Quantile(q), exact.Quantile(q), 3e6 / 256.0)
+        << "q=" << q;
+  }
+}
+
+TEST(ApproximateQuantiles, MergedSketchesStayBoundedAndAccurate) {
+  SortedState exact;
+  SortedState a;
+  SortedState b;
+  a.set_sample_cap(256);
+  b.set_sample_cap(256);
+  Rng rng(11);
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = static_cast<double>(rng.NextBounded(100'000));
+    exact.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  exact.Seal();
+  a.Seal();
+  b.Seal();
+  a.Merge(b);
+  EXPECT_LE(a.size(), 256u);
+  EXPECT_NEAR(a.Median(), exact.Median(), 3e5 / 256.0);
+}
+
+TEST(ApproximateQuantiles, SerializationPreservesCap) {
+  SortedState s;
+  s.set_sample_cap(16);
+  for (int i = 0; i < 1000; ++i) s.Add(static_cast<double>(i));
+  s.Seal();
+  ByteWriter out;
+  s.SerializeTo(out);
+  ByteReader in(out.bytes());
+  SortedState back = SortedState::DeserializeFrom(in);
+  EXPECT_LE(back.size(), 16u);
+  // Merging after deserialization keeps respecting the cap.
+  SortedState other;
+  other.set_sample_cap(16);
+  for (int i = 0; i < 1000; ++i) other.Add(static_cast<double>(i) + 0.5);
+  other.Seal();
+  back.Merge(other);
+  EXPECT_LE(back.size(), 16u);
+}
+
+}  // namespace
+}  // namespace desis

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/cluster.h"
+
+namespace desis {
+namespace {
+
+Query AvgQuery(QueryId id, Timestamp length) {
+  Query q;
+  q.id = id;
+  q.window = WindowSpec::Tumbling(length);
+  q.agg = {AggregationFunction::kAverage, 0};
+  return q;
+}
+
+Event Ev(Timestamp ts, double v) { return {ts, 0, v, kNoMarker}; }
+
+TEST(FaultTolerance, RemovedLocalStopsBlockingWatermarks) {
+  Cluster cluster(ClusterSystem::kDesis, {3, 1});
+  ASSERT_TRUE(cluster.Configure({AvgQuery(1, 100)}).ok());
+  std::map<Timestamp, WindowResult> results;
+  cluster.set_sink([&](const WindowResult& r) { results[r.window_start] = r; });
+
+  // All three locals feed the first 200 time units.
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Event> events;
+    for (Timestamp t = i; t < 200; t += 10) events.push_back(Ev(t, 1.0));
+    cluster.IngestAt(i, events.data(), events.size());
+  }
+  cluster.Advance(200);
+  EXPECT_TRUE(results.contains(0));
+  EXPECT_TRUE(results.contains(100));
+
+  // Local 2 dies. Without removal, windows would stall forever because its
+  // watermark never advances; after removal the rest make progress.
+  ASSERT_TRUE(cluster.RemoveLocalNode(2).ok());
+  EXPECT_FALSE(cluster.RemoveLocalNode(2).ok());  // idempotence check
+  EXPECT_FALSE(cluster.local_active(2));
+
+  for (int i = 0; i < 2; ++i) {
+    std::vector<Event> events;
+    for (Timestamp t = 200 + i; t < 400; t += 10) events.push_back(Ev(t, 2.0));
+    cluster.IngestAt(i, events.data(), events.size());
+    cluster.AdvanceAt(i, 400);
+  }
+  ASSERT_TRUE(results.contains(300));
+  EXPECT_DOUBLE_EQ(results[300].value, 2.0);
+  // The dead node's events are gone: only 2 locals * 10 events per window.
+  EXPECT_EQ(results[300].event_count, 20u);
+}
+
+TEST(FaultTolerance, SilentNodeSweepRemovesLaggards) {
+  Cluster cluster(ClusterSystem::kDesis, {3, 1});
+  ASSERT_TRUE(cluster.Configure({AvgQuery(1, 100)}).ok());
+  uint64_t fired = 0;
+  cluster.set_sink([&](const WindowResult&) { ++fired; });
+
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Event> events;
+    for (Timestamp t = i; t < 150; t += 10) events.push_back(Ev(t, 1.0));
+    cluster.IngestAt(i, events.data(), events.size());
+  }
+  // Only locals 0 and 1 keep advancing; local 2 goes silent at 150.
+  cluster.AdvanceAt(0, 150);
+  cluster.AdvanceAt(1, 150);
+  cluster.AdvanceAt(2, 150);
+  cluster.AdvanceAt(0, 600);
+  cluster.AdvanceAt(1, 600);
+
+  auto removed = cluster.RemoveSilentLocals(/*min_watermark=*/300);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], 2);
+
+  // Watermarks recompute after the sweep; the pending window [100,200)
+  // (the only remaining one with events) fires.
+  cluster.AdvanceAt(0, 700);
+  cluster.AdvanceAt(1, 700);
+  EXPECT_EQ(fired, 2u);
+}
+
+TEST(FaultTolerance, NodeJoinsAtRuntime) {
+  Cluster cluster(ClusterSystem::kDesis, {2, 1});
+  ASSERT_TRUE(cluster.Configure({AvgQuery(1, 100)}).ok());
+  std::map<Timestamp, WindowResult> results;
+  cluster.set_sink([&](const WindowResult& r) { results[r.window_start] = r; });
+
+  for (int i = 0; i < 2; ++i) {
+    std::vector<Event> events;
+    for (Timestamp t = i; t < 100; t += 10) events.push_back(Ev(t, 1.0));
+    cluster.IngestAt(i, events.data(), events.size());
+  }
+  cluster.Advance(100);
+
+  auto added = cluster.AddLocalNode();
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  const int new_local = added.value();
+  EXPECT_EQ(new_local, 2);
+
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Event> events;
+    for (Timestamp t = 100 + i; t < 300; t += 10) events.push_back(Ev(t, 3.0));
+    cluster.IngestAt(i, events.data(), events.size());
+  }
+  cluster.Advance(400);
+
+  ASSERT_TRUE(results.contains(100));
+  // Window [100,200): 3 locals * 10 events each.
+  EXPECT_EQ(results[100].event_count, 30u);
+  EXPECT_DOUBLE_EQ(results[100].value, 3.0);
+}
+
+TEST(FaultTolerance, RuntimeQueryAddAndRemove) {
+  Cluster cluster(ClusterSystem::kDesis, {2, 1});
+  ASSERT_TRUE(cluster.Configure({AvgQuery(1, 100)}).ok());
+  std::map<QueryId, int> fired;
+  cluster.set_sink([&](const WindowResult& r) { ++fired[r.query_id]; });
+
+  for (int i = 0; i < 2; ++i) {
+    std::vector<Event> events;
+    for (Timestamp t = i; t < 200; t += 5) events.push_back(Ev(t, 1.0));
+    cluster.IngestAt(i, events.data(), events.size());
+  }
+  cluster.Advance(200);
+
+  // Add a sum query at runtime; reject duplicate ids.
+  Query added = AvgQuery(2, 50);
+  added.agg.fn = AggregationFunction::kSum;
+  ASSERT_TRUE(cluster.AddQuery(added).ok());
+  EXPECT_FALSE(cluster.AddQuery(added).ok());
+
+  for (int i = 0; i < 2; ++i) {
+    std::vector<Event> events;
+    for (Timestamp t = 200 + i; t < 400; t += 5) events.push_back(Ev(t, 1.0));
+    cluster.IngestAt(i, events.data(), events.size());
+  }
+  cluster.Advance(400);
+  EXPECT_GT(fired[1], 0);
+  EXPECT_GT(fired[2], 0);
+
+  // Remove query 1; its results stop, query 2 continues.
+  ASSERT_TRUE(cluster.RemoveQuery(1).ok());
+  EXPECT_FALSE(cluster.RemoveQuery(99).ok());
+  const int q1_before = fired[1];
+  for (int i = 0; i < 2; ++i) {
+    std::vector<Event> events;
+    for (Timestamp t = 400 + i; t < 600; t += 5) events.push_back(Ev(t, 1.0));
+    cluster.IngestAt(i, events.data(), events.size());
+  }
+  cluster.Advance(700);
+  EXPECT_EQ(fired[1], q1_before);
+  EXPECT_GT(fired[2], 4);
+}
+
+TEST(FaultTolerance, MembershipOpsRejectedOnCentralizedSystems) {
+  Cluster cluster(ClusterSystem::kScotty, {2, 1});
+  ASSERT_TRUE(cluster.Configure({AvgQuery(1, 100)}).ok());
+  EXPECT_FALSE(cluster.AddLocalNode().ok());
+  EXPECT_FALSE(cluster.RemoveLocalNode(0).ok());
+  EXPECT_FALSE(cluster.AddQuery(AvgQuery(2, 100)).ok());
+  EXPECT_FALSE(cluster.RemoveQuery(1).ok());
+}
+
+}  // namespace
+}  // namespace desis

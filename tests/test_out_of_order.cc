@@ -1,0 +1,121 @@
+#include "core/reorder_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace desis {
+namespace {
+
+TEST(ReorderBuffer, ReleasesInOrder) {
+  ReorderBuffer buf(10);
+  for (Timestamp ts : {5, 3, 8, 1, 12, 7}) {
+    EXPECT_TRUE(buf.Push({ts, 0, 0.0, 0}));
+  }
+  // max seen = 12; releasable: ts + 10 <= 12 -> {1}.
+  Event e;
+  ASSERT_TRUE(buf.Pop(&e));
+  EXPECT_EQ(e.ts, 1);
+  EXPECT_FALSE(buf.Pop(&e));
+
+  EXPECT_TRUE(buf.Push({30, 0, 0.0, 0}));
+  std::vector<Timestamp> released;
+  while (buf.Pop(&e)) released.push_back(e.ts);
+  EXPECT_EQ(released, (std::vector<Timestamp>{3, 5, 7, 8, 12}));
+}
+
+TEST(ReorderBuffer, DropsEventsBehindFrontier) {
+  ReorderBuffer buf(5);
+  buf.Push({10, 0, 0.0, 0});
+  buf.Push({20, 0, 0.0, 0});
+  Event e;
+  while (buf.Pop(&e)) {
+  }
+  EXPECT_EQ(buf.frontier(), 10);
+  EXPECT_FALSE(buf.Push({4, 0, 0.0, 0}));  // older than released data
+  EXPECT_EQ(buf.dropped(), 1u);
+  EXPECT_TRUE(buf.Push({15, 0, 0.0, 0}));
+}
+
+TEST(ReorderBuffer, PopUpToFlushesRegardlessOfSlack) {
+  ReorderBuffer buf(1000);
+  buf.Push({10, 0, 0.0, 0});
+  buf.Push({5, 0, 0.0, 0});
+  Event e;
+  EXPECT_FALSE(buf.Pop(&e));  // lateness slack not exceeded
+  ASSERT_TRUE(buf.PopUpTo(100, &e));
+  EXPECT_EQ(e.ts, 5);
+  ASSERT_TRUE(buf.PopUpTo(100, &e));
+  EXPECT_EQ(e.ts, 10);
+}
+
+TEST(OutOfOrderEngine, ShuffledStreamMatchesOrderedRun) {
+  Query q;
+  q.id = 1;
+  q.window = WindowSpec::Tumbling(100);
+  q.agg = {AggregationFunction::kSum, 0};
+
+  // Ordered reference.
+  Rng rng(5);
+  std::vector<Event> ordered;
+  Timestamp ts = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ts += rng.NextInRange(1, 3);
+    ordered.push_back({ts, 0, static_cast<double>(rng.NextBounded(100)), 0});
+  }
+  DesisEngine ref;
+  ASSERT_TRUE(ref.Configure({q}).ok());
+  std::map<Timestamp, double> want;
+  ref.set_sink([&](const WindowResult& r) { want[r.window_start] = r.value; });
+  for (const Event& e : ordered) ref.Ingest(e);
+  ref.AdvanceTo(ts + 1000);
+
+  // Shuffle within a bounded disorder window, ingest out of order.
+  std::vector<Event> shuffled = ordered;
+  for (size_t i = 0; i + 1 < shuffled.size(); i += 7) {
+    const size_t j = std::min(shuffled.size() - 1, i + 5);
+    std::swap(shuffled[i], shuffled[j]);
+  }
+  DesisEngine engine;
+  engine.EnableOutOfOrderIngest(/*allowed_lateness=*/50);
+  ASSERT_TRUE(engine.Configure({q}).ok());
+  std::map<Timestamp, double> got;
+  engine.set_sink([&](const WindowResult& r) { got[r.window_start] = r.value; });
+  for (const Event& e : shuffled) engine.Ingest(e);
+  engine.AdvanceTo(ts + 1000);
+
+  EXPECT_EQ(engine.dropped_events(), 0u);
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [ws, value] : want) {
+    ASSERT_TRUE(got.contains(ws)) << "window @" << ws;
+    EXPECT_DOUBLE_EQ(got[ws], value) << "window @" << ws;
+  }
+}
+
+TEST(OutOfOrderEngine, TooLateEventsAreDroppedNotMisassigned) {
+  Query q;
+  q.id = 1;
+  q.window = WindowSpec::Tumbling(100);
+  q.agg = {AggregationFunction::kCount, 0};
+  DesisEngine engine;
+  engine.EnableOutOfOrderIngest(10);
+  ASSERT_TRUE(engine.Configure({q}).ok());
+  std::map<Timestamp, uint64_t> got;
+  engine.set_sink(
+      [&](const WindowResult& r) { got[r.window_start] = r.event_count; });
+
+  for (Timestamp t = 0; t < 500; t += 5) engine.Ingest({t, 0, 1.0, 0});
+  engine.Ingest({50, 0, 1.0, 0});  // hopelessly late: frontier is ~485
+  engine.AdvanceTo(1000);
+
+  EXPECT_EQ(engine.dropped_events(), 1u);
+  EXPECT_EQ(got[0], 20u);  // unchanged by the dropped event
+}
+
+}  // namespace
+}  // namespace desis

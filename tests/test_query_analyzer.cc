@@ -1,0 +1,158 @@
+#include "core/query_analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace desis {
+namespace {
+
+Query Q(QueryId id, AggregationFunction fn,
+        Predicate pred = Predicate::All(),
+        WindowSpec window = WindowSpec::Tumbling(100)) {
+  Query q;
+  q.id = id;
+  q.window = window;
+  q.agg = {fn, 0.5};
+  q.predicate = pred;
+  return q;
+}
+
+TEST(QueryAnalyzer, CrossFunctionPolicyMergesEverything) {
+  QueryAnalyzer analyzer;
+  auto groups = analyzer.Analyze({
+      Q(1, AggregationFunction::kSum),
+      Q(2, AggregationFunction::kMedian),
+      Q(3, AggregationFunction::kMax, Predicate::All(), WindowSpec::Session(10)),
+      Q(4, AggregationFunction::kAverage, Predicate::All(),
+        WindowSpec::CountTumbling(50)),
+  });
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups.value().size(), 1u);
+  const QueryGroup& g = groups.value()[0];
+  EXPECT_EQ(g.queries.size(), 4u);
+  EXPECT_EQ(g.lanes.size(), 1u);
+  // Union mask: sum+count (avg, sum) + non-decomp sort (median) — max's
+  // decomposable sort is subsumed by the non-decomposable sort.
+  EXPECT_TRUE(MaskHas(g.mask, OperatorKind::kSum));
+  EXPECT_TRUE(MaskHas(g.mask, OperatorKind::kCount));
+  EXPECT_TRUE(MaskHas(g.mask, OperatorKind::kNonDecomposableSort));
+  EXPECT_FALSE(MaskHas(g.mask, OperatorKind::kDecomposableSort));
+}
+
+TEST(QueryAnalyzer, PerFunctionPolicySplitsByFunctionAndMeasure) {
+  QueryAnalyzer analyzer(DeploymentMode::kCentralized,
+                         SharingPolicy::kPerFunction);
+  auto groups = analyzer.Analyze({
+      Q(1, AggregationFunction::kSum),
+      Q(2, AggregationFunction::kSum),          // same fn: shares
+      Q(3, AggregationFunction::kAverage),      // different fn: splits
+      Q(4, AggregationFunction::kSum, Predicate::All(),
+        WindowSpec::CountTumbling(50)),         // different measure: splits
+  });
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups.value().size(), 3u);
+}
+
+TEST(QueryAnalyzer, DistinctQuantileParamsAreDistinctFunctions) {
+  QueryAnalyzer analyzer(DeploymentMode::kCentralized,
+                         SharingPolicy::kPerFunction);
+  std::vector<Query> queries = {Q(1, AggregationFunction::kQuantile),
+                                Q(2, AggregationFunction::kQuantile)};
+  queries[0].agg.quantile = 0.5;
+  queries[1].agg.quantile = 0.9;
+  auto groups = analyzer.Analyze(queries);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups.value().size(), 2u);  // DeSW cannot share across these
+
+  // ...whereas Desis' cross-function policy shares the sort operator.
+  QueryAnalyzer desis;
+  EXPECT_EQ(desis.Analyze(queries).value().size(), 1u);
+}
+
+TEST(QueryAnalyzer, OverlappingPredicatesSplitIdenticalAndDisjointShare) {
+  QueryAnalyzer analyzer;
+  auto groups = analyzer.Analyze({
+      Q(1, AggregationFunction::kSum, Predicate::KeyEquals(1)),
+      Q(2, AggregationFunction::kSum, Predicate::KeyEquals(2)),   // disjoint
+      Q(3, AggregationFunction::kMax, Predicate::KeyEquals(1)),   // identical
+      Q(4, AggregationFunction::kSum, Predicate::All()),          // overlaps
+  });
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups.value().size(), 2u);
+  EXPECT_EQ(groups.value()[0].queries.size(), 3u);
+  EXPECT_EQ(groups.value()[0].lanes.size(), 2u);  // key=1 and key=2 lanes
+  EXPECT_EQ(groups.value()[1].queries.size(), 1u);
+}
+
+TEST(QueryAnalyzer, DedupFlagMakesSeparateLane) {
+  Query plain = Q(1, AggregationFunction::kCount, Predicate::KeyEquals(1));
+  Query dedup = Q(2, AggregationFunction::kCount, Predicate::KeyEquals(1));
+  dedup.deduplicate = true;
+  QueryAnalyzer analyzer;
+  auto groups = analyzer.Analyze({plain, dedup});
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups.value().size(), 1u);
+  EXPECT_EQ(groups.value()[0].lanes.size(), 2u);
+  EXPECT_NE(groups.value()[0].lanes[0].deduplicate,
+            groups.value()[0].lanes[1].deduplicate);
+}
+
+TEST(QueryAnalyzer, DecentralizedModeSendsCountWindowsToRoot) {
+  QueryAnalyzer analyzer(DeploymentMode::kDecentralized,
+                         SharingPolicy::kCrossFunction);
+  auto groups = analyzer.Analyze({
+      Q(1, AggregationFunction::kSum),
+      Q(2, AggregationFunction::kSum, Predicate::All(),
+        WindowSpec::CountTumbling(100)),
+      Q(3, AggregationFunction::kMedian),  // non-decomposable still pushes
+                                           // down (sorted slice batches)
+  });
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups.value().size(), 2u);
+  int root_only = 0;
+  for (const QueryGroup& g : groups.value()) {
+    root_only += g.root_only ? 1 : 0;
+    if (g.root_only) {
+      ASSERT_EQ(g.queries.size(), 1u);
+      EXPECT_EQ(g.queries[0].query.id, 2u);
+    }
+  }
+  EXPECT_EQ(root_only, 1);
+}
+
+TEST(QueryAnalyzer, RejectsInvalidAndDuplicateQueries) {
+  QueryAnalyzer analyzer;
+  Query bad = Q(1, AggregationFunction::kSum);
+  bad.window.length = -5;
+  EXPECT_FALSE(analyzer.Analyze({bad}).ok());
+
+  EXPECT_FALSE(analyzer
+                   .Analyze({Q(1, AggregationFunction::kSum),
+                             Q(1, AggregationFunction::kMax)})
+                   .ok());
+}
+
+TEST(QueryAnalyzer, PerQueryPolicyIsolatesEveryQuery) {
+  QueryAnalyzer analyzer(DeploymentMode::kCentralized,
+                         SharingPolicy::kPerQuery);
+  auto groups = analyzer.Analyze({Q(1, AggregationFunction::kSum),
+                                  Q(2, AggregationFunction::kSum),
+                                  Q(3, AggregationFunction::kSum)});
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups.value().size(), 3u);
+}
+
+TEST(QueryAnalyzer, GroupIdsAreDense) {
+  QueryAnalyzer analyzer;
+  auto groups = analyzer.Analyze({
+      Q(1, AggregationFunction::kSum, Predicate::All()),
+      Q(2, AggregationFunction::kSum, Predicate::KeyEquals(1)),  // overlaps 1
+      Q(3, AggregationFunction::kSum, Predicate::KeyEquals(1)),  // joins 2
+  });
+  ASSERT_TRUE(groups.ok());
+  for (size_t i = 0; i < groups.value().size(); ++i) {
+    EXPECT_EQ(groups.value()[i].id, i);
+  }
+}
+
+}  // namespace
+}  // namespace desis

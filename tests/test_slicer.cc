@@ -1,0 +1,467 @@
+#include "core/slicer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace desis {
+namespace {
+
+Event Ev(Timestamp ts, double value, uint32_t key = 0,
+         uint32_t marker = kNoMarker) {
+  return Event{ts, key, value, marker};
+}
+
+Query MakeQuery(QueryId id, WindowSpec window, AggregationFunction fn,
+                Predicate pred = Predicate::All(), double quantile = 0.5) {
+  Query q;
+  q.id = id;
+  q.window = window;
+  q.agg = {fn, quantile};
+  q.predicate = pred;
+  return q;
+}
+
+// Runs a configured engine over events, returns results keyed by query.
+std::map<QueryId, std::vector<WindowResult>> RunEngine(
+    StreamEngine& engine, const std::vector<Event>& events,
+    Timestamp final_watermark) {
+  std::map<QueryId, std::vector<WindowResult>> results;
+  engine.set_sink([&](const WindowResult& r) { results[r.query_id].push_back(r); });
+  for (const Event& e : events) engine.Ingest(e);
+  engine.AdvanceTo(final_watermark);
+  return results;
+}
+
+// Brute-force oracle: aggregate of `fn` over events in [start, end) matching
+// `pred`.
+double Oracle(const std::vector<Event>& events, Timestamp start, Timestamp end,
+              AggregationFunction fn, double quantile = 0.5,
+              Predicate pred = Predicate::All()) {
+  std::vector<double> vals;
+  for (const Event& e : events) {
+    if (e.ts >= start && e.ts < end && pred.Matches(e)) vals.push_back(e.value);
+  }
+  PartialAggregate agg(OperatorsFor(fn));
+  for (double v : vals) agg.Add(v);
+  agg.Seal();
+  return agg.Finalize({fn, quantile});
+}
+
+TEST(SlicerTumbling, SumOverThreeWindows) {
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine.Configure({MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kSum)})
+          .ok());
+  std::vector<Event> events;
+  // Windows [0,10): 1+2, [10,20): 3, [20,30): 4+5.
+  events.push_back(Ev(1, 1));
+  events.push_back(Ev(5, 2));
+  events.push_back(Ev(12, 3));
+  events.push_back(Ev(20, 4));
+  events.push_back(Ev(29, 5));
+  auto results = RunEngine(engine, events, 100);
+  ASSERT_EQ(results[1].size(), 3u);
+  EXPECT_DOUBLE_EQ(results[1][0].value, 3.0);
+  EXPECT_EQ(results[1][0].window_start, 0);
+  EXPECT_EQ(results[1][0].window_end, 10);
+  EXPECT_DOUBLE_EQ(results[1][1].value, 3.0);
+  EXPECT_DOUBLE_EQ(results[1][2].value, 9.0);
+  EXPECT_EQ(results[1][2].event_count, 2u);
+}
+
+TEST(SlicerTumbling, EmptyWindowsDoNotFire) {
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine.Configure({MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kSum)})
+          .ok());
+  auto results = RunEngine(engine, {Ev(1, 1), Ev(55, 2)}, 100);
+  // Windows [10,50) are empty: only [0,10) and [50,60) fire.
+  ASSERT_EQ(results[1].size(), 2u);
+  EXPECT_EQ(results[1][0].window_start, 0);
+  EXPECT_EQ(results[1][1].window_start, 50);
+}
+
+TEST(SlicerTumbling, UnalignedFirstEventStillAlignsWindows) {
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine.Configure({MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kCount)})
+          .ok());
+  auto results = RunEngine(engine, {Ev(17, 1), Ev(19, 1), Ev(23, 1)}, 100);
+  ASSERT_EQ(results[1].size(), 2u);
+  EXPECT_EQ(results[1][0].window_start, 10);
+  EXPECT_DOUBLE_EQ(results[1][0].value, 2.0);
+  EXPECT_EQ(results[1][1].window_start, 20);
+  EXPECT_DOUBLE_EQ(results[1][1].value, 1.0);
+}
+
+TEST(SlicerSliding, OverlappingWindowsShareSlices) {
+  DesisEngine engine;
+  ASSERT_TRUE(engine
+                  .Configure({MakeQuery(1, WindowSpec::Sliding(10, 5),
+                                        AggregationFunction::kSum)})
+                  .ok());
+  std::vector<Event> events;
+  for (Timestamp t = 0; t < 30; ++t) events.push_back(Ev(t, 1));
+  auto results = RunEngine(engine, events, 100);
+  // Every full window sums 10.
+  for (const WindowResult& r : results[1]) {
+    if (r.window_start >= 0 && r.window_end <= 30) {
+      EXPECT_DOUBLE_EQ(r.value, 10.0) << "window @" << r.window_start;
+    }
+  }
+  // Slices are [0,5) granularity: 1 slice per 5 events, not per window.
+  EXPECT_LE(engine.stats().slices_created, 7u);
+}
+
+TEST(SlicerSliding, MatchesOracleOnRandomStream) {
+  DesisEngine engine;
+  ASSERT_TRUE(engine
+                  .Configure({MakeQuery(7, WindowSpec::Sliding(100, 20),
+                                        AggregationFunction::kAverage)})
+                  .ok());
+  Rng rng(7);
+  std::vector<Event> events;
+  Timestamp ts = 0;
+  for (int i = 0; i < 500; ++i) {
+    ts += rng.NextInRange(1, 5);
+    events.push_back(Ev(ts, static_cast<double>(rng.NextBounded(1000))));
+  }
+  auto results = RunEngine(engine, events, ts + 1000);
+  ASSERT_FALSE(results[7].empty());
+  for (const WindowResult& r : results[7]) {
+    EXPECT_NEAR(r.value,
+                Oracle(events, r.window_start, r.window_end,
+                       AggregationFunction::kAverage),
+                1e-9);
+  }
+}
+
+TEST(SlicerSession, GapsCloseSessions) {
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine.Configure({MakeQuery(1, WindowSpec::Session(10), AggregationFunction::kSum)})
+          .ok());
+  // Session 1: events at 0..4; gap; session 2: 50..52.
+  std::vector<Event> events = {Ev(0, 1), Ev(4, 2), Ev(50, 3), Ev(52, 4)};
+  auto results = RunEngine(engine, events, 1000);
+  ASSERT_EQ(results[1].size(), 2u);
+  EXPECT_EQ(results[1][0].window_start, 0);
+  EXPECT_EQ(results[1][0].window_end, 14);  // last event + gap
+  EXPECT_DOUBLE_EQ(results[1][0].value, 3.0);
+  EXPECT_EQ(results[1][1].window_start, 50);
+  EXPECT_EQ(results[1][1].window_end, 62);
+  EXPECT_DOUBLE_EQ(results[1][1].value, 7.0);
+}
+
+TEST(SlicerSession, BackToBackEventsExtendSession) {
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine.Configure({MakeQuery(1, WindowSpec::Session(10), AggregationFunction::kCount)})
+          .ok());
+  std::vector<Event> events;
+  for (Timestamp t = 0; t < 100; t += 9) events.push_back(Ev(t, 1));
+  auto results = RunEngine(engine, events, 1000);
+  ASSERT_EQ(results[1].size(), 1u);
+  EXPECT_DOUBLE_EQ(results[1][0].value, 12.0);
+}
+
+TEST(SlicerUserDefined, MarkerEventsDelimitWindows) {
+  DesisEngine engine;
+  ASSERT_TRUE(engine
+                  .Configure({MakeQuery(1, WindowSpec::UserDefined(),
+                                        AggregationFunction::kMax)})
+                  .ok());
+  // "Trips": window opens at first event, closes at kWindowEnd (inclusive).
+  std::vector<Event> events = {Ev(0, 10),  Ev(5, 30),
+                               Ev(9, 20, 0, kWindowEnd),  // trip 1 ends
+                               Ev(15, 5),  Ev(21, 70),
+                               Ev(30, 60, 0, kWindowEnd)};
+  auto results = RunEngine(engine, events, 1000);
+  ASSERT_EQ(results[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(results[1][0].value, 30.0);
+  EXPECT_EQ(results[1][0].event_count, 3u);  // marker event included
+  EXPECT_DOUBLE_EQ(results[1][1].value, 70.0);
+}
+
+TEST(SlicerCount, CountTumblingFiresEveryNEvents) {
+  DesisEngine engine;
+  ASSERT_TRUE(engine
+                  .Configure({MakeQuery(1, WindowSpec::CountTumbling(3),
+                                        AggregationFunction::kSum)})
+                  .ok());
+  std::vector<Event> events;
+  for (int i = 1; i <= 9; ++i) events.push_back(Ev(i, i));
+  auto results = RunEngine(engine, events, 1000);
+  ASSERT_EQ(results[1].size(), 3u);
+  EXPECT_DOUBLE_EQ(results[1][0].value, 6.0);    // 1+2+3
+  EXPECT_DOUBLE_EQ(results[1][1].value, 15.0);   // 4+5+6
+  EXPECT_DOUBLE_EQ(results[1][2].value, 24.0);   // 7+8+9
+}
+
+TEST(SlicerCount, CountSlidingOverlaps) {
+  DesisEngine engine;
+  ASSERT_TRUE(engine
+                  .Configure({MakeQuery(1, WindowSpec::CountSliding(4, 2),
+                                        AggregationFunction::kSum)})
+                  .ok());
+  std::vector<Event> events;
+  for (int i = 1; i <= 8; ++i) events.push_back(Ev(i, i));
+  auto results = RunEngine(engine, events, 1000);
+  // Windows over events [1..4], [3..6], [5..8].
+  ASSERT_EQ(results[1].size(), 3u);
+  EXPECT_DOUBLE_EQ(results[1][0].value, 10.0);
+  EXPECT_DOUBLE_EQ(results[1][1].value, 18.0);
+  EXPECT_DOUBLE_EQ(results[1][2].value, 26.0);
+}
+
+TEST(SlicerSharing, CrossFunctionGroupProcessesEventsOnce) {
+  // avg + sum + count + max + median over identical tumbling windows:
+  // one query-group, shared slices.
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine
+          .Configure({
+              MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kAverage),
+              MakeQuery(2, WindowSpec::Tumbling(10), AggregationFunction::kSum),
+              MakeQuery(3, WindowSpec::Tumbling(10), AggregationFunction::kCount),
+              MakeQuery(4, WindowSpec::Tumbling(10), AggregationFunction::kMax),
+              MakeQuery(5, WindowSpec::Tumbling(10), AggregationFunction::kMedian),
+          })
+          .ok());
+  EXPECT_EQ(engine.num_groups(), 1u);
+
+  std::vector<Event> events = {Ev(0, 2), Ev(3, 8), Ev(7, 5)};
+  auto results = RunEngine(engine, events, 100);
+  EXPECT_DOUBLE_EQ(results[1][0].value, 5.0);
+  EXPECT_DOUBLE_EQ(results[2][0].value, 15.0);
+  EXPECT_DOUBLE_EQ(results[3][0].value, 3.0);
+  EXPECT_DOUBLE_EQ(results[4][0].value, 8.0);
+  EXPECT_DOUBLE_EQ(results[5][0].value, 5.0);
+
+  // Operators executed per event: {sum, count, sorted} = 3 — max shares the
+  // non-decomposable sort required by median (§6.3.2), so the decomposable
+  // sort is dropped entirely. Without sharing: 5 functions' worth of work.
+  EXPECT_EQ(engine.stats().operator_executions, 3u * 3u);
+  // One slice per window, shared across all five queries.
+  EXPECT_EQ(engine.stats().slices_created, 1u);
+}
+
+TEST(SlicerSharing, MixedWindowTypesShareOneGroup) {
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine
+          .Configure({
+              MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kSum),
+              MakeQuery(2, WindowSpec::Sliding(10, 5), AggregationFunction::kAverage),
+              MakeQuery(3, WindowSpec::Session(8), AggregationFunction::kCount),
+              MakeQuery(4, WindowSpec::UserDefined(), AggregationFunction::kMax),
+          })
+          .ok());
+  EXPECT_EQ(engine.num_groups(), 1u);
+
+  Rng rng(3);
+  std::vector<Event> events;
+  Timestamp ts = 0;
+  for (int i = 0; i < 200; ++i) {
+    ts += rng.NextInRange(1, 3);
+    uint32_t marker = rng.NextBool(0.05) ? kWindowEnd : kNoMarker;
+    events.push_back(Ev(ts, static_cast<double>(rng.NextBounded(100)), 0, marker));
+  }
+  auto results = RunEngine(engine, events, ts + 100);
+  // Check tumbling results against the oracle.
+  for (const WindowResult& r : results[1]) {
+    EXPECT_DOUBLE_EQ(
+        r.value, Oracle(events, r.window_start, r.window_end, AggregationFunction::kSum));
+  }
+  for (const WindowResult& r : results[2]) {
+    EXPECT_NEAR(r.value,
+                Oracle(events, r.window_start, r.window_end,
+                       AggregationFunction::kAverage),
+                1e-9);
+  }
+  EXPECT_FALSE(results[3].empty());
+  EXPECT_FALSE(results[4].empty());
+}
+
+TEST(SlicerSelection, DisjointPredicatesShareGroupSeparateLanes) {
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine
+          .Configure({
+              MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kSum,
+                        Predicate::KeyEquals(1)),
+              MakeQuery(2, WindowSpec::Tumbling(10), AggregationFunction::kSum,
+                        Predicate::KeyEquals(2)),
+          })
+          .ok());
+  EXPECT_EQ(engine.num_groups(), 1u);
+  ASSERT_EQ(engine.group(0).lanes.size(), 2u);
+
+  std::vector<Event> events = {Ev(0, 5, 1), Ev(1, 7, 2), Ev(2, 3, 1),
+                               Ev(3, 100, 9)};  // key 9 matches nobody
+  auto results = RunEngine(engine, events, 100);
+  EXPECT_DOUBLE_EQ(results[1][0].value, 8.0);
+  EXPECT_DOUBLE_EQ(results[2][0].value, 7.0);
+}
+
+TEST(SlicerSelection, OverlappingPredicatesSplitGroups) {
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine
+          .Configure({
+              MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kSum,
+                        Predicate::All()),
+              MakeQuery(2, WindowSpec::Tumbling(10), AggregationFunction::kSum,
+                        Predicate::KeyEquals(2)),
+          })
+          .ok());
+  EXPECT_EQ(engine.num_groups(), 2u);
+}
+
+TEST(SlicerSelection, ValueRangePredicates) {
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine
+          .Configure({
+              MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kCount,
+                        Predicate::ValueRange(80, 1e18)),  // speed > 80
+              MakeQuery(2, WindowSpec::Tumbling(10), AggregationFunction::kCount,
+                        Predicate::ValueRange(-1e18, 25)),  // speed < 25
+          })
+          .ok());
+  EXPECT_EQ(engine.num_groups(), 1u);  // non-overlapping predicates share
+  std::vector<Event> events = {Ev(0, 90), Ev(1, 10), Ev(2, 50), Ev(3, 85)};
+  auto results = RunEngine(engine, events, 100);
+  EXPECT_DOUBLE_EQ(results[1][0].value, 2.0);
+  EXPECT_DOUBLE_EQ(results[2][0].value, 1.0);
+}
+
+TEST(SlicerDedup, DuplicateEventsDropped) {
+  Query q = MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kCount);
+  q.deduplicate = true;
+  DesisEngine engine;
+  ASSERT_TRUE(engine.Configure({q}).ok());
+  std::vector<Event> events = {Ev(0, 5), Ev(0, 5), Ev(1, 5), Ev(0, 5)};
+  auto results = RunEngine(engine, events, 100);
+  EXPECT_DOUBLE_EQ(results[1][0].value, 2.0);  // (0,5) and (1,5)
+}
+
+TEST(SlicerRuntime, AddAndRemoveQueries) {
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine.Configure({MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kSum)})
+          .ok());
+  std::map<QueryId, std::vector<WindowResult>> results;
+  engine.set_sink([&](const WindowResult& r) { results[r.query_id].push_back(r); });
+
+  engine.Ingest(Ev(0, 1));
+  ASSERT_TRUE(
+      engine.AddQuery(MakeQuery(2, WindowSpec::Tumbling(10), AggregationFunction::kCount))
+          .ok());
+  EXPECT_FALSE(
+      engine.AddQuery(MakeQuery(2, WindowSpec::Tumbling(5), AggregationFunction::kSum))
+          .ok());  // duplicate id
+  engine.Ingest(Ev(12, 2));
+  engine.Ingest(Ev(25, 3));
+  ASSERT_TRUE(engine.RemoveQuery(1).ok());
+  EXPECT_FALSE(engine.RemoveQuery(99).ok());
+  engine.Ingest(Ev(38, 4));
+  engine.AdvanceTo(1000);
+
+  EXPECT_FALSE(results[1].empty());
+  EXPECT_FALSE(results[2].empty());
+  // Query 1 was removed at t=25: no results for windows at/after 30.
+  for (const WindowResult& r : results[1]) EXPECT_LT(r.window_start, 30);
+}
+
+TEST(SlicerGc, SlicesAreCollected) {
+  DesisEngine engine;
+  ASSERT_TRUE(
+      engine.Configure({MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kSum)})
+          .ok());
+  uint64_t fired = 0;
+  engine.set_sink([&](const WindowResult&) { ++fired; });
+  for (Timestamp t = 0; t < 100000; ++t) engine.Ingest(Ev(t, 1));
+  EXPECT_GT(fired, 9000u);
+  // Tumbling windows never need more than the current slice: the engine's
+  // retained slice count must not grow with stream length (smoke check via
+  // stats: slices created == windows fired + open ones).
+  EXPECT_GE(engine.stats().slices_created, fired);
+}
+
+TEST(SlicerScan, PerEventScanMatchesPrecomputed) {
+  // DeSW-style scanning punctuation must produce identical results.
+  std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(10), AggregationFunction::kSum),
+      MakeQuery(2, WindowSpec::Sliding(20, 5), AggregationFunction::kMax),
+      MakeQuery(3, WindowSpec::Session(7), AggregationFunction::kAverage),
+  };
+  SlicingEngine desis("Desis", SharingPolicy::kCrossFunction,
+                      PunctuationStrategy::kPrecomputed);
+  SlicingEngine scan("Scan", SharingPolicy::kCrossFunction,
+                     PunctuationStrategy::kPerEventScan);
+  ASSERT_TRUE(desis.Configure(queries).ok());
+  ASSERT_TRUE(scan.Configure(queries).ok());
+
+  Rng rng(11);
+  std::vector<Event> events;
+  Timestamp ts = 0;
+  for (int i = 0; i < 400; ++i) {
+    ts += rng.NextInRange(1, 4);
+    events.push_back(Ev(ts, static_cast<double>(rng.NextBounded(50))));
+  }
+  auto a = RunEngine(desis, events, ts + 100);
+  auto b = RunEngine(scan, events, ts + 100);
+  ASSERT_EQ(a.size(), b.size());
+  for (auto& [qid, wins] : a) {
+    ASSERT_EQ(wins.size(), b[qid].size()) << "query " << qid;
+    for (size_t i = 0; i < wins.size(); ++i) {
+      EXPECT_EQ(wins[i].window_start, b[qid][i].window_start);
+      EXPECT_DOUBLE_EQ(wins[i].value, b[qid][i].value);
+    }
+  }
+}
+
+// Property sweep: for every (length, slide) combination, sliding windows
+// must match the brute-force oracle.
+class SlidingOracleProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SlidingOracleProperty, MatchesOracle) {
+  const auto [length, slide] = GetParam();
+  DesisEngine engine;
+  ASSERT_TRUE(engine
+                  .Configure({MakeQuery(1, WindowSpec::Sliding(length, slide),
+                                        AggregationFunction::kSum)})
+                  .ok());
+  Rng rng(static_cast<uint64_t>(length * 1000 + slide));
+  std::vector<Event> events;
+  Timestamp ts = 0;
+  for (int i = 0; i < 300; ++i) {
+    ts += rng.NextInRange(1, 3);
+    events.push_back(Ev(ts, static_cast<double>(rng.NextBounded(10))));
+  }
+  auto results = RunEngine(engine, events, ts + 10 * length);
+  ASSERT_FALSE(results[1].empty());
+  for (const WindowResult& r : results[1]) {
+    EXPECT_DOUBLE_EQ(
+        r.value, Oracle(events, r.window_start, r.window_end, AggregationFunction::kSum))
+        << "window [" << r.window_start << "," << r.window_end << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthSlide, SlidingOracleProperty,
+    ::testing::Values(std::pair{10, 10}, std::pair{10, 5}, std::pair{10, 3},
+                      std::pair{10, 1}, std::pair{25, 7}, std::pair{100, 11},
+                      std::pair{64, 16}, std::pair{9, 2}));
+
+}  // namespace
+}  // namespace desis

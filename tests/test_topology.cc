@@ -1,0 +1,128 @@
+// Multi-hop topology tests: the paper discusses complicated networks with
+// multiple intermediate layers between locals and the root (§6.4.1).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/cluster.h"
+
+namespace desis {
+namespace {
+
+Query AvgQuery(QueryId id) {
+  Query q;
+  q.id = id;
+  q.window = WindowSpec::Tumbling(100);
+  q.agg = {AggregationFunction::kAverage, 0};
+  return q;
+}
+
+using ResultMap = std::map<Timestamp, WindowResult>;
+
+ResultMap RunChain(Cluster& cluster, int locals, int events_per_local,
+                   uint64_t seed, Timestamp round = 20) {
+  ResultMap results;
+  cluster.set_sink([&](const WindowResult& r) { results[r.window_start] = r; });
+  Rng rng(seed);
+  std::vector<std::vector<Event>> streams(static_cast<size_t>(locals));
+  Timestamp max_ts = 0;
+  for (auto& stream : streams) {
+    Timestamp ts = 0;
+    for (int i = 0; i < events_per_local; ++i) {
+      ts += rng.NextInRange(1, 4);
+      stream.push_back({ts, 0, static_cast<double>(rng.NextBounded(100)), 0});
+    }
+    max_ts = std::max(max_ts, ts);
+  }
+  std::vector<size_t> cursor(streams.size(), 0);
+  for (Timestamp t = 0; t <= max_ts + round; t += round) {
+    for (size_t i = 0; i < streams.size(); ++i) {
+      const size_t begin = cursor[i];
+      while (cursor[i] < streams[i].size() &&
+             streams[i][cursor[i]].ts < t + round) {
+        ++cursor[i];
+      }
+      if (cursor[i] > begin) {
+        cluster.IngestAt(static_cast<int>(i), streams[i].data() + begin,
+                         cursor[i] - begin);
+      }
+    }
+    cluster.Advance(t + round);
+  }
+  cluster.Advance(max_ts + 10'000);
+  return results;
+}
+
+TEST(MultiHop, DeepChainsProduceIdenticalResults) {
+  ResultMap reference;
+  for (int layers : {1, 2, 4}) {
+    Cluster cluster(ClusterSystem::kDesis, {4, 2, layers});
+    ASSERT_TRUE(cluster.Configure({AvgQuery(1)}).ok());
+    ResultMap results = RunChain(cluster, 4, 300, 99);
+    ASSERT_FALSE(results.empty());
+    if (layers == 1) {
+      reference = results;
+      continue;
+    }
+    ASSERT_EQ(results.size(), reference.size()) << layers << " layers";
+    for (const auto& [ws, r] : reference) {
+      ASSERT_TRUE(results.contains(ws)) << layers << " layers, window " << ws;
+      EXPECT_DOUBLE_EQ(results[ws].value, r.value)
+          << layers << " layers, window " << ws;
+      EXPECT_EQ(results[ws].event_count, r.event_count);
+    }
+  }
+}
+
+TEST(MultiHop, CentralizedBytesGrowPerHopDesisBytesDoNot) {
+  // §6.4.1: "the network overhead will linearly increase in a complicated
+  // topology with multiple intermediate layers" for centralized systems,
+  // while for decentralized systems the increase is negligible.
+  // Realistic ratios: thousands of events per window and per watermark
+  // round, as in the benches — otherwise heartbeat traffic dominates.
+  Query query = AvgQuery(1);
+  query.window = WindowSpec::Tumbling(1000);
+  auto total_bytes = [&query](ClusterSystem system, int layers) {
+    Cluster cluster(system, {2, 1, layers});
+    EXPECT_TRUE(cluster.Configure({query}).ok());
+    RunChain(cluster, 2, 20'000, 7, /*round=*/500);
+    return cluster.BytesSentByRole(NodeRole::kLocal) +
+           cluster.BytesSentByRole(NodeRole::kIntermediate);
+  };
+
+  const uint64_t scotty_1 = total_bytes(ClusterSystem::kScotty, 1);
+  const uint64_t scotty_4 = total_bytes(ClusterSystem::kScotty, 4);
+  // 1 local layer + 4 relay layers ~ 5/2 of the 1-layer total.
+  EXPECT_GT(scotty_4, scotty_1 * 2);
+
+  const uint64_t desis_1 = total_bytes(ClusterSystem::kDesis, 1);
+  const uint64_t desis_4 = total_bytes(ClusterSystem::kDesis, 4);
+  EXPECT_LT(desis_4, desis_1 * 4);       // grows with hops but...
+  EXPECT_LT(desis_4 * 20, scotty_4);     // ...stays tiny vs centralized.
+}
+
+TEST(MultiHop, DiscoChainsMergeAtEveryLayer) {
+  Cluster disco(ClusterSystem::kDisco, {4, 2, 3});
+  ASSERT_TRUE(disco.Configure({AvgQuery(1)}).ok());
+  ResultMap results = RunChain(disco, 4, 300, 21);
+  ASSERT_FALSE(results.empty());
+
+  Cluster desis(ClusterSystem::kDesis, {4, 2, 3});
+  ASSERT_TRUE(desis.Configure({AvgQuery(1)}).ok());
+  ResultMap expected = RunChain(desis, 4, 300, 21);
+  ASSERT_EQ(results.size(), expected.size());
+  for (const auto& [ws, r] : expected) {
+    EXPECT_NEAR(results[ws].value, r.value, 1e-6) << "window " << ws;
+  }
+}
+
+TEST(MultiHop, InvalidLayerCountRejected) {
+  Cluster cluster(ClusterSystem::kDesis, {2, 1, 0});
+  EXPECT_FALSE(cluster.Configure({AvgQuery(1)}).ok());
+}
+
+}  // namespace
+}  // namespace desis

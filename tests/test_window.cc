@@ -1,0 +1,112 @@
+#include "core/window.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+
+namespace desis {
+namespace {
+
+TEST(WindowSpec, FactoriesProduceValidSpecs) {
+  EXPECT_TRUE(WindowSpec::Tumbling(kSecond).Validate().ok());
+  EXPECT_TRUE(WindowSpec::Sliding(10 * kSecond, kSecond).Validate().ok());
+  EXPECT_TRUE(WindowSpec::Session(500 * kMillisecond).Validate().ok());
+  EXPECT_TRUE(WindowSpec::UserDefined().Validate().ok());
+  EXPECT_TRUE(WindowSpec::CountTumbling(1000).Validate().ok());
+  EXPECT_TRUE(WindowSpec::CountSliding(1000, 100).Validate().ok());
+}
+
+TEST(WindowSpec, InvalidSpecsRejected) {
+  EXPECT_FALSE(WindowSpec::Tumbling(0).Validate().ok());
+  EXPECT_FALSE(WindowSpec::Tumbling(-5).Validate().ok());
+  EXPECT_FALSE(WindowSpec::Sliding(10, 0).Validate().ok());
+  // slide > length leaves gaps in coverage.
+  EXPECT_FALSE(WindowSpec::Sliding(10, 20).Validate().ok());
+  EXPECT_FALSE(WindowSpec::Session(0).Validate().ok());
+  EXPECT_FALSE(WindowSpec::CountTumbling(0).Validate().ok());
+
+  WindowSpec weird = WindowSpec::Tumbling(10);
+  weird.slide = 5;  // tumbling windows must have slide == length
+  EXPECT_FALSE(weird.Validate().ok());
+
+  WindowSpec count_session = WindowSpec::Session(10);
+  count_session.measure = WindowMeasure::kCount;
+  EXPECT_FALSE(count_session.Validate().ok());
+}
+
+TEST(WindowSpec, FixedSizePredicate) {
+  EXPECT_TRUE(WindowSpec::Tumbling(10).IsFixedSize());
+  EXPECT_TRUE(WindowSpec::Sliding(10, 5).IsFixedSize());
+  EXPECT_FALSE(WindowSpec::Session(10).IsFixedSize());
+  EXPECT_FALSE(WindowSpec::UserDefined().IsFixedSize());
+}
+
+TEST(WindowSpec, ToStringIsInformative) {
+  EXPECT_EQ(WindowSpec::Tumbling(10).ToString(), "tumbling(time, length=10)");
+  EXPECT_EQ(WindowSpec::Sliding(10, 5).ToString(),
+            "sliding(time, length=10, slide=5)");
+  EXPECT_EQ(WindowSpec::Session(7).ToString(), "session(time, gap=7)");
+  EXPECT_EQ(WindowSpec::UserDefined().ToString(), "user_defined(time)");
+  EXPECT_EQ(WindowSpec::CountTumbling(3).ToString(),
+            "tumbling(count, length=3)");
+}
+
+TEST(Predicate, RelationMatrix) {
+  const Predicate all = Predicate::All();
+  const Predicate k1 = Predicate::KeyEquals(1);
+  const Predicate k2 = Predicate::KeyEquals(2);
+  const Predicate lo = Predicate::ValueRange(0, 10);
+  const Predicate hi = Predicate::ValueRange(10, 20);
+  const Predicate mid = Predicate::ValueRange(5, 15);
+  const Predicate k1lo = Predicate::KeyAndRange(1, 0, 10);
+  const Predicate k2lo = Predicate::KeyAndRange(2, 0, 10);
+
+  EXPECT_EQ(all.RelationTo(all), PredicateRelation::kIdentical);
+  EXPECT_EQ(k1.RelationTo(k1), PredicateRelation::kIdentical);
+  EXPECT_EQ(k1.RelationTo(k2), PredicateRelation::kDisjoint);
+  EXPECT_EQ(lo.RelationTo(hi), PredicateRelation::kDisjoint);
+  EXPECT_EQ(hi.RelationTo(lo), PredicateRelation::kDisjoint);
+  EXPECT_EQ(lo.RelationTo(mid), PredicateRelation::kOverlapping);
+  EXPECT_EQ(all.RelationTo(k1), PredicateRelation::kOverlapping);
+  EXPECT_EQ(k1lo.RelationTo(k2lo), PredicateRelation::kDisjoint);
+  EXPECT_EQ(k1lo.RelationTo(k1), PredicateRelation::kOverlapping);
+  // Same key, disjoint ranges -> disjoint.
+  EXPECT_EQ(Predicate::KeyAndRange(1, 0, 10).RelationTo(
+                Predicate::KeyAndRange(1, 10, 20)),
+            PredicateRelation::kDisjoint);
+}
+
+TEST(Predicate, MatchSemantics) {
+  const Predicate p = Predicate::KeyAndRange(2, 10, 20);
+  EXPECT_TRUE(p.Matches({0, 2, 10.0, 0}));   // lo inclusive
+  EXPECT_FALSE(p.Matches({0, 2, 20.0, 0}));  // hi exclusive
+  EXPECT_FALSE(p.Matches({0, 3, 15.0, 0}));  // wrong key
+}
+
+TEST(Query, ValidationCatchesBadQuantiles) {
+  Query q;
+  q.id = 1;
+  q.window = WindowSpec::Tumbling(10);
+  q.agg = {AggregationFunction::kQuantile, 1.5};
+  EXPECT_FALSE(q.Validate().ok());
+  q.agg.quantile = 0.99;
+  EXPECT_TRUE(q.Validate().ok());
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  const Status s = Status::InvalidArgument("bad window");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad window");
+
+  Result<int> r = 42;
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  Result<int> bad = Status::NotFound("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace desis
