@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decentralized_iot.dir/decentralized_iot.cpp.o"
+  "CMakeFiles/decentralized_iot.dir/decentralized_iot.cpp.o.d"
+  "decentralized_iot"
+  "decentralized_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decentralized_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_query_sharing.dir/multi_query_sharing.cpp.o"
+  "CMakeFiles/multi_query_sharing.dir/multi_query_sharing.cpp.o.d"
+  "multi_query_sharing"
+  "multi_query_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_query_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trip_analytics.dir/trip_analytics.cpp.o"
+  "CMakeFiles/trip_analytics.dir/trip_analytics.cpp.o.d"
+  "trip_analytics"
+  "trip_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trip_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

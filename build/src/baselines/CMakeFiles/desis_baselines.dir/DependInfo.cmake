@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ce_buffer.cc" "src/baselines/CMakeFiles/desis_baselines.dir/ce_buffer.cc.o" "gcc" "src/baselines/CMakeFiles/desis_baselines.dir/ce_buffer.cc.o.d"
+  "/root/repo/src/baselines/de_bucket.cc" "src/baselines/CMakeFiles/desis_baselines.dir/de_bucket.cc.o" "gcc" "src/baselines/CMakeFiles/desis_baselines.dir/de_bucket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/desis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

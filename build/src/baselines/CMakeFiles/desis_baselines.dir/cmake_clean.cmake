@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desis_baselines.dir/ce_buffer.cc.o"
+  "CMakeFiles/desis_baselines.dir/ce_buffer.cc.o.d"
+  "CMakeFiles/desis_baselines.dir/de_bucket.cc.o"
+  "CMakeFiles/desis_baselines.dir/de_bucket.cc.o.d"
+  "libdesis_baselines.a"
+  "libdesis_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desis_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

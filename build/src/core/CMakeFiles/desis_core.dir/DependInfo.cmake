@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cc" "src/core/CMakeFiles/desis_core.dir/aggregation.cc.o" "gcc" "src/core/CMakeFiles/desis_core.dir/aggregation.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/desis_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/desis_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/operators.cc" "src/core/CMakeFiles/desis_core.dir/operators.cc.o" "gcc" "src/core/CMakeFiles/desis_core.dir/operators.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/desis_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/desis_core.dir/query.cc.o.d"
+  "/root/repo/src/core/query_analyzer.cc" "src/core/CMakeFiles/desis_core.dir/query_analyzer.cc.o" "gcc" "src/core/CMakeFiles/desis_core.dir/query_analyzer.cc.o.d"
+  "/root/repo/src/core/query_parser.cc" "src/core/CMakeFiles/desis_core.dir/query_parser.cc.o" "gcc" "src/core/CMakeFiles/desis_core.dir/query_parser.cc.o.d"
+  "/root/repo/src/core/slicer.cc" "src/core/CMakeFiles/desis_core.dir/slicer.cc.o" "gcc" "src/core/CMakeFiles/desis_core.dir/slicer.cc.o.d"
+  "/root/repo/src/core/window.cc" "src/core/CMakeFiles/desis_core.dir/window.cc.o" "gcc" "src/core/CMakeFiles/desis_core.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desis_core.dir/aggregation.cc.o"
+  "CMakeFiles/desis_core.dir/aggregation.cc.o.d"
+  "CMakeFiles/desis_core.dir/engine.cc.o"
+  "CMakeFiles/desis_core.dir/engine.cc.o.d"
+  "CMakeFiles/desis_core.dir/operators.cc.o"
+  "CMakeFiles/desis_core.dir/operators.cc.o.d"
+  "CMakeFiles/desis_core.dir/query.cc.o"
+  "CMakeFiles/desis_core.dir/query.cc.o.d"
+  "CMakeFiles/desis_core.dir/query_analyzer.cc.o"
+  "CMakeFiles/desis_core.dir/query_analyzer.cc.o.d"
+  "CMakeFiles/desis_core.dir/query_parser.cc.o"
+  "CMakeFiles/desis_core.dir/query_parser.cc.o.d"
+  "CMakeFiles/desis_core.dir/slicer.cc.o"
+  "CMakeFiles/desis_core.dir/slicer.cc.o.d"
+  "CMakeFiles/desis_core.dir/window.cc.o"
+  "CMakeFiles/desis_core.dir/window.cc.o.d"
+  "libdesis_core.a"
+  "libdesis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

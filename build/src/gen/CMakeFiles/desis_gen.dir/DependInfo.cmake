@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/data_generator.cc" "src/gen/CMakeFiles/desis_gen.dir/data_generator.cc.o" "gcc" "src/gen/CMakeFiles/desis_gen.dir/data_generator.cc.o.d"
+  "/root/repo/src/gen/query_generator.cc" "src/gen/CMakeFiles/desis_gen.dir/query_generator.cc.o" "gcc" "src/gen/CMakeFiles/desis_gen.dir/query_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/desis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desis_gen.dir/data_generator.cc.o"
+  "CMakeFiles/desis_gen.dir/data_generator.cc.o.d"
+  "CMakeFiles/desis_gen.dir/query_generator.cc.o"
+  "CMakeFiles/desis_gen.dir/query_generator.cc.o.d"
+  "libdesis_gen.a"
+  "libdesis_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desis_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

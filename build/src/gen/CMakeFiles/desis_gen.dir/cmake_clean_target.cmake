@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdesis_gen.a"
+)

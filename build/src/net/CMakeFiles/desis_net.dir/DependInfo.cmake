@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cluster.cc" "src/net/CMakeFiles/desis_net.dir/cluster.cc.o" "gcc" "src/net/CMakeFiles/desis_net.dir/cluster.cc.o.d"
+  "/root/repo/src/net/desis_nodes.cc" "src/net/CMakeFiles/desis_net.dir/desis_nodes.cc.o" "gcc" "src/net/CMakeFiles/desis_net.dir/desis_nodes.cc.o.d"
+  "/root/repo/src/net/disco_nodes.cc" "src/net/CMakeFiles/desis_net.dir/disco_nodes.cc.o" "gcc" "src/net/CMakeFiles/desis_net.dir/disco_nodes.cc.o.d"
+  "/root/repo/src/net/forward_nodes.cc" "src/net/CMakeFiles/desis_net.dir/forward_nodes.cc.o" "gcc" "src/net/CMakeFiles/desis_net.dir/forward_nodes.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/desis_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/desis_net.dir/message.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/net/CMakeFiles/desis_net.dir/node.cc.o" "gcc" "src/net/CMakeFiles/desis_net.dir/node.cc.o.d"
+  "/root/repo/src/net/root_assembler.cc" "src/net/CMakeFiles/desis_net.dir/root_assembler.cc.o" "gcc" "src/net/CMakeFiles/desis_net.dir/root_assembler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/desis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/desis_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desis_net.dir/cluster.cc.o"
+  "CMakeFiles/desis_net.dir/cluster.cc.o.d"
+  "CMakeFiles/desis_net.dir/desis_nodes.cc.o"
+  "CMakeFiles/desis_net.dir/desis_nodes.cc.o.d"
+  "CMakeFiles/desis_net.dir/disco_nodes.cc.o"
+  "CMakeFiles/desis_net.dir/disco_nodes.cc.o.d"
+  "CMakeFiles/desis_net.dir/forward_nodes.cc.o"
+  "CMakeFiles/desis_net.dir/forward_nodes.cc.o.d"
+  "CMakeFiles/desis_net.dir/message.cc.o"
+  "CMakeFiles/desis_net.dir/message.cc.o.d"
+  "CMakeFiles/desis_net.dir/node.cc.o"
+  "CMakeFiles/desis_net.dir/node.cc.o.d"
+  "CMakeFiles/desis_net.dir/root_assembler.cc.o"
+  "CMakeFiles/desis_net.dir/root_assembler.cc.o.d"
+  "libdesis_net.a"
+  "libdesis_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desis_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/desis_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_cluster.cc" "tests/CMakeFiles/desis_tests.dir/test_cluster.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_cluster.cc.o.d"
+  "/root/repo/tests/test_engine_conformance.cc" "tests/CMakeFiles/desis_tests.dir/test_engine_conformance.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_engine_conformance.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/desis_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_fault_tolerance.cc" "tests/CMakeFiles/desis_tests.dir/test_fault_tolerance.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_fault_tolerance.cc.o.d"
+  "/root/repo/tests/test_net.cc" "tests/CMakeFiles/desis_tests.dir/test_net.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_net.cc.o.d"
+  "/root/repo/tests/test_operators.cc" "tests/CMakeFiles/desis_tests.dir/test_operators.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_operators.cc.o.d"
+  "/root/repo/tests/test_out_of_order.cc" "tests/CMakeFiles/desis_tests.dir/test_out_of_order.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_out_of_order.cc.o.d"
+  "/root/repo/tests/test_query_analyzer.cc" "tests/CMakeFiles/desis_tests.dir/test_query_analyzer.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_query_analyzer.cc.o.d"
+  "/root/repo/tests/test_query_parser.cc" "tests/CMakeFiles/desis_tests.dir/test_query_parser.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_query_parser.cc.o.d"
+  "/root/repo/tests/test_slicer.cc" "tests/CMakeFiles/desis_tests.dir/test_slicer.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_slicer.cc.o.d"
+  "/root/repo/tests/test_slicer_more.cc" "tests/CMakeFiles/desis_tests.dir/test_slicer_more.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_slicer_more.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/desis_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/desis_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_topology.cc.o.d"
+  "/root/repo/tests/test_window.cc" "tests/CMakeFiles/desis_tests.dir/test_window.cc.o" "gcc" "tests/CMakeFiles/desis_tests.dir/test_window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/desis_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/desis_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/desis_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/desis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
