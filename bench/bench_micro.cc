@@ -109,6 +109,74 @@ void BM_SlicerIngest(benchmark::State& state) {
 }
 BENCHMARK(BM_SlicerIngest)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
 
+// Multi-query tumbling+sliding time-window workload for the batched-ingest
+// throughput comparison: all specs are fixed-size time windows, so the
+// slicer's run-based fast path applies end to end.
+std::vector<Query> ThroughputQueries() {
+  std::vector<Query> queries;
+  QueryId id = 1;
+  for (int i = 0; i < 4; ++i) {
+    Query q;
+    q.id = id++;
+    q.window = WindowSpec::Tumbling((i + 1) * kSecond);
+    q.agg = {i % 2 == 0 ? AggregationFunction::kAverage
+                        : AggregationFunction::kSum,
+             0};
+    queries.push_back(q);
+  }
+  for (int i = 0; i < 4; ++i) {
+    Query q;
+    q.id = id++;
+    q.window = WindowSpec::Sliding(2 * (i + 1) * kSecond, 500 * kMillisecond);
+    q.agg = {i % 2 == 0 ? AggregationFunction::kMax : AggregationFunction::kSum,
+             0};
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+// Feeds the same 128k-event stream through a fresh Desis engine per
+// iteration; batch == 0 uses the per-event Ingest() path, otherwise
+// IngestBatch() in `batch`-sized chunks.
+void IngestThroughput(benchmark::State& state, size_t batch) {
+  DataGeneratorConfig cfg;
+  const std::vector<Event> events = DataGenerator(cfg).Take(1 << 17);
+  const std::vector<Query> queries = ThroughputQueries();
+  for (auto _ : state) {
+    state.PauseTiming();
+    DesisEngine engine;
+    (void)engine.Configure(queries);
+    state.ResumeTiming();
+    if (batch == 0) {
+      for (const Event& e : events) engine.Ingest(e);
+    } else {
+      for (size_t i = 0; i < events.size(); i += batch) {
+        engine.IngestBatch(events.data() + i,
+                           std::min(batch, events.size() - i));
+      }
+    }
+    benchmark::DoNotOptimize(engine.stats().operator_executions);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(events.size()));
+}
+
+void BM_IngestPerEvent(benchmark::State& state) { IngestThroughput(state, 0); }
+BENCHMARK(BM_IngestPerEvent);
+
+void BM_IngestBatch(benchmark::State& state) {
+  IngestThroughput(state, static_cast<size_t>(state.range(0)));
+}
+// Batch-size sweep, up to a whole-stream batch.
+BENCHMARK(BM_IngestBatch)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(1 << 17);
+
 void BM_QueryAnalyzer(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   std::vector<Query> queries;

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the microbenchmark suite and records the results as JSON.
+#
+# Usage: bench/run_micro.sh [build-dir] [output-json]
+#
+# Defaults to ./build and ./BENCH_micro.json (repo root). The JSON is the
+# native google-benchmark format; the batched-ingest acceptance numbers live
+# in the BM_IngestPerEvent / BM_IngestBatch/* entries (items_per_second).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_micro.json}"
+bin="$build_dir/bench/bench_micro"
+
+if [[ ! -x "$bin" ]]; then
+  echo "bench_micro not found at $bin — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+"$bin" \
+  --benchmark_format=json \
+  --benchmark_out="$out_json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "Wrote $out_json"

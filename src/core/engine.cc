@@ -43,6 +43,13 @@ void SlicingEngine::IngestOrdered(const Event& event) {
   for (auto& slicer : slicers_) slicer->Ingest(event);
 }
 
+void SlicingEngine::IngestOrderedBatch(const Event* events, size_t count) {
+  if (count == 0) return;
+  stats_.events += count;
+  last_ts_ = events[count - 1].ts;
+  for (auto& slicer : slicers_) slicer->IngestBatch(events, count);
+}
+
 void SlicingEngine::Ingest(const Event& event) {
   if (!reorder_.has_value()) {
     IngestOrdered(event);
@@ -53,10 +60,27 @@ void SlicingEngine::Ingest(const Event& event) {
   while (reorder_->Pop(&released)) IngestOrdered(released);
 }
 
+void SlicingEngine::IngestBatch(const Event* events, size_t count) {
+  if (!reorder_.has_value()) {
+    IngestOrderedBatch(events, count);
+    return;
+  }
+  // Interleave pushes with drains exactly like the per-event path (the
+  // release frontier governs which late events are dropped), but accumulate
+  // the released run and feed it downstream as one batch.
+  release_scratch_.clear();
+  for (size_t i = 0; i < count; ++i) {
+    reorder_->Push(events[i]);
+    reorder_->DrainReleased(&release_scratch_);
+  }
+  IngestOrderedBatch(release_scratch_.data(), release_scratch_.size());
+}
+
 void SlicingEngine::AdvanceTo(Timestamp watermark) {
   if (reorder_.has_value()) {
-    Event released;
-    while (reorder_->PopUpTo(watermark, &released)) IngestOrdered(released);
+    release_scratch_.clear();
+    reorder_->DrainUpTo(watermark, &release_scratch_);
+    IngestOrderedBatch(release_scratch_.data(), release_scratch_.size());
   }
   for (auto& slicer : slicers_) slicer->AdvanceTo(watermark);
 }

@@ -26,6 +26,12 @@ class SlicingEngine : public StreamEngine {
 
   Status Configure(const std::vector<Query>& queries) override;
   void Ingest(const Event& event) override;
+  /// Batched ingestion fast path: runs of events inside the current slice
+  /// are folded with one boundary check and one bulk operator fold per lane
+  /// (see StreamSlicer::IngestBatch for the safety conditions). In
+  /// out-of-order mode the reorder buffer is batch-drained so released runs
+  /// still take the fast path.
+  void IngestBatch(const Event* events, size_t count) override;
   void AdvanceTo(Timestamp watermark) override;
   std::string name() const override { return name_; }
 
@@ -67,10 +73,12 @@ class SlicingEngine : public StreamEngine {
   bool assemble_windows_ = true;
   bool keep_slices_ = true;
   void IngestOrdered(const Event& event);
+  void IngestOrderedBatch(const Event* events, size_t count);
 
   std::vector<std::unique_ptr<StreamSlicer>> slicers_;
   SliceSink slice_sink_;
   std::optional<ReorderBuffer> reorder_;
+  std::vector<Event> release_scratch_;  // reorder-buffer batch drains
   Timestamp last_ts_ = kNoTimestamp;
   uint64_t next_query_seq_ = 0;
 

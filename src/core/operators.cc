@@ -11,6 +11,11 @@ void SortedState::Add(double v) {
   values_.push_back(v);
 }
 
+void SortedState::AddN(const double* v, size_t n) {
+  assert(!sealed_);
+  values_.insert(values_.end(), v, v + n);
+}
+
 void SortedState::Seal() {
   if (!sealed_) {
     std::sort(values_.begin(), values_.end());
@@ -104,6 +109,35 @@ int PartialAggregate::Add(double v) {
   if (MaskHas(mask_, OperatorKind::kSumSquares)) {
     sum_squares_.Add(v);
     ++executed;
+  }
+  return executed;
+}
+
+uint64_t PartialAggregate::AddN(const double* values, size_t n) {
+  uint64_t executed = 0;
+  if (MaskHas(mask_, OperatorKind::kSum)) {
+    sum_.AddN(values, n);
+    executed += n;
+  }
+  if (MaskHas(mask_, OperatorKind::kCount)) {
+    count_.AddN(values, n);
+    executed += n;
+  }
+  if (MaskHas(mask_, OperatorKind::kMultiply)) {
+    multiply_.AddN(values, n);
+    executed += n;
+  }
+  if (MaskHas(mask_, OperatorKind::kDecomposableSort)) {
+    minmax_.AddN(values, n);
+    executed += n;
+  }
+  if (MaskHas(mask_, OperatorKind::kNonDecomposableSort)) {
+    sorted_.AddN(values, n);
+    executed += n;
+  }
+  if (MaskHas(mask_, OperatorKind::kSumSquares)) {
+    sum_squares_.AddN(values, n);
+    executed += n;
   }
   return executed;
 }

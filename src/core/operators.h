@@ -1,6 +1,7 @@
 #ifndef DESIS_CORE_OPERATORS_H_
 #define DESIS_CORE_OPERATORS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -10,10 +11,17 @@
 
 namespace desis {
 
+// The AddN bulk folds below iterate values in order, so batched ingestion
+// produces bit-identical state to per-event Add calls; the tight loops over
+// a contiguous double array are what the compiler can unroll/vectorize.
+
 /// Running sum of event values.
 struct SumState {
   double sum = 0.0;
   void Add(double v) { sum += v; }
+  void AddN(const double* v, size_t n) {
+    for (size_t i = 0; i < n; ++i) sum += v[i];
+  }
   void Merge(const SumState& other) { sum += other.sum; }
 };
 
@@ -21,6 +29,7 @@ struct SumState {
 struct CountState {
   uint64_t count = 0;
   void Add(double /*v*/) { ++count; }
+  void AddN(const double* /*v*/, size_t n) { count += n; }
   void Merge(const CountState& other) { count += other.count; }
 };
 
@@ -30,6 +39,9 @@ struct CountState {
 struct SumSquaresState {
   double sum_sq = 0.0;
   void Add(double v) { sum_sq += v * v; }
+  void AddN(const double* v, size_t n) {
+    for (size_t i = 0; i < n; ++i) sum_sq += v[i] * v[i];
+  }
   void Merge(const SumSquaresState& other) { sum_sq += other.sum_sq; }
 };
 
@@ -37,6 +49,9 @@ struct SumSquaresState {
 struct MultiplyState {
   double product = 1.0;
   void Add(double v) { product *= v; }
+  void AddN(const double* v, size_t n) {
+    for (size_t i = 0; i < n; ++i) product *= v[i];
+  }
   void Merge(const MultiplyState& other) { product *= other.product; }
 };
 
@@ -50,6 +65,12 @@ struct MinMaxState {
     if (v < min) min = v;
     if (v > max) max = v;
   }
+  void AddN(const double* v, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      min = v[i] < min ? v[i] : min;
+      max = v[i] > max ? v[i] : max;
+    }
+  }
   void Merge(const MinMaxState& other) {
     if (other.min < min) min = other.min;
     if (other.max > max) max = other.max;
@@ -62,6 +83,7 @@ struct MinMaxState {
 class SortedState {
  public:
   void Add(double v);
+  void AddN(const double* v, size_t n);
   /// Sorts the buffered values; called once when the owning slice ends.
   /// With a sample cap set, the sealed state is thinned to at most `cap`
   /// quantile-preserving stride samples (approximate-quantile extension).
@@ -112,6 +134,13 @@ class PartialAggregate {
   /// Folds one event value into every active operator. Returns the number
   /// of operator executions performed (for the Fig 9b/9d calculation count).
   int Add(double v);
+
+  /// Folds `n` event values into every active operator, equivalent to (and
+  /// bit-identical with) calling Add() per value: the per-operator mask is
+  /// checked once per run instead of once per event, and each operator folds
+  /// the whole run in one tight loop. Returns the number of operator
+  /// executions performed.
+  uint64_t AddN(const double* values, size_t n);
 
   /// Finishes per-slice work (sorts the non-decomposable buffer).
   void Seal();

@@ -54,6 +54,31 @@ class ReorderBuffer {
     return true;
   }
 
+  /// Batch drain: appends every safely releasable event to `out` in ts
+  /// order, so callers can hand the whole contiguous run to a batched
+  /// ingest path. Returns the number of events released.
+  size_t DrainReleased(std::vector<Event>* out) {
+    size_t released = 0;
+    Event e;
+    while (Pop(&e)) {
+      out->push_back(e);
+      ++released;
+    }
+    return released;
+  }
+
+  /// Batch drain up to `watermark` regardless of lateness slack (stream end
+  /// / external watermark); appends to `out` in ts order.
+  size_t DrainUpTo(Timestamp watermark, std::vector<Event>* out) {
+    size_t released = 0;
+    Event e;
+    while (PopUpTo(watermark, &e)) {
+      out->push_back(e);
+      ++released;
+    }
+    return released;
+  }
+
   size_t pending() const { return heap_.size(); }
   uint64_t dropped() const { return dropped_; }
   /// Timestamp below which no further event will be released (already

@@ -108,6 +108,13 @@ StreamSlicer::StreamSlicer(QueryGroup group, SlicerOptions options,
   current_lane_last_ts_.assign(group_.lanes.size(), kNoTimestamp);
   lane_total_events_.assign(group_.lanes.size(), 0);
   if (any_dedup_) dedup_sets_.resize(group_.lanes.size());
+
+  // Run-splitting is safe only when every boundary is a precomputable time
+  // punctuation and folding is insensitive to intra-run duplicates: session,
+  // user-defined, and count-measure specs move their boundaries with the
+  // events that match, and dedup lanes mutate per-event state.
+  batch_fast_path_ = !any_dedup_ && session_lanes_.empty() &&
+                     ud_specs_.empty() && count_specs_.empty();
 }
 
 Timestamp StreamSlicer::MaxFixedWindowExtent() const {
@@ -304,14 +311,7 @@ void StreamSlicer::ProcessCountBoundaries(Timestamp now, uint32_t lane) {
 }
 
 uint64_t StreamSlicer::SealCurrentSlice(Timestamp end_ts) {
-  bool empty = true;
-  for (uint64_t n : current_lane_events_) {
-    if (n != 0) {
-      empty = false;
-      break;
-    }
-  }
-  if (empty) {
+  if (current_slice_events_ == 0) {
     // Empty slices leave no record; the boundary still advances.
     current_slice_start_ = end_ts;
     return current_slice_id_ - 1;  // wraps when nothing sealed yet; callers
@@ -339,6 +339,7 @@ uint64_t StreamSlicer::SealCurrentSlice(Timestamp end_ts) {
   }
   current_lane_events_.assign(group_.lanes.size(), 0);
   current_lane_last_ts_.assign(group_.lanes.size(), kNoTimestamp);
+  current_slice_events_ = 0;
   if (any_dedup_) {
     for (auto& set : dedup_sets_) set.clear();
   }
@@ -484,6 +485,7 @@ void StreamSlicer::Ingest(const Event& event) {
     stats_->operator_executions +=
         static_cast<uint64_t>(current_lanes_[lane].Add(event.value));
     ++current_lane_events_[lane];
+    ++current_slice_events_;
     ++lane_total_events_[lane];
     current_lane_last_ts_[lane] = event.ts;
   }
@@ -525,6 +527,83 @@ void StreamSlicer::Ingest(const Event& event) {
   FlushShippableSlice();
   // Garbage collection scans every spec's open-window deque; amortize it.
   if ((++gc_tick_ & 63u) == 0) CollectGarbage();
+}
+
+Timestamp StreamSlicer::NextBoundaryTs() const {
+  if (options_.punctuation == PunctuationStrategy::kPrecomputed) {
+    return boundary_heap_.empty() ? kMaxTimestamp : boundary_heap_.top().ts;
+  }
+  Timestamp best = kMaxTimestamp;
+  for (const SpecState& st : specs_) {
+    if (st.spec.measure != WindowMeasure::kTime || !st.spec.IsFixedSize()) {
+      continue;
+    }
+    if (st.next_ep != kNoTimestamp) best = std::min(best, st.next_ep);
+    if (st.next_sp != kNoTimestamp) best = std::min(best, st.next_sp);
+  }
+  return best;
+}
+
+void StreamSlicer::FoldRun(const Event* run, size_t n) {
+  for (uint32_t lane = 0; lane < group_.lanes.size(); ++lane) {
+    stats_->selection_evals += n;
+    const Predicate& pred = group_.lanes[lane].predicate;
+    run_values_scratch_.clear();
+    Timestamp lane_last = kNoTimestamp;
+    if (!pred.has_key && !pred.has_range) {
+      // Match-all lane: plain gather, no branches.
+      run_values_scratch_.reserve(n);
+      for (size_t k = 0; k < n; ++k) {
+        run_values_scratch_.push_back(run[k].value);
+      }
+      lane_last = run[n - 1].ts;
+    } else {
+      for (size_t k = 0; k < n; ++k) {
+        if (!pred.Matches(run[k])) continue;
+        run_values_scratch_.push_back(run[k].value);
+        lane_last = run[k].ts;
+      }
+    }
+    if (run_values_scratch_.empty()) continue;
+    const size_t matched = run_values_scratch_.size();
+    stats_->operator_executions +=
+        current_lanes_[lane].AddN(run_values_scratch_.data(), matched);
+    current_lane_events_[lane] += matched;
+    current_slice_events_ += matched;
+    lane_total_events_[lane] += matched;
+    current_lane_last_ts_[lane] = lane_last;
+    // ts order is non-decreasing, so the last matching event over all lanes
+    // is the per-event path's "last event that matched any lane".
+    current_last_event_ = std::max(current_last_event_, lane_last);
+  }
+}
+
+void StreamSlicer::IngestBatch(const Event* events, size_t count) {
+  if (count == 0) return;
+  if (!batch_fast_path_) {
+    for (size_t i = 0; i < count; ++i) Ingest(events[i]);
+    return;
+  }
+  if (!initialized_) Initialize(events[0].ts);
+  last_seen_ts_ = std::max(last_seen_ts_, events[count - 1].ts);
+  size_t i = 0;
+  while (i < count) {
+    // Fire everything due at or before the run head; afterwards the next
+    // punctuation is strictly later, so the run is never empty.
+    ProcessBoundariesUpTo(events[i].ts);
+    const Timestamp limit = NextBoundaryTs();
+    size_t j = i + 1;
+    while (j < count && events[j].ts < limit) ++j;
+    FoldRun(events + i, j - i);
+    i = j;
+  }
+  FlushShippableSlice();
+  // Match the per-event GC cadence (~every 64 events).
+  gc_tick_ += count;
+  if (gc_tick_ >= 64) {
+    gc_tick_ = 0;
+    CollectGarbage();
+  }
 }
 
 void StreamSlicer::AdvanceTo(Timestamp watermark) {

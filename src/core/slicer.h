@@ -99,6 +99,16 @@ class StreamSlicer {
   /// Processes one event (non-decreasing ts order).
   void Ingest(const Event& event);
 
+  /// Processes a batch of events (non-decreasing ts order, within the batch
+  /// and relative to earlier calls), producing results identical to calling
+  /// Ingest() per event. Groups whose boundaries are all precomputable time
+  /// punctuations (no session, user-defined, or count-measure specs) and
+  /// that have no dedup lanes take a run-based fast path: the batch is split
+  /// into maximal runs that fall strictly inside the current slice, and each
+  /// run is folded with one predicate sweep and one bulk AddN per lane.
+  /// Everything else falls back to the per-event path automatically.
+  void IngestBatch(const Event* events, size_t count);
+
   /// Advances event time, firing punctuations at or before `watermark`.
   void AdvanceTo(Timestamp watermark);
 
@@ -118,10 +128,9 @@ class StreamSlicer {
   /// the slice sink): decentralized nodes must advertise this — not the raw
   /// processed timestamp — as their watermark, or the root would terminate
   /// windows while events still sit in an unsealed slice (§5.1.2).
+  /// O(1): `current_slice_events_` tracks the open slice's fold count.
   Timestamp SafeWatermark() const {
-    bool current_empty = true;
-    for (uint64_t n : current_lane_events_) current_empty &= (n == 0);
-    return current_empty ? last_seen_ts_ : current_slice_start_;
+    return current_slice_events_ == 0 ? last_seen_ts_ : current_slice_start_;
   }
 
  private:
@@ -181,6 +190,12 @@ class StreamSlicer {
   void ScheduleInitial(uint32_t spec_idx, Timestamp first_ts);
   // Fires all time-based punctuations (incl. session deadlines) <= limit.
   void ProcessBoundariesUpTo(Timestamp limit);
+  // Earliest pending time punctuation (kMaxTimestamp when none). Only valid
+  // on the batch fast path, where no session deadlines exist.
+  Timestamp NextBoundaryTs() const;
+  // Folds a run of events known to fall strictly before the next
+  // punctuation: one predicate sweep and one bulk AddN per lane.
+  void FoldRun(const Event* run, size_t n);
   void ProcessEp(uint32_t spec_idx, Timestamp ts);
   void ProcessSp(uint32_t spec_idx, Timestamp ts);
   void ProcessSessionEnd(uint32_t spec_idx, Timestamp deadline);
@@ -224,8 +239,14 @@ class StreamSlicer {
   Timestamp current_last_event_ = kNoTimestamp;
   std::vector<PartialAggregate> current_lanes_;
   std::vector<uint64_t> current_lane_events_;
+  // Events folded into the open slice, summed over lanes; keeps
+  // SafeWatermark() and the empty-slice check O(1) instead of O(lanes).
+  uint64_t current_slice_events_ = 0;
   std::vector<std::unordered_set<uint64_t>> dedup_sets_;
   bool any_dedup_ = false;
+  // True when every spec is a fixed-size time window and no lane dedups:
+  // batch ingestion may then split runs at precomputed punctuations.
+  bool batch_fast_path_ = false;
 
   // Sealed slices retained for assembly; front().id is the base id.
   std::deque<SliceRecord> records_;
@@ -236,6 +257,7 @@ class StreamSlicer {
   Timestamp last_seen_ts_ = kNoTimestamp;
   std::unordered_set<QueryId> suppressed_;
   std::vector<uint32_t> matched_lanes_scratch_;
+  std::vector<double> run_values_scratch_;
 };
 
 }  // namespace desis

@@ -27,10 +27,13 @@ Event DataGenerator::Next() {
   return e;
 }
 
+void DataGenerator::Fill(Event* events, size_t count) {
+  for (size_t i = 0; i < count; ++i) events[i] = Next();
+}
+
 std::vector<Event> DataGenerator::Take(size_t count) {
-  std::vector<Event> events;
-  events.reserve(count);
-  for (size_t i = 0; i < count; ++i) events.push_back(Next());
+  std::vector<Event> events(count);
+  Fill(events.data(), count);
   return events;
 }
 

@@ -37,6 +37,10 @@ class DataGenerator {
   /// Produces the next event (event time advances by ~mean_interval).
   Event Next();
 
+  /// Fills `events[0, count)` with consecutive events — batch-friendly
+  /// output for feeding IngestBatch() from a reusable buffer.
+  void Fill(Event* events, size_t count);
+
   /// Produces `count` consecutive events.
   std::vector<Event> Take(size_t count);
 

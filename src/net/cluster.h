@@ -54,6 +54,9 @@ class Cluster {
   void set_sink(WindowSink sink);
 
   /// Feeds events (non-decreasing ts per local) into local `local_idx`.
+  /// The whole span is handed to the node's batched ingest: Desis locals
+  /// amortize punctuation checks and operator folds over in-slice runs,
+  /// forwarding locals bulk-append to their wire batches.
   void IngestAt(int local_idx, const Event* events, size_t count);
 
   /// Advances every active local's watermark (propagates to the root).

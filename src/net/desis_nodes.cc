@@ -32,27 +32,28 @@ void DesisLocalNode::AddGroups(const std::vector<QueryGroup>& groups) {
   }
 }
 
-void DesisLocalNode::IngestOne(const Event& event) {
-  ++stats_.events;
-  last_ts_ = event.ts;
-  for (auto& [gid, slicer] : slicers_) slicer->Ingest(event);
-  for (ForwardGroup& fg : forward_groups_) {
-    for (const SelectionLane& lane : fg.group.lanes) {
-      ++stats_.selection_evals;
-      if (lane.predicate.Matches(event)) {
-        fg.pending.push_back(event);
-        break;  // forwarded once; the root re-evaluates lanes
+void DesisLocalNode::IngestBatch(const Event* events, size_t count) {
+  if (count == 0) return;
+  Metered([&] {
+    stats_.events += count;
+    last_ts_ = events[count - 1].ts;
+    // Pushed-down groups take the slicer's run-based fast path; groups with
+    // dynamic or count-measure specs fall back per event inside the slicer.
+    for (auto& [gid, slicer] : slicers_) slicer->IngestBatch(events, count);
+    for (ForwardGroup& fg : forward_groups_) {
+      for (size_t i = 0; i < count; ++i) {
+        for (const SelectionLane& lane : fg.group.lanes) {
+          ++stats_.selection_evals;
+          if (lane.predicate.Matches(events[i])) {
+            fg.pending.push_back(events[i]);
+            break;  // forwarded once; the root re-evaluates lanes
+          }
+        }
+        if (fg.pending.size() >= forward_batch_size_) {
+          FlushForwardBatch(fg.group.id);
+        }
       }
     }
-    if (fg.pending.size() >= forward_batch_size_) {
-      FlushForwardBatch(fg.group.id);
-    }
-  }
-}
-
-void DesisLocalNode::IngestBatch(const Event* events, size_t count) {
-  Metered([&] {
-    for (size_t i = 0; i < count; ++i) IngestOne(events[i]);
   });
 }
 
@@ -277,16 +278,17 @@ void DesisRootNode::AdvanceAll(Timestamp watermark) {
   advanced_wm_ = watermark;
   for (auto& [gid, assembler] : assemblers_) assembler->AdvanceTo(watermark);
   for (auto& [gid, rg] : root_only_) {
-    // Release reordered events up to the watermark into the root slicer.
+    // Release reordered events up to the watermark into the root slicer as
+    // one batch (count-measure groups fall back per event inside).
     std::sort(rg.pending.begin(), rg.pending.end(),
               [](const Event& a, const Event& b) { return a.ts < b.ts; });
     size_t released = 0;
-    for (const Event& e : rg.pending) {
-      if (e.ts > watermark) break;
-      rg.slicer->Ingest(e);
-      ++stats_.events;
+    while (released < rg.pending.size() &&
+           rg.pending[released].ts <= watermark) {
       ++released;
     }
+    rg.slicer->IngestBatch(rg.pending.data(), released);
+    stats_.events += released;
     rg.pending.erase(rg.pending.begin(),
                      rg.pending.begin() + static_cast<int64_t>(released));
     rg.slicer->AdvanceTo(watermark);

@@ -24,6 +24,9 @@ class DesisLocalNode : public Node, public LocalIngest {
                  size_t forward_batch_size = 512);
 
   /// Feeds a batch of events (non-decreasing ts); CPU time is metered.
+  /// Pushed-down groups run the slicer's batched fast path — punctuation
+  /// checks and operator folds are amortized over runs of events within
+  /// the current slice.
   void IngestBatch(const Event* events, size_t count) override;
 
   /// Flushes punctuations/batches up to `watermark` and ships a watermark.
@@ -39,7 +42,6 @@ class DesisLocalNode : public Node, public LocalIngest {
   void HandleMessage(const Message& message, int child_index) override;
 
  private:
-  void IngestOne(const Event& event);
   void ShipSlice(uint32_t group_id, const SliceRecord& rec);
   void FlushForwardBatch(uint32_t group_id);
 

@@ -6,8 +6,13 @@ namespace desis {
 
 void ForwardingLocalNode::IngestBatch(const Event* events, size_t count) {
   Metered([&] {
-    for (size_t i = 0; i < count; ++i) {
-      pending_.push_back(events[i]);
+    // Bulk-append in flush-sized chunks instead of pushing one event at a
+    // time; the wire batches stay capped at batch_size_.
+    size_t i = 0;
+    while (i < count) {
+      const size_t take = std::min(batch_size_ - pending_.size(), count - i);
+      pending_.insert(pending_.end(), events + i, events + i + take);
+      i += take;
       if (pending_.size() >= batch_size_) Flush();
     }
   });
@@ -79,11 +84,12 @@ void EngineRootNode::HandleMessage(const Message& message, int child_index) {
       std::sort(pending_.begin(), pending_.end(),
                 [](const Event& a, const Event& b) { return a.ts < b.ts; });
       size_t released = 0;
-      for (const Event& e : pending_) {
-        if (e.ts > wm) break;
-        engine_->Ingest(e);
+      while (released < pending_.size() && pending_[released].ts <= wm) {
         ++released;
       }
+      // The sorted prefix is one ordered run: hand it to the engine's
+      // batched fast path in a single call.
+      engine_->IngestBatch(pending_.data(), released);
       pending_.erase(pending_.begin(),
                      pending_.begin() + static_cast<int64_t>(released));
       engine_->AdvanceTo(wm);

@@ -1,0 +1,274 @@
+// Batch/per-event equivalence: IngestBatch() must produce window results
+// identical to Ingest() called once per event — including on the forced
+// per-event fallback paths (session, count-measure, user-defined windows and
+// dedup lanes) and in out-of-order mode — across batch sizes and engines.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/ce_buffer.h"
+#include "baselines/de_bucket.h"
+#include "baselines/de_sw.h"
+#include "common/rng.h"
+#include "core/engine.h"
+
+namespace desis {
+namespace {
+
+std::unique_ptr<StreamEngine> MakeEngine(const std::string& name) {
+  if (name == "Desis") return std::make_unique<DesisEngine>();
+  if (name == "DeSW") return std::make_unique<DeSWEngine>();
+  if (name == "Scotty") return std::make_unique<ScottyEngine>();
+  if (name == "DeBucket") return std::make_unique<DeBucketEngine>();
+  return std::make_unique<CeBufferEngine>();
+}
+
+// A stream exercising every boundary kind: pauses close sessions, markers
+// end user-defined windows, occasional exact duplicates feed dedup lanes.
+std::vector<Event> MakeStream(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(n);
+  Timestamp ts = 0;
+  while (events.size() < n) {
+    ts += rng.NextBool(0.03) ? rng.NextInRange(30, 60) : rng.NextInRange(1, 5);
+    const uint32_t marker = rng.NextBool(0.02) ? kWindowEnd : kNoMarker;
+    const Event e{ts, static_cast<uint32_t>(rng.NextBounded(5)),
+                  1.0 + static_cast<double>(rng.NextBounded(99)), marker};
+    events.push_back(e);
+    if (rng.NextBool(0.1) && events.size() < n) events.push_back(e);  // dup
+  }
+  return events;
+}
+
+std::vector<WindowResult> RunStream(const std::string& engine_name,
+                              const std::vector<Query>& queries,
+                              const std::vector<Event>& events,
+                              size_t batch_size) {
+  auto engine = MakeEngine(engine_name);
+  EXPECT_TRUE(engine->Configure(queries).ok());
+  std::vector<WindowResult> results;
+  engine->set_sink([&](const WindowResult& r) { results.push_back(r); });
+  if (batch_size == 0) {
+    for (const Event& e : events) engine->Ingest(e);
+  } else {
+    for (size_t i = 0; i < events.size(); i += batch_size) {
+      engine->IngestBatch(events.data() + i,
+                          std::min(batch_size, events.size() - i));
+    }
+  }
+  engine->AdvanceTo(events.back().ts + 100 * kSecond);
+  std::sort(results.begin(), results.end(),
+            [](const WindowResult& a, const WindowResult& b) {
+              return std::tie(a.query_id, a.window_start, a.window_end) <
+                     std::tie(b.query_id, b.window_start, b.window_end);
+            });
+  return results;
+}
+
+void ExpectSameResults(const std::vector<WindowResult>& want,
+                       const std::vector<WindowResult>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].query_id, got[i].query_id);
+    EXPECT_EQ(want[i].window_start, got[i].window_start);
+    EXPECT_EQ(want[i].window_end, got[i].window_end);
+    EXPECT_EQ(want[i].event_count, got[i].event_count);
+    EXPECT_DOUBLE_EQ(want[i].value, got[i].value);
+  }
+}
+
+const size_t kStreamLen = 1500;
+const size_t kBatchSizes[] = {1, 7, 256, kStreamLen};
+const char* kEngines[] = {"Desis", "Scotty", "CeBuffer"};
+
+struct NamedSpec {
+  const char* name;
+  WindowSpec spec;
+};
+
+std::vector<NamedSpec> AllWindowSpecs() {
+  return {{"tumbling", WindowSpec::Tumbling(97)},
+          {"sliding", WindowSpec::Sliding(120, 37)},
+          {"session", WindowSpec::Session(23)},
+          {"count_tumbling", WindowSpec::CountTumbling(50)},
+          {"count_sliding", WindowSpec::CountSliding(64, 16)},
+          {"user_defined", WindowSpec::UserDefined()}};
+}
+
+TEST(BatchIngestEquivalence, EveryWindowTypeMatchesPerEvent) {
+  const auto events = MakeStream(kStreamLen, 7);
+  for (const char* engine : kEngines) {
+    for (const NamedSpec& ns : AllWindowSpecs()) {
+      Query q;
+      q.id = 1;
+      q.window = ns.spec;
+      q.agg = {AggregationFunction::kAverage, 0};
+      const auto want = RunStream(engine, {q}, events, 0);
+      ASSERT_FALSE(want.empty()) << engine << " " << ns.name;
+      for (size_t batch : kBatchSizes) {
+        SCOPED_TRACE(std::string(engine) + " " + ns.name + " batch=" +
+                     std::to_string(batch));
+        ExpectSameResults(want, RunStream(engine, {q}, events, batch));
+      }
+    }
+  }
+}
+
+TEST(BatchIngestEquivalence, DedupLaneFallsBackAndMatches) {
+  const auto events = MakeStream(kStreamLen, 11);  // ~10% exact duplicates
+  for (const char* engine : {"Desis", "Scotty"}) {
+    Query q;
+    q.id = 1;
+    q.window = WindowSpec::Tumbling(97);
+    q.agg = {AggregationFunction::kCount, 0};
+    q.deduplicate = true;
+    const auto want = RunStream(engine, {q}, events, 0);
+    ASSERT_FALSE(want.empty());
+    for (size_t batch : kBatchSizes) {
+      SCOPED_TRACE(std::string(engine) + " batch=" + std::to_string(batch));
+      ExpectSameResults(want, RunStream(engine, {q}, events, batch));
+    }
+  }
+}
+
+// A mixed multi-query workload: fast-path groups (tumbling/sliding over
+// several lanes and functions) alongside forced-fallback groups (session,
+// count, user-defined, dedup), all fed from the same batches.
+std::vector<Query> MixedQueries() {
+  std::vector<Query> queries;
+  QueryId id = 1;
+  auto add = [&](WindowSpec w, AggregationFunction fn, Predicate p,
+                 bool dedup = false) {
+    Query q;
+    q.id = id++;
+    q.window = w;
+    q.agg = {fn, 0.9};
+    q.predicate = p;
+    q.deduplicate = dedup;
+    queries.push_back(q);
+  };
+  add(WindowSpec::Tumbling(97), AggregationFunction::kSum, Predicate::All());
+  add(WindowSpec::Tumbling(200), AggregationFunction::kAverage,
+      Predicate::KeyEquals(2));
+  add(WindowSpec::Sliding(120, 37), AggregationFunction::kMax,
+      Predicate::ValueRange(10.0, 80.0));
+  add(WindowSpec::Sliding(300, 50), AggregationFunction::kQuantile,
+      Predicate::All());
+  add(WindowSpec::Session(23), AggregationFunction::kSum, Predicate::All());
+  add(WindowSpec::CountTumbling(50), AggregationFunction::kAverage,
+      Predicate::All());
+  add(WindowSpec::UserDefined(), AggregationFunction::kCount,
+      Predicate::All());
+  add(WindowSpec::Tumbling(97), AggregationFunction::kCount,
+      Predicate::KeyEquals(1), /*dedup=*/true);
+  return queries;
+}
+
+TEST(BatchIngestEquivalence, MixedMultiQueryWorkloadMatches) {
+  const auto events = MakeStream(kStreamLen, 13);
+  const auto queries = MixedQueries();
+  for (const char* engine : {"Desis", "DeSW", "Scotty", "CeBuffer"}) {
+    const auto want = RunStream(engine, queries, events, 0);
+    ASSERT_FALSE(want.empty()) << engine;
+    for (size_t batch : kBatchSizes) {
+      SCOPED_TRACE(std::string(engine) + " batch=" + std::to_string(batch));
+      ExpectSameResults(want, RunStream(engine, queries, events, batch));
+    }
+  }
+}
+
+// Out-of-order mode: the reorder buffer must release — and drop — exactly
+// the same events whether fed per event or in batches.
+TEST(BatchIngestEquivalence, OutOfOrderModeMatches) {
+  const auto ordered = MakeStream(kStreamLen, 17);
+  Rng rng(19);
+  std::vector<Event> arrival = ordered;
+  for (Event& e : arrival) {
+    // Jitter beyond the allowed lateness so some events get dropped.
+    e.ts += static_cast<Timestamp>(rng.NextBounded(80));
+  }
+  const Timestamp lateness = 50;
+
+  std::vector<Query> queries;
+  Query q;
+  q.id = 1;
+  q.window = WindowSpec::Tumbling(97);
+  q.agg = {AggregationFunction::kSum, 0};
+  queries.push_back(q);
+  q.id = 2;
+  q.window = WindowSpec::Sliding(120, 37);
+  q.agg = {AggregationFunction::kAverage, 0};
+  queries.push_back(q);
+
+  auto run = [&](size_t batch, uint64_t* dropped) {
+    DesisEngine engine;
+    engine.EnableOutOfOrderIngest(lateness);
+    EXPECT_TRUE(engine.Configure(queries).ok());
+    std::vector<WindowResult> results;
+    engine.set_sink([&](const WindowResult& r) { results.push_back(r); });
+    if (batch == 0) {
+      for (const Event& e : arrival) engine.Ingest(e);
+    } else {
+      for (size_t i = 0; i < arrival.size(); i += batch) {
+        engine.IngestBatch(arrival.data() + i,
+                           std::min(batch, arrival.size() - i));
+      }
+    }
+    engine.Finish();
+    *dropped = engine.dropped_events();
+    std::sort(results.begin(), results.end(),
+              [](const WindowResult& a, const WindowResult& b) {
+                return std::tie(a.query_id, a.window_start) <
+                       std::tie(b.query_id, b.window_start);
+              });
+    return results;
+  };
+
+  uint64_t want_dropped = 0;
+  const auto want = run(0, &want_dropped);
+  ASSERT_FALSE(want.empty());
+  for (size_t batch : kBatchSizes) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    uint64_t got_dropped = 0;
+    ExpectSameResults(want, run(batch, &got_dropped));
+    EXPECT_EQ(want_dropped, got_dropped);
+  }
+}
+
+// The engine-level stats must agree too: the fast path performs the same
+// logical work (selection evaluations, operator executions, slices) as the
+// per-event path, it just amortizes the bookkeeping around it.
+TEST(BatchIngestEquivalence, StatsMatchPerEventPath) {
+  const auto events = MakeStream(kStreamLen, 23);
+  Query q;
+  q.id = 1;
+  q.window = WindowSpec::Sliding(120, 37);
+  q.agg = {AggregationFunction::kAverage, 0};
+
+  DesisEngine per_event;
+  ASSERT_TRUE(per_event.Configure({q}).ok());
+  for (const Event& e : events) per_event.Ingest(e);
+  per_event.Finish();
+
+  DesisEngine batched;
+  ASSERT_TRUE(batched.Configure({q}).ok());
+  for (size_t i = 0; i < events.size(); i += 256) {
+    batched.IngestBatch(events.data() + i, std::min<size_t>(256, events.size() - i));
+  }
+  batched.Finish();
+
+  EXPECT_EQ(per_event.stats().events, batched.stats().events);
+  EXPECT_EQ(per_event.stats().selection_evals, batched.stats().selection_evals);
+  EXPECT_EQ(per_event.stats().operator_executions,
+            batched.stats().operator_executions);
+  EXPECT_EQ(per_event.stats().slices_created, batched.stats().slices_created);
+  EXPECT_EQ(per_event.stats().windows_fired, batched.stats().windows_fired);
+}
+
+}  // namespace
+}  // namespace desis
