@@ -1,6 +1,8 @@
 #include "net/cluster.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <functional>
 
 #include "baselines/ce_buffer.h"
@@ -8,6 +10,7 @@
 #include "net/desis_nodes.h"
 #include "net/disco_nodes.h"
 #include "net/forward_nodes.h"
+#include "transport/transport.h"
 
 namespace desis {
 
@@ -22,9 +25,25 @@ std::string ToString(ClusterSystem system) {
 }
 
 Cluster::Cluster(ClusterSystem system, ClusterTopology topology)
-    : system_(system), topology_(topology) {}
+    : system_(system),
+      topology_(topology),
+      transport_(&DefaultInlineTransport()) {}
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Stop delivery workers while the nodes they drive are still alive.
+  transport_->Shutdown();
+}
+
+void Cluster::set_transport(std::unique_ptr<Transport> transport) {
+  owned_transport_ = std::move(transport);
+  transport_ = owned_transport_ ? owned_transport_.get()
+                                : &DefaultInlineTransport();
+}
+
+void Cluster::WireNode(Node* node) {
+  node->set_transport(transport_);
+  transport_->AddNode(node);
+}
 
 void Cluster::set_sink(WindowSink sink) { sink_ = std::move(sink); }
 
@@ -133,6 +152,13 @@ Status Cluster::Configure(const std::vector<Query>& queries) {
 
   local_removed_.assign(locals_.size(), false);
   local_last_advance_.assign(locals_.size(), kNoTimestamp);
+  local_mu_.clear();
+  for (size_t i = 0; i < locals_.size(); ++i) {
+    local_mu_.push_back(std::make_unique<std::mutex>());
+  }
+  // Route every node through the transport (workers spin up here for
+  // queue-based transports; setup above never sends).
+  for (const auto& node : nodes_) WireNode(node.get());
   next_node_id_ = next_id;
   next_group_id_ = 0;
   for (const QueryGroup& g : desis_groups_) {
@@ -151,28 +177,53 @@ Node* Cluster::ParentForLocal(size_t ordinal) const {
 }
 
 void Cluster::AdvanceAt(int local_idx, Timestamp watermark) {
-  if (local_removed_[static_cast<size_t>(local_idx)]) return;
-  local_last_advance_[static_cast<size_t>(local_idx)] = watermark;
-  locals_[static_cast<size_t>(local_idx)]->Advance(watermark);
+  LocalIngest* local = nullptr;
+  std::mutex* mu = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(membership_mu_);
+    const size_t i = static_cast<size_t>(local_idx);
+    if (local_removed_[i]) return;
+    // Written only by this local's single driver thread (see the class
+    // threading contract); membership ops read it under the exclusive lock.
+    local_last_advance_[i] = watermark;
+    local = locals_[i];
+    mu = local_mu_[i].get();
+  }
+  {
+    std::lock_guard<std::mutex> lock(*mu);
+    local->Advance(watermark);
+  }
+  transport_->Pump();
 }
+
+void Cluster::Drain() { transport_->Flush(); }
 
 Result<int> Cluster::AddLocalNode() {
   if (system_ != ClusterSystem::kDesis) {
     return Status::Unsupported("runtime membership requires the Desis system");
   }
+  std::unique_lock<std::shared_mutex> lock(membership_mu_);
   auto node = std::make_unique<DesisLocalNode>(next_node_id_++, desis_groups_);
   const int local_idx = static_cast<int>(locals_.size());
   locals_.push_back(node.get());
   locals_raw_.push_back(node.get());
   local_removed_.push_back(false);
   local_last_advance_.push_back(kNoTimestamp);
-  ParentForLocal(static_cast<size_t>(local_idx))->AttachChild(node.get());
+  local_mu_.push_back(std::make_unique<std::mutex>());
+  WireNode(node.get());
+  // Attach on the parent's delivery thread so membership growth is ordered
+  // with its in-flight messages.
+  Node* parent = ParentForLocal(static_cast<size_t>(local_idx));
+  Node* child = node.get();
+  transport_->ExecuteSync(parent, [parent, child] {
+    parent->AttachChild(child);
+  });
   nodes_.push_back(std::move(node));
   ++topology_.num_locals;
   return local_idx;
 }
 
-Status Cluster::RemoveLocalNode(int local_idx) {
+Status Cluster::RemoveLocalNodeLocked(int local_idx) {
   if (system_ != ClusterSystem::kDesis) {
     return Status::Unsupported("runtime membership requires the Desis system");
   }
@@ -184,17 +235,29 @@ Status Cluster::RemoveLocalNode(int local_idx) {
   }
   local_removed_[static_cast<size_t>(local_idx)] = true;
   Node* node = locals_raw_[static_cast<size_t>(local_idx)];
-  node->parent()->DetachChild(node->child_index_at_parent());
+  // Detach on the parent's delivery thread, FIFO behind everything the
+  // local already sent — its final watermark is honored, not lost.
+  Node* parent = node->parent();
+  const int child_index = node->child_index_at_parent();
+  transport_->Execute(parent, [parent, child_index] {
+    parent->DetachChild(child_index);
+  });
   return Status::OK();
 }
 
+Status Cluster::RemoveLocalNode(int local_idx) {
+  std::unique_lock<std::shared_mutex> lock(membership_mu_);
+  return RemoveLocalNodeLocked(local_idx);
+}
+
 std::vector<int> Cluster::RemoveSilentLocals(Timestamp min_watermark) {
+  std::unique_lock<std::shared_mutex> lock(membership_mu_);
   std::vector<int> removed;
   for (size_t i = 0; i < locals_.size(); ++i) {
     if (local_removed_[i]) continue;
     if (local_last_advance_[i] == kNoTimestamp ||
         local_last_advance_[i] < min_watermark) {
-      if (RemoveLocalNode(static_cast<int>(i)).ok()) {
+      if (RemoveLocalNodeLocked(static_cast<int>(i)).ok()) {
         removed.push_back(static_cast<int>(i));
       }
     }
@@ -207,6 +270,7 @@ Status Cluster::AddQuery(const Query& query) {
     return Status::Unsupported("runtime queries require the Desis system");
   }
   if (auto s = query.Validate(); !s.ok()) return s;
+  std::unique_lock<std::shared_mutex> lock(membership_mu_);
   for (const QueryGroup& g : desis_groups_) {
     for (const GroupedQuery& gq : g.queries) {
       if (gq.query.id == query.id) {
@@ -219,11 +283,16 @@ Status Cluster::AddQuery(const Query& query) {
   auto groups = analyzer.Analyze({query});
   if (!groups.ok()) return groups.status();
   for (QueryGroup& g : groups.value()) g.id = next_group_id_++;
-  // Distribute the new window attributes to every node (§3.2).
-  static_cast<DesisRootNode*>(root_raw_)->AddGroups(groups.value());
+  // Distribute the new window attributes to every node (§3.2): on the
+  // root's delivery thread, and under each live local's driver lock.
+  auto* root = static_cast<DesisRootNode*>(root_raw_);
+  const std::vector<QueryGroup>& new_groups = groups.value();
+  transport_->ExecuteSync(root_raw_,
+                          [root, &new_groups] { root->AddGroups(new_groups); });
   for (size_t i = 0; i < locals_raw_.size(); ++i) {
     if (local_removed_[i]) continue;
-    static_cast<DesisLocalNode*>(locals_raw_[i])->AddGroups(groups.value());
+    std::lock_guard<std::mutex> local_lock(*local_mu_[i]);
+    static_cast<DesisLocalNode*>(locals_raw_[i])->AddGroups(new_groups);
   }
   for (QueryGroup& g : groups.value()) {
     desis_groups_.push_back(std::move(g));
@@ -235,16 +304,34 @@ Status Cluster::RemoveQuery(QueryId id) {
   if (system_ != ClusterSystem::kDesis) {
     return Status::Unsupported("runtime queries require the Desis system");
   }
-  return static_cast<DesisRootNode*>(root_raw_)->SuppressQuery(id);
+  auto* root = static_cast<DesisRootNode*>(root_raw_);
+  Status status = Status::OK();
+  transport_->ExecuteSync(root_raw_,
+                          [root, id, &status] { status = root->SuppressQuery(id); });
+  return status;
 }
 
 void Cluster::IngestAt(int local_idx, const Event* events, size_t count) {
-  locals_[static_cast<size_t>(local_idx)]->IngestBatch(events, count);
+  LocalIngest* local = nullptr;
+  std::mutex* mu = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(membership_mu_);
+    const size_t i = static_cast<size_t>(local_idx);
+    local = locals_[i];
+    mu = local_mu_[i].get();
+  }
+  std::lock_guard<std::mutex> lock(*mu);
+  local->IngestBatch(events, count);
 }
 
 void Cluster::Advance(Timestamp watermark) {
-  for (size_t i = 0; i < locals_.size(); ++i) {
-    if (!local_removed_[i]) AdvanceAt(static_cast<int>(i), watermark);
+  size_t n;
+  {
+    std::shared_lock<std::shared_mutex> lock(membership_mu_);
+    n = locals_.size();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    AdvanceAt(static_cast<int>(i), watermark);
   }
 }
 
@@ -268,6 +355,75 @@ int64_t Cluster::MaxBusyNs() const {
   int64_t max_ns = 0;
   for (const auto& node : nodes_) max_ns = std::max(max_ns, node->busy_ns());
   return max_ns;
+}
+
+namespace {
+
+struct RoleAggregate {
+  uint64_t nodes = 0;
+  NodeStats stats;
+
+  void Absorb(const NodeStats& s) {
+    ++nodes;
+    stats.bytes_sent += s.bytes_sent;
+    stats.bytes_received += s.bytes_received;
+    stats.messages_sent += s.messages_sent;
+    stats.messages_received += s.messages_received;
+    stats.busy_ns += s.busy_ns;
+    stats.queue_hwm = std::max(stats.queue_hwm, s.queue_hwm);
+    stats.retransmits += s.retransmits;
+    stats.messages_dropped += s.messages_dropped;
+  }
+};
+
+void AppendRole(std::string& out, const char* key, const RoleAggregate& agg) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"%s\":{\"nodes\":%" PRIu64 ",\"bytes_sent\":%" PRIu64
+      ",\"bytes_received\":%" PRIu64 ",\"messages_sent\":%" PRIu64
+      ",\"messages_received\":%" PRIu64 ",\"busy_ns\":%" PRId64
+      ",\"queue_hwm\":%" PRIu64 ",\"retransmits\":%" PRIu64
+      ",\"messages_dropped\":%" PRIu64 "}",
+      key, agg.nodes, agg.stats.bytes_sent, agg.stats.bytes_received,
+      agg.stats.messages_sent, agg.stats.messages_received, agg.stats.busy_ns,
+      agg.stats.queue_hwm, agg.stats.retransmits, agg.stats.messages_dropped);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Cluster::StatsReport() const {
+  RoleAggregate local, intermediate, root, total;
+  for (const auto& node : nodes_) {
+    switch (node->role()) {
+      case NodeRole::kLocal: local.Absorb(node->net_stats()); break;
+      case NodeRole::kIntermediate:
+        intermediate.Absorb(node->net_stats());
+        break;
+      case NodeRole::kRoot: root.Absorb(node->net_stats()); break;
+    }
+    total.Absorb(node->net_stats());
+  }
+  char buf[256];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf),
+                "\"system\":\"%s\",\"transport\":\"%s\","
+                "\"topology\":{\"locals\":%d,\"intermediates\":%d,"
+                "\"layers\":%d},\"results\":%" PRIu64 ",\"roles\":{",
+                ToString(system_).c_str(), transport_->name(),
+                topology_.num_locals, topology_.num_intermediates,
+                topology_.intermediate_layers, results_);
+  out += buf;
+  AppendRole(out, "local", local);
+  out += ",";
+  AppendRole(out, "intermediate", intermediate);
+  out += ",";
+  AppendRole(out, "root", root);
+  out += "},";
+  AppendRole(out, "totals", total);
+  out += "}";
+  return out;
 }
 
 }  // namespace desis

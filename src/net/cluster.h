@@ -2,6 +2,8 @@
 #define DESIS_NET_CLUSTER_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,8 @@
 #include "net/node.h"
 
 namespace desis {
+
+class Transport;
 
 /// Which system the simulated cluster runs (§6.1.1).
 enum class ClusterSystem : uint8_t {
@@ -35,10 +39,18 @@ struct ClusterTopology {
   int intermediate_layers = 1;
 };
 
-/// A deterministic in-process decentralized cluster: builds the topology,
-/// deploys the chosen system on it, counts every byte crossing a link, and
-/// meters per-node CPU busy time (see DESIGN.md for the pipeline throughput
-/// model derived from these meters).
+/// An in-process decentralized cluster: builds the topology, deploys the
+/// chosen system on it, counts every byte crossing a link, and meters
+/// per-node CPU busy time (see DESIGN.md for the pipeline throughput model
+/// derived from these meters). Inter-node delivery is pluggable
+/// (src/transport/): synchronous-inline by default (deterministic, the
+/// seed behaviour), or threaded / simulated-lossy via set_transport().
+///
+/// Threading contract under a concurrent transport: each local index may
+/// be driven by at most one thread at a time (the usual one-driver-thread-
+/// per-edge-node deployment); membership and query operations may run
+/// concurrently with ingestion from any thread. Read stats / StatsReport
+/// only after Drain().
 class Cluster {
  public:
   Cluster(ClusterSystem system, ClusterTopology topology);
@@ -47,10 +59,16 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
+  /// Replaces the delivery channel. Call before Configure(). The cluster
+  /// takes ownership and shuts the transport down on destruction.
+  void set_transport(std::unique_ptr<Transport> transport);
+  Transport* transport() const { return transport_; }
+
   /// Deploys the query set on all nodes. Call once before ingesting.
   Status Configure(const std::vector<Query>& queries);
 
-  /// Final results (root emission) callback.
+  /// Final results (root emission) callback. Under a threaded transport the
+  /// sink runs on the root's delivery worker.
   void set_sink(WindowSink sink);
 
   /// Feeds events (non-decreasing ts per local) into local `local_idx`.
@@ -64,6 +82,10 @@ class Cluster {
 
   /// Advances a single local's watermark (per-node drivers, §3.2).
   void AdvanceAt(int local_idx, Timestamp watermark);
+
+  /// Blocks until every in-flight message has been delivered and handled
+  /// (transport Flush). No-op with the default inline transport.
+  void Drain();
 
   // --- Runtime membership and query management (§3.2, Desis system only) --
 
@@ -87,6 +109,7 @@ class Cluster {
   Status RemoveQuery(QueryId id);
 
   bool local_active(int local_idx) const {
+    std::shared_lock<std::shared_mutex> lock(membership_mu_);
     return !local_removed_[static_cast<size_t>(local_idx)];
   }
 
@@ -112,11 +135,27 @@ class Cluster {
   int64_t MaxBusyNsByRole(NodeRole role) const;
   int64_t MaxBusyNs() const;
 
+  /// One JSON object aggregating per-role network/CPU/queue counters plus
+  /// run metadata (system, topology, transport, results) — the machine-
+  /// readable form of the per-role stats the benches used to recompute by
+  /// hand. Call after Drain().
+  std::string StatsReport() const;
+
  private:
   Node* ParentForLocal(size_t ordinal) const;
+  Status RemoveLocalNodeLocked(int local_idx);
+  void WireNode(Node* node);
 
   ClusterSystem system_;
   ClusterTopology topology_;
+  Transport* transport_;
+  std::unique_ptr<Transport> owned_transport_;
+  /// Guards the membership vectors below (exclusive for membership/query
+  /// ops, shared for per-event driver entry points).
+  mutable std::shared_mutex membership_mu_;
+  /// One lock per local index: serializes everything that executes *on*
+  /// that leaf node (ingest, advance, runtime query deployment).
+  std::vector<std::unique_ptr<std::mutex>> local_mu_;
   std::vector<std::unique_ptr<Node>> nodes_;  // owns everything
   std::vector<LocalIngest*> locals_;
   std::vector<Node*> locals_raw_;

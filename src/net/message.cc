@@ -2,6 +2,23 @@
 
 namespace desis {
 
+std::vector<uint8_t> EncodeFrame(const Message& message) {
+  ByteWriter out;
+  out.WriteU8(static_cast<uint8_t>(message.type));
+  out.WriteU32(message.group_id);
+  out.WritePodVector(message.payload);  // 4B length prefix + payload
+  return out.TakeBytes();
+}
+
+Message DecodeFrame(const std::vector<uint8_t>& frame) {
+  ByteReader in(frame);
+  Message message;
+  message.type = static_cast<MessageType>(in.ReadU8());
+  message.group_id = in.ReadU32();
+  message.payload = in.ReadPodVector<uint8_t>();
+  return message;
+}
+
 SlicePartialMsg SlicePartialMsg::FromRecord(const SliceRecord& rec,
                                             Timestamp watermark) {
   SlicePartialMsg msg;

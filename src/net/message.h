@@ -25,6 +25,12 @@ enum class MessageType : uint8_t {
   kText,
 };
 
+/// Wire-frame header: 1B type + 4B group id + 4B payload-length prefix.
+/// Single source of truth for WireBytes() and the frame codec below.
+inline constexpr size_t kWireHeaderBytes =
+    sizeof(uint8_t) + sizeof(uint32_t) + sizeof(uint32_t);
+static_assert(kWireHeaderBytes == 9, "wire header layout changed");
+
 /// A serialized message. `payload` is the body; WireBytes() is the size
 /// accounted by channels as network overhead.
 struct Message {
@@ -32,9 +38,15 @@ struct Message {
   uint32_t group_id = 0;
   std::vector<uint8_t> payload;
 
-  /// Bytes on the wire: 1B type + 4B group + 4B length prefix + payload.
-  size_t WireBytes() const { return 9 + payload.size(); }
+  /// Bytes on the wire: header + payload.
+  size_t WireBytes() const { return kWireHeaderBytes + payload.size(); }
 };
+
+/// Serializes a full frame (header + payload) / parses it back. Channels
+/// that put real bytes on a wire use this; WireBytes() must always equal
+/// EncodeFrame().size().
+std::vector<uint8_t> EncodeFrame(const Message& message);
+Message DecodeFrame(const std::vector<uint8_t>& frame);
 
 /// Payload of kSlicePartial.
 struct SlicePartialMsg {

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "transport/transport.h"
+
 namespace desis {
 namespace {
 
@@ -19,6 +21,9 @@ std::string ToString(NodeRole role) {
   }
   return "unknown";
 }
+
+Node::Node(uint32_t id, NodeRole role)
+    : id_(id), role_(role), transport_(&DefaultInlineTransport()) {}
 
 int64_t Node::NowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -60,7 +65,7 @@ void Node::SendToParent(const Message& message) {
   if (parent_ == nullptr) return;
   net_stats_.bytes_sent += message.WireBytes();
   ++net_stats_.messages_sent;
-  parent_->Receive(message, child_index_at_parent_);
+  transport_->Send(this, parent_, child_index_at_parent_, message);
 }
 
 }  // namespace desis

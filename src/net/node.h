@@ -10,6 +10,8 @@
 
 namespace desis {
 
+class Transport;
+
 /// Role of a node in the decentralized topology (§2.4).
 enum class NodeRole : uint8_t {
   kLocal = 0,
@@ -31,25 +33,37 @@ class LocalIngest {
 };
 
 /// Per-node counters: network bytes (the paper's network-overhead metric,
-/// Fig 11) and metered CPU busy time (backing the pipeline throughput model
-/// described in DESIGN.md).
+/// Fig 11), metered CPU busy time (backing the pipeline throughput model
+/// described in DESIGN.md), and transport-level queue/loss counters.
+/// `bytes_sent`/`messages_sent` count logical sends exactly once, whatever
+/// the transport does underneath; retransmissions and drops on a lossy
+/// link are accounted separately so inline runs stay byte-identical.
 struct NodeStats {
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
   uint64_t messages_sent = 0;
   uint64_t messages_received = 0;
   int64_t busy_ns = 0;
+  /// High-water mark of inbound queue depth (threaded mailbox occupancy or
+  /// a lossy link's out-of-order reassembly buffer); 0 for inline delivery.
+  uint64_t queue_hwm = 0;
+  /// Transmissions re-sent on this node's uplink after a loss or timeout.
+  uint64_t retransmits = 0;
+  /// Transmissions the link dropped on this node's uplink (each one is
+  /// eventually covered by a retransmit).
+  uint64_t messages_dropped = 0;
 };
 
-/// A node in the simulated decentralized network. Delivery is synchronous
-/// and deterministic: SendToParent() serializes the message (bytes are
-/// counted on both ends) and invokes the parent's handler inline. CPU time
-/// spent in each node's handlers is metered, with nested upstream handling
-/// subtracted, so per-node busy time is attributed as if nodes ran on
-/// separate machines.
+/// A node in the simulated decentralized network. SendToParent() counts
+/// the serialized bytes on both ends and hands the message to the node's
+/// `Transport` for delivery — synchronously inline by default (bit-exact
+/// with the seed behaviour), or via a threaded / simulated-lossy channel
+/// (src/transport/). CPU time spent in each node's handlers is metered,
+/// with nested upstream handling subtracted, so per-node busy time is
+/// attributed as if nodes ran on separate machines.
 class Node {
  public:
-  Node(uint32_t id, NodeRole role) : id_(id), role_(role) {}
+  Node(uint32_t id, NodeRole role);
   virtual ~Node() = default;
 
   Node(const Node&) = delete;
@@ -86,6 +100,22 @@ class Node {
   int child_index_at_parent() const { return child_index_at_parent_; }
   Node* parent() const { return parent_; }
 
+  /// Routes this node's upstream sends through `transport` (never null;
+  /// defaults to the process-wide inline transport).
+  void set_transport(Transport* transport) { transport_ = transport; }
+  Transport* transport() const { return transport_; }
+
+  // --- Transport accounting hooks (see NodeStats) ------------------------
+
+  /// Records an inbound queue-depth observation; keeps the maximum.
+  void NoteQueueDepth(uint64_t depth) {
+    if (depth > net_stats_.queue_hwm) net_stats_.queue_hwm = depth;
+  }
+  /// Records one retransmission on this node's uplink.
+  void NoteRetransmit() { ++net_stats_.retransmits; }
+  /// Records one dropped transmission on this node's uplink.
+  void NoteDrop() { ++net_stats_.messages_dropped; }
+
  protected:
   virtual void HandleMessage(const Message& message, int child_index) = 0;
 
@@ -115,6 +145,7 @@ class Node {
 
   uint32_t id_;
   NodeRole role_;
+  Transport* transport_;
   Node* parent_ = nullptr;
   int child_index_at_parent_ = -1;
   int children_ = 0;

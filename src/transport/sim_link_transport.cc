@@ -1,0 +1,112 @@
+#include "transport/sim_link_transport.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace desis {
+
+SimLinkTransport::SimLinkTransport(SimLinkConfig config)
+    : config_(config), rng_(config.seed) {
+  config_.drop_probability = std::clamp(config_.drop_probability, 0.0, 0.9);
+  if (config_.latency_us < 0) config_.latency_us = 0;
+  if (config_.jitter_us < 0) config_.jitter_us = 0;
+}
+
+int64_t SimLinkTransport::JitterSample() {
+  return config_.jitter_us == 0 ? 0 : rng_.NextInRange(0, config_.jitter_us);
+}
+
+void SimLinkTransport::Schedule(int64_t at, EventKind kind, Link* link,
+                                uint64_t seq) {
+  events_.push({at, next_order_++, kind, link, seq});
+}
+
+void SimLinkTransport::Transmit(Link& link, uint64_t seq) {
+  const Message& message = link.unacked.at(seq);
+  int64_t transmit_us = 0;
+  if (config_.bytes_per_us > 0) {
+    transmit_us = static_cast<int64_t>(std::ceil(
+        static_cast<double>(message.WireBytes()) / config_.bytes_per_us));
+  }
+  const int64_t start = std::max(now_us_, link.free_at);
+  link.free_at = start + transmit_us;
+  const int64_t arrives = link.free_at + config_.latency_us + JitterSample();
+  Schedule(arrives, EventKind::kDataArrives, &link, seq);
+  // The ack for an undropped round trip lands no later than
+  // arrives + latency + jitter; time out strictly after that.
+  int64_t rto = config_.retransmit_timeout_us;
+  if (rto <= 0) rto = config_.latency_us + config_.jitter_us + 1;
+  Schedule(arrives + rto, EventKind::kRtoFires, &link, seq);
+}
+
+void SimLinkTransport::Send(Node* from, Node* to, int child_index,
+                            const Message& message) {
+  Link& link = links_[from];
+  if (link.from == nullptr) {
+    link.from = from;
+    link.to = to;
+    link.child_index = child_index;
+  }
+  const uint64_t seq = link.next_seq++;
+  link.unacked.emplace(seq, message);
+  Transmit(link, seq);
+}
+
+void SimLinkTransport::Pump() {
+  while (!events_.empty()) {
+    const SimEvent ev = events_.top();
+    events_.pop();
+    now_us_ = std::max(now_us_, ev.at);
+    Link& link = *ev.link;
+    switch (ev.kind) {
+      case EventKind::kDataArrives: {
+        if (rng_.NextBool(config_.drop_probability)) {
+          ++drops_;
+          link.from->NoteDrop();
+          break;  // the pending RTO covers this loss
+        }
+        const bool duplicate = ev.seq < link.next_deliver ||
+                               link.reassembly.count(ev.seq) != 0;
+        if (!duplicate) {
+          // Still unacked at the sender (acks trail delivery), so the
+          // payload is available for the reassembly buffer.
+          link.reassembly.emplace(ev.seq, link.unacked.at(ev.seq));
+          link.reassembly_hwm =
+              std::max(link.reassembly_hwm,
+                       static_cast<uint64_t>(link.reassembly.size()));
+          // Deliver the in-order prefix; handlers may Send() more traffic,
+          // which lands in this same event loop at the current time.
+          auto it = link.reassembly.find(link.next_deliver);
+          while (it != link.reassembly.end()) {
+            Message message = std::move(it->second);
+            link.reassembly.erase(it);
+            ++link.next_deliver;
+            link.to->Receive(message, link.child_index);
+            it = link.reassembly.find(link.next_deliver);
+          }
+        }
+        Schedule(now_us_ + config_.latency_us + JitterSample(),
+                 EventKind::kAckArrives, &link, ev.seq);
+        break;
+      }
+      case EventKind::kAckArrives:
+        if (!rng_.NextBool(config_.drop_probability)) {
+          link.unacked.erase(ev.seq);  // lost acks resolve via retransmit
+        }
+        break;
+      case EventKind::kRtoFires:
+        if (link.unacked.count(ev.seq) != 0) {
+          ++retransmits_;
+          link.from->NoteRetransmit();
+          Transmit(link, ev.seq);
+        }
+        break;
+    }
+  }
+  for (auto& [from, link] : links_) {
+    if (link.to != nullptr) link.to->NoteQueueDepth(link.reassembly_hwm);
+  }
+}
+
+}  // namespace desis

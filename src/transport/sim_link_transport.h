@@ -1,0 +1,110 @@
+#ifndef DESIS_TRANSPORT_SIM_LINK_TRANSPORT_H_
+#define DESIS_TRANSPORT_SIM_LINK_TRANSPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "transport/transport.h"
+
+namespace desis {
+
+/// Per-link channel model for SimLinkTransport. All times are virtual
+/// microseconds; nothing sleeps.
+struct SimLinkConfig {
+  /// One-way propagation delay applied to every transmission.
+  int64_t latency_us = 50;
+  /// Uniform extra delay in [0, jitter_us] sampled per transmission (and
+  /// per ack) from the seeded RNG.
+  int64_t jitter_us = 0;
+  /// Link bandwidth; a frame of B bytes occupies the link B/bytes_per_us.
+  /// 0 means unlimited.
+  double bytes_per_us = 0;
+  /// Probability that a data transmission is lost in flight (clamped to
+  /// [0, 0.9] so retransmission always converges). Acks share the fate.
+  double drop_probability = 0;
+  /// Sender retransmit timeout; 0 derives one round trip + margin from
+  /// latency/jitter.
+  int64_t retransmit_timeout_us = 0;
+  /// RNG seed; identical seeds reproduce identical loss/jitter schedules.
+  uint64_t seed = 42;
+};
+
+/// Deterministic virtual-time channel: every SendToParent becomes a
+/// sequence-numbered transmission subject to latency, bandwidth queueing,
+/// jitter, and seeded random loss. Receivers deliver strictly in sequence
+/// order (out-of-order arrivals wait in a reassembly buffer), ack each
+/// arrival, and senders retransmit unacked sequences on timeout — so every
+/// slice partial and watermark survives a lossy link, in FIFO order.
+///
+/// The event loop runs inside Pump()/Flush() on the caller's thread and
+/// drains to quiescence, advancing the virtual clock; Send() outside a
+/// pump only schedules. Logical byte/message counters on nodes are
+/// unchanged by loss; retransmissions and drops land in the sender's
+/// `retransmits`/`messages_dropped`, and reassembly-buffer high-water
+/// marks in the receiver's `queue_hwm`.
+class SimLinkTransport final : public Transport {
+ public:
+  explicit SimLinkTransport(SimLinkConfig config = {});
+
+  const char* name() const override { return "simlink"; }
+  void Send(Node* from, Node* to, int child_index,
+            const Message& message) override;
+  void Pump() override;
+  void Flush() override { Pump(); }
+
+  /// Virtual time reached by the event loop so far.
+  int64_t now_us() const { return now_us_; }
+  uint64_t total_retransmits() const { return retransmits_; }
+  uint64_t total_drops() const { return drops_; }
+
+ private:
+  struct Link {
+    Node* from = nullptr;
+    Node* to = nullptr;
+    int child_index = -1;
+    // Sender side: next sequence to assign, transmissions awaiting ack.
+    uint64_t next_seq = 0;
+    std::map<uint64_t, Message> unacked;
+    // Receiver side: in-order delivery cursor and reassembly buffer.
+    uint64_t next_deliver = 0;
+    std::map<uint64_t, Message> reassembly;
+    uint64_t reassembly_hwm = 0;
+    // Bandwidth queueing: when the link is free to start the next frame.
+    int64_t free_at = 0;
+  };
+
+  enum class EventKind : uint8_t { kDataArrives, kAckArrives, kRtoFires };
+
+  struct SimEvent {
+    int64_t at = 0;
+    uint64_t order = 0;  // tie-break: schedule order
+    EventKind kind = EventKind::kDataArrives;
+    Link* link = nullptr;
+    uint64_t seq = 0;
+  };
+  struct Later {
+    bool operator()(const SimEvent& a, const SimEvent& b) const {
+      return a.at != b.at ? a.at > b.at : a.order > b.order;
+    }
+  };
+
+  void Transmit(Link& link, uint64_t seq);
+  void Schedule(int64_t at, EventKind kind, Link* link, uint64_t seq);
+  int64_t JitterSample();
+
+  SimLinkConfig config_;
+  Rng rng_;
+  std::map<Node*, Link> links_;  // keyed by sender (one uplink per node)
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> events_;
+  int64_t now_us_ = 0;
+  uint64_t next_order_ = 0;
+  uint64_t retransmits_ = 0;
+  uint64_t drops_ = 0;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_TRANSPORT_SIM_LINK_TRANSPORT_H_

@@ -1,0 +1,163 @@
+#include "transport/threaded_transport.h"
+
+#include <future>
+#include <utility>
+
+namespace desis {
+
+ThreadedTransport::ThreadedTransport(size_t mailbox_capacity)
+    : capacity_(mailbox_capacity == 0 ? 1 : mailbox_capacity) {}
+
+ThreadedTransport::~ThreadedTransport() { Shutdown(); }
+
+void ThreadedTransport::Mailbox::Push(Item item) {
+  std::unique_lock<std::mutex> lock(mu);
+  not_full.wait(lock, [&] { return stop || queue.size() < capacity; });
+  if (stop) return;  // teardown already drained; late traffic is void
+  queue.push_back(std::move(item));
+  if (queue.size() > hwm) hwm = queue.size();
+  not_empty.notify_one();
+}
+
+void ThreadedTransport::Mailbox::Run() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      not_empty.wait(lock, [&] { return stop || !queue.empty(); });
+      if (queue.empty()) break;  // stop requested and fully drained
+      item = std::move(queue.front());
+      queue.pop_front();
+      processing = true;
+      not_full.notify_one();
+    }
+    if (item.control) {
+      item.control();
+    } else {
+      node->Receive(item.message, item.child_index);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      processing = false;
+      if (queue.empty()) became_idle.notify_all();
+    }
+  }
+}
+
+void ThreadedTransport::Mailbox::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu);
+  became_idle.wait(lock, [&] { return (queue.empty() && !processing) || stop; });
+}
+
+bool ThreadedTransport::Mailbox::IsIdle() {
+  std::lock_guard<std::mutex> lock(mu);
+  return queue.empty() && !processing;
+}
+
+void ThreadedTransport::AddNode(Node* node) {
+  if (node->role() == NodeRole::kLocal) return;  // leaves never receive
+  std::lock_guard<std::mutex> lock(boxes_mu_);
+  if (by_node_.count(node) != 0) return;
+  auto box = std::make_unique<Mailbox>(node, capacity_);
+  box->worker = std::thread([b = box.get()] { b->Run(); });
+  by_node_.emplace(node, box.get());
+  boxes_.push_back(std::move(box));
+}
+
+ThreadedTransport::Mailbox* ThreadedTransport::BoxFor(Node* node) {
+  std::lock_guard<std::mutex> lock(boxes_mu_);
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? nullptr : it->second;
+}
+
+std::vector<ThreadedTransport::Mailbox*> ThreadedTransport::SnapshotBoxes() {
+  std::lock_guard<std::mutex> lock(boxes_mu_);
+  std::vector<Mailbox*> out;
+  out.reserve(boxes_.size());
+  for (const auto& box : boxes_) out.push_back(box.get());
+  return out;
+}
+
+void ThreadedTransport::Send(Node* /*from*/, Node* to, int child_index,
+                             const Message& message) {
+  Mailbox* box = BoxFor(to);
+  if (box == nullptr) {  // unregistered receiver: degrade to inline
+    to->Receive(message, child_index);
+    return;
+  }
+  Item item;
+  item.message = message;
+  item.child_index = child_index;
+  box->Push(std::move(item));
+}
+
+void ThreadedTransport::Execute(Node* target, std::function<void()> fn) {
+  Mailbox* box = BoxFor(target);
+  if (box == nullptr) {
+    fn();
+    return;
+  }
+  Item item;
+  item.control = std::move(fn);
+  box->Push(std::move(item));
+}
+
+void ThreadedTransport::ExecuteSync(Node* target, std::function<void()> fn) {
+  Mailbox* box = BoxFor(target);
+  if (box == nullptr) {
+    fn();
+    return;
+  }
+  std::promise<void> done;
+  std::future<void> ready = done.get_future();
+  Item item;
+  item.control = [&fn, &done] {
+    fn();
+    done.set_value();
+  };
+  box->Push(std::move(item));
+  ready.wait();
+}
+
+void ThreadedTransport::Flush() {
+  // Quiesce to a fixpoint: draining one mailbox can enqueue into another
+  // (messages only flow parent-ward, so this terminates once drivers stop
+  // sending). A pass waits for every worker, then verifies nothing was
+  // re-enqueued behind its back; any refill restarts the pass.
+  for (;;) {
+    std::vector<Mailbox*> boxes = SnapshotBoxes();
+    for (Mailbox* box : boxes) box->WaitIdle();
+    bool all_idle = true;
+    for (Mailbox* box : boxes) all_idle = all_idle && box->IsIdle();
+    if (all_idle && boxes.size() == SnapshotBoxes().size()) break;
+  }
+  for (Mailbox* box : SnapshotBoxes()) {
+    uint64_t hwm;
+    {
+      std::lock_guard<std::mutex> lock(box->mu);
+      hwm = box->hwm;
+    }
+    box->node->NoteQueueDepth(hwm);
+  }
+}
+
+void ThreadedTransport::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(boxes_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  Flush();
+  for (Mailbox* box : SnapshotBoxes()) {
+    {
+      std::lock_guard<std::mutex> lock(box->mu);
+      box->stop = true;
+      box->not_empty.notify_all();
+      box->not_full.notify_all();
+      box->became_idle.notify_all();
+    }
+    if (box->worker.joinable()) box->worker.join();
+  }
+}
+
+}  // namespace desis

@@ -1,0 +1,94 @@
+#ifndef DESIS_TRANSPORT_THREADED_TRANSPORT_H_
+#define DESIS_TRANSPORT_THREADED_TRANSPORT_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace desis {
+
+/// Concurrent delivery: every receiving node (intermediates and the root —
+/// leaves never receive) gets one worker thread draining a bounded MPSC
+/// mailbox. Senders enqueue; a full mailbox blocks the sender until the
+/// worker frees a slot (backpressure), which propagates down the tree
+/// because a blocked intermediate stops draining its own mailbox. Per-link
+/// FIFO holds: each child's sends are serialized by the cluster (ingest
+/// runs under a per-local lock; intermediates send from their single
+/// worker), and the mailbox preserves enqueue order.
+///
+/// Membership changes route through Execute/ExecuteSync so they run on the
+/// target's worker, FIFO-ordered with in-flight messages — a detach never
+/// races the handler and never outruns the detached child's last watermark.
+///
+/// Flush() waits for cluster-wide quiescence (all mailboxes empty, all
+/// workers idle, re-checked until cascaded sends settle); Shutdown()
+/// flushes, then joins the workers. Node stats must only be read after a
+/// Flush(); mailbox high-water marks are folded into the receiving node's
+/// `NodeStats::queue_hwm` at that point.
+class ThreadedTransport final : public Transport {
+ public:
+  explicit ThreadedTransport(size_t mailbox_capacity = 1024);
+  ~ThreadedTransport() override;
+
+  ThreadedTransport(const ThreadedTransport&) = delete;
+  ThreadedTransport& operator=(const ThreadedTransport&) = delete;
+
+  const char* name() const override { return "threaded"; }
+  void AddNode(Node* node) override;
+  void Send(Node* from, Node* to, int child_index,
+            const Message& message) override;
+  void Execute(Node* target, std::function<void()> fn) override;
+  void ExecuteSync(Node* target, std::function<void()> fn) override;
+  void Flush() override;
+  void Shutdown() override;
+
+  size_t mailbox_capacity() const { return capacity_; }
+
+ private:
+  struct Item {
+    Message message;
+    int child_index = -1;
+    std::function<void()> control;  // non-null = run instead of delivering
+  };
+
+  struct Mailbox {
+    Mailbox(Node* n, size_t cap) : node(n), capacity(cap) {}
+
+    Node* node;
+    size_t capacity;
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::condition_variable became_idle;
+    std::deque<Item> queue;
+    bool processing = false;
+    bool stop = false;
+    uint64_t hwm = 0;
+    std::thread worker;
+
+    void Push(Item item);
+    void WaitIdle();
+    bool IsIdle();
+    void Run();
+  };
+
+  Mailbox* BoxFor(Node* node);
+  std::vector<Mailbox*> SnapshotBoxes();
+
+  size_t capacity_;
+  std::mutex boxes_mu_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  std::unordered_map<Node*, Mailbox*> by_node_;
+  bool stopped_ = false;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_TRANSPORT_THREADED_TRANSPORT_H_

@@ -1,0 +1,84 @@
+#ifndef DESIS_TRANSPORT_TRANSPORT_H_
+#define DESIS_TRANSPORT_TRANSPORT_H_
+
+#include <functional>
+
+#include "net/message.h"
+#include "net/node.h"
+
+namespace desis {
+
+/// A pluggable message channel between nodes. `Node::SendToParent` routes
+/// every message through the node's transport, so the same topology can run
+///  * inline (synchronous, deterministic — the default),
+///  * threaded (one worker per receiving node, bounded mailboxes), or
+///  * on a simulated lossy link (virtual-time latency/bandwidth/drop model).
+///
+/// The transport owns *delivery*; nodes keep owning semantics and byte
+/// accounting: `bytes_sent`/`messages_sent` are counted once per logical
+/// send at the sender, `bytes_received`/`messages_received` once per
+/// delivered message at the receiver, regardless of transport-level
+/// retransmissions (those land in `NodeStats::retransmits`).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Short channel name ("inline", "threaded", "simlink") for reports.
+  virtual const char* name() const = 0;
+
+  /// Ships `message` from `from` to its parent `to`, which registered the
+  /// sender under `child_index`. Per-link FIFO order must be preserved.
+  virtual void Send(Node* from, Node* to, int child_index,
+                    const Message& message) = 0;
+
+  /// Registers a node with the transport (called once per node when it is
+  /// wired into a cluster; may happen at runtime for joining nodes).
+  virtual void AddNode(Node* /*node*/) {}
+
+  /// Runs `fn` on `target`'s delivery thread, FIFO-ordered with pending
+  /// messages — the hook for membership changes (detach/attach/add-query)
+  /// that must not race the node's message handler. The default (and any
+  /// single-threaded transport) runs it immediately.
+  virtual void Execute(Node* /*target*/, std::function<void()> fn) { fn(); }
+
+  /// Like Execute, but blocks until `fn` has run.
+  virtual void ExecuteSync(Node* /*target*/, std::function<void()> fn) {
+    fn();
+  }
+
+  /// Opportunistic progress hook, called by drivers between ingest rounds
+  /// (e.g. after watermark advances). Virtual-time transports run their
+  /// event loop here; queue-based transports need no pumping.
+  virtual void Pump() {}
+
+  /// Blocks until every in-flight message (including cascades triggered by
+  /// deliveries) has been handled. No-op when delivery is synchronous.
+  virtual void Flush() {}
+
+  /// Flushes, then stops any delivery workers. Idempotent; called by the
+  /// cluster destructor before nodes are torn down.
+  virtual void Shutdown() {}
+};
+
+/// The seed behaviour, kept as the deterministic default: delivery invokes
+/// the parent's handler synchronously on the caller's stack, so every
+/// existing test and figure benchmark is bit-identical.
+class InlineTransport final : public Transport {
+ public:
+  const char* name() const override { return "inline"; }
+  void Send(Node* /*from*/, Node* to, int child_index,
+            const Message& message) override {
+    to->Receive(message, child_index);
+  }
+};
+
+/// Process-wide inline transport used by nodes that were never handed a
+/// transport (standalone nodes outside a Cluster). Stateless.
+inline Transport& DefaultInlineTransport() {
+  static InlineTransport transport;
+  return transport;
+}
+
+}  // namespace desis
+
+#endif  // DESIS_TRANSPORT_TRANSPORT_H_

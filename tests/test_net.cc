@@ -89,7 +89,22 @@ TEST(Message, SlicePartialRoundTrip) {
 
 TEST(Message, WireBytesAccountsHeader) {
   Message m{MessageType::kEventBatch, 5, std::vector<uint8_t>(100)};
+  EXPECT_EQ(m.WireBytes(), kWireHeaderBytes + 100);
   EXPECT_EQ(m.WireBytes(), 109u);
+}
+
+TEST(Message, FrameCodecMatchesWireHeaderConstant) {
+  static_assert(kWireHeaderBytes == 9, "wire header layout changed");
+  Message m{MessageType::kSlicePartial, 7,
+            std::vector<uint8_t>{1, 2, 3, 4, 5}};
+  const std::vector<uint8_t> frame = EncodeFrame(m);
+  // The serialized frame is exactly what the byte meters charge per message.
+  EXPECT_EQ(frame.size(), m.WireBytes());
+  EXPECT_EQ(frame.size(), kWireHeaderBytes + m.payload.size());
+  const Message back = DecodeFrame(frame);
+  EXPECT_EQ(back.type, m.type);
+  EXPECT_EQ(back.group_id, m.group_id);
+  EXPECT_EQ(back.payload, m.payload);
 }
 
 TEST(DiscoText, PartialLineRoundTrip) {

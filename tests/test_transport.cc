@@ -1,0 +1,497 @@
+// The transport runtime: inline (deterministic default), threaded (bounded
+// mailboxes, one worker per receiving node), and a simulated lossy link
+// (virtual-time latency/bandwidth/jitter/drop with ack/retransmit).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/cluster.h"
+#include "transport/sim_link_transport.h"
+#include "transport/threaded_transport.h"
+#include "transport/transport.h"
+
+namespace desis {
+namespace {
+
+Query MakeQuery(QueryId id, WindowSpec window, AggregationFunction fn,
+                double quantile = 0.5) {
+  Query q;
+  q.id = id;
+  q.window = window;
+  q.agg = {fn, quantile};
+  return q;
+}
+
+// A query mix covering slice partials (decomposable), forwarded raw events
+// (median/quantile), and watermark-driven session termination. Count-based
+// measures are excluded: their window boundaries depend on the global
+// arrival order, which concurrent delivery legitimately permutes.
+std::vector<Query> ConformanceMix() {
+  return {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kAverage),
+      MakeQuery(2, WindowSpec::Sliding(200, 50), AggregationFunction::kSum),
+      MakeQuery(3, WindowSpec::Tumbling(100), AggregationFunction::kMax),
+      MakeQuery(4, WindowSpec::Tumbling(100), AggregationFunction::kMedian),
+      MakeQuery(5, WindowSpec::Tumbling(250), AggregationFunction::kQuantile,
+                0.9),
+      MakeQuery(6, WindowSpec::Session(25), AggregationFunction::kCount),
+  };
+}
+
+std::vector<std::vector<Event>> RandomStreams(int locals, int per_local,
+                                              Timestamp max_ts,
+                                              uint64_t seed) {
+  std::vector<std::vector<Event>> streams(static_cast<size_t>(locals));
+  Rng rng(seed);
+  for (auto& stream : streams) {
+    Timestamp ts = 0;
+    for (int i = 0; i < per_local; ++i) {
+      ts += rng.NextInRange(1, std::max<int64_t>(1, max_ts / per_local));
+      stream.push_back({ts, static_cast<uint32_t>(rng.NextBounded(3)),
+                        static_cast<double>(rng.NextBounded(1000)),
+                        kNoMarker});
+    }
+  }
+  return streams;
+}
+
+using ResultMap = std::map<QueryId, std::map<Timestamp, WindowResult>>;
+
+/// Thread-safe sink collecting results keyed by (query, window start).
+struct ResultCollector {
+  std::mutex mu;
+  ResultMap results;
+
+  WindowSink Sink() {
+    return [this](const WindowResult& r) {
+      std::lock_guard<std::mutex> lock(mu);
+      results[r.query_id][r.window_start] = r;
+    };
+  }
+};
+
+/// Single driver thread, lock-stepped rounds (the seed harness pattern).
+void DriveSingleThreaded(Cluster& cluster,
+                         const std::vector<std::vector<Event>>& per_local,
+                         Timestamp step, Timestamp end_ts) {
+  std::vector<size_t> cursor(per_local.size(), 0);
+  for (Timestamp t = 0; t <= end_ts; t += step) {
+    for (size_t i = 0; i < per_local.size(); ++i) {
+      const size_t begin = cursor[i];
+      while (cursor[i] < per_local[i].size() &&
+             per_local[i][cursor[i]].ts < t + step) {
+        ++cursor[i];
+      }
+      if (cursor[i] > begin) {
+        cluster.IngestAt(static_cast<int>(i), per_local[i].data() + begin,
+                         cursor[i] - begin);
+      }
+    }
+    cluster.Advance(t + step);
+  }
+  cluster.Advance(end_ts + 10 * step);
+  cluster.Drain();
+}
+
+/// One driver thread per local node — the deployment the threaded
+/// transport models (each edge device pushes its own stream).
+void DrivePerLocalThreads(Cluster& cluster,
+                          const std::vector<std::vector<Event>>& per_local,
+                          Timestamp step, Timestamp end_ts) {
+  std::vector<std::thread> drivers;
+  for (size_t i = 0; i < per_local.size(); ++i) {
+    drivers.emplace_back([&, i] {
+      const std::vector<Event>& stream = per_local[i];
+      size_t cursor = 0;
+      for (Timestamp t = 0; t <= end_ts; t += step) {
+        const size_t begin = cursor;
+        while (cursor < stream.size() && stream[cursor].ts < t + step) {
+          ++cursor;
+        }
+        if (cursor > begin) {
+          cluster.IngestAt(static_cast<int>(i), stream.data() + begin,
+                           cursor - begin);
+        }
+        cluster.AdvanceAt(static_cast<int>(i), t + step);
+      }
+      cluster.AdvanceAt(static_cast<int>(i), end_ts + 10 * step);
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  cluster.Drain();
+}
+
+/// Order-insensitive comparison: same window set, values equal up to the
+/// floating-point reassociation concurrent merge order may introduce.
+void ExpectSameResults(const ResultMap& got, const ResultMap& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [qid, windows] : want) {
+    auto it = got.find(qid);
+    ASSERT_NE(it, got.end()) << "no results for query " << qid;
+    ASSERT_EQ(it->second.size(), windows.size()) << "query " << qid;
+    for (const auto& [ws, result] : windows) {
+      auto wit = it->second.find(ws);
+      ASSERT_NE(wit, it->second.end())
+          << "query " << qid << " missing window @" << ws;
+      EXPECT_NEAR(wit->second.value, result.value,
+                  1e-6 * (1.0 + std::abs(result.value)))
+          << "query " << qid << " window @" << ws;
+      EXPECT_EQ(wit->second.event_count, result.event_count)
+          << "query " << qid << " window @" << ws;
+    }
+  }
+}
+
+ResultMap RunInlineReference(const std::vector<Query>& queries,
+                             const std::vector<std::vector<Event>>& streams,
+                             ClusterTopology topology, Timestamp step,
+                             Timestamp end_ts) {
+  Cluster cluster(ClusterSystem::kDesis, topology);
+  ResultCollector collector;
+  cluster.set_sink(collector.Sink());
+  EXPECT_TRUE(cluster.Configure(queries).ok());
+  DriveSingleThreaded(cluster, streams, step, end_ts);
+  return collector.results;
+}
+
+// ------------------------------------------------------------- inline ----
+
+TEST(InlineTransport, ExplicitInstanceIsByteIdenticalToDefault) {
+  const auto queries = ConformanceMix();
+  const auto streams = RandomStreams(3, 200, 1500, 11);
+
+  Cluster by_default(ClusterSystem::kDesis, {3, 1});
+  ASSERT_TRUE(by_default.Configure(queries).ok());
+  DriveSingleThreaded(by_default, streams, 50, 2000);
+
+  Cluster explicit_inline(ClusterSystem::kDesis, {3, 1});
+  explicit_inline.set_transport(std::make_unique<InlineTransport>());
+  ASSERT_TRUE(explicit_inline.Configure(queries).ok());
+  DriveSingleThreaded(explicit_inline, streams, 50, 2000);
+
+  EXPECT_STREQ(by_default.transport()->name(), "inline");
+  for (int i = 0; i < 3; ++i) {
+    const NodeStats& a = by_default.local_stats(i);
+    const NodeStats& b = explicit_inline.local_stats(i);
+    EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+    EXPECT_EQ(a.messages_sent, b.messages_sent);
+    EXPECT_EQ(a.queue_hwm, 0u);
+    EXPECT_EQ(a.retransmits, 0u);
+    EXPECT_EQ(a.messages_dropped, 0u);
+  }
+  EXPECT_EQ(by_default.root_stats().bytes_received,
+            explicit_inline.root_stats().bytes_received);
+  EXPECT_EQ(by_default.results(), explicit_inline.results());
+}
+
+// ------------------------------------------------------------ threaded ----
+
+TEST(ThreadedTransport, ConformanceMixMatchesInline) {
+  const auto queries = ConformanceMix();
+  const auto streams = RandomStreams(4, 300, 2000, 77);
+  const ClusterTopology topology{4, 2};
+
+  ResultMap want = RunInlineReference(queries, streams, topology, 50, 2500);
+  ASSERT_FALSE(want.empty());
+
+  Cluster cluster(ClusterSystem::kDesis, topology);
+  cluster.set_transport(std::make_unique<ThreadedTransport>());
+  ResultCollector collector;
+  cluster.set_sink(collector.Sink());
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  DrivePerLocalThreads(cluster, streams, 50, 2500);
+
+  ExpectSameResults(collector.results, want);
+}
+
+TEST(ThreadedTransport, DeepTopologyMatchesInline) {
+  const std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kAverage),
+      MakeQuery(2, WindowSpec::Tumbling(100), AggregationFunction::kMedian)};
+  const auto streams = RandomStreams(6, 200, 1500, 5);
+  const ClusterTopology topology{6, 2, 3};  // multi-hop chain (§6.4.1)
+
+  ResultMap want = RunInlineReference(queries, streams, topology, 50, 2000);
+  ASSERT_FALSE(want.empty());
+
+  Cluster cluster(ClusterSystem::kDesis, topology);
+  cluster.set_transport(std::make_unique<ThreadedTransport>());
+  ResultCollector collector;
+  cluster.set_sink(collector.Sink());
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  DrivePerLocalThreads(cluster, streams, 50, 2000);
+
+  ExpectSameResults(collector.results, want);
+}
+
+TEST(ThreadedTransport, TinyMailboxBackpressureStaysCorrect) {
+  const std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kSum)};
+  const auto streams = RandomStreams(3, 300, 1000, 23);
+  const ClusterTopology topology{3, 1};
+
+  ResultMap want = RunInlineReference(queries, streams, topology, 20, 1500);
+
+  // Capacity 2 forces senders to block on nearly every enqueue.
+  Cluster cluster(ClusterSystem::kDesis, topology);
+  cluster.set_transport(std::make_unique<ThreadedTransport>(2));
+  ResultCollector collector;
+  cluster.set_sink(collector.Sink());
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  DrivePerLocalThreads(cluster, streams, 20, 1500);
+
+  ExpectSameResults(collector.results, want);
+  // The mailbox high-water mark is bounded by the capacity and must have
+  // been observed on at least one receiving node.
+  const uint64_t im_hwm = cluster.intermediate_stats(0).queue_hwm;
+  const uint64_t root_hwm = cluster.root_stats().queue_hwm;
+  EXPECT_LE(im_hwm, 2u);
+  EXPECT_LE(root_hwm, 2u);
+  EXPECT_GT(im_hwm + root_hwm, 0u);
+}
+
+TEST(ThreadedTransport, MembershipAndQueryOpsDuringLiveIngestion) {
+  Cluster cluster(ClusterSystem::kDesis, {3, 1});
+  cluster.set_transport(std::make_unique<ThreadedTransport>(64));
+  ResultCollector collector;
+  cluster.set_sink(collector.Sink());
+  ASSERT_TRUE(cluster.Configure({MakeQuery(
+                  1, WindowSpec::Tumbling(100), AggregationFunction::kAverage)})
+                  .ok());
+
+  // Locals 0 and 1 ingest [0, 1000) but pause once they advanced to 500;
+  // local 2 goes silent after 300.
+  struct Gate {
+    std::mutex mu;
+    std::condition_variable cv;
+    int paused = 0;
+    bool open = false;
+  } gate;
+
+  auto driver = [&](int idx, Timestamp stop_ts, bool pauses) {
+    for (Timestamp t = 0; t < stop_ts; t += 50) {
+      std::vector<Event> events;
+      for (Timestamp ts = t; ts < t + 50; ts += 10) {
+        events.push_back({ts, 0, 1.0, kNoMarker});
+      }
+      cluster.IngestAt(idx, events.data(), events.size());
+      cluster.AdvanceAt(idx, t + 50);
+      if (pauses && t + 50 == 500) {
+        std::unique_lock<std::mutex> lock(gate.mu);
+        ++gate.paused;
+        gate.cv.notify_all();
+        gate.cv.wait(lock, [&] { return gate.open; });
+      }
+    }
+    // The silent local just stops; survivors flush their final windows.
+    if (pauses) cluster.AdvanceAt(idx, stop_ts + 200);
+  };
+
+  std::thread t0(driver, 0, 1000, true);
+  std::thread t1(driver, 1, 1000, true);
+  std::thread t2(driver, 2, 300, false);
+
+  // Deploy a second query while all three ingestion threads are running.
+  ASSERT_TRUE(cluster
+                  .AddQuery(MakeQuery(2, WindowSpec::Tumbling(50),
+                                      AggregationFunction::kSum))
+                  .ok());
+
+  t2.join();
+  {
+    std::unique_lock<std::mutex> lock(gate.mu);
+    gate.cv.wait(lock, [&] { return gate.paused == 2; });
+  }
+
+  // Locals 0/1 advanced to 500, local 2 stalled at 300: the timeout sweep
+  // must remove exactly the silent one, unblocking upstream watermarks.
+  const std::vector<int> removed = cluster.RemoveSilentLocals(400);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], 2);
+  EXPECT_FALSE(cluster.local_active(2));
+
+  // A new edge device joins mid-run and feeds [500, 1000).
+  auto added = cluster.AddLocalNode();
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  const int joined = added.value();
+  EXPECT_EQ(joined, 3);
+  std::thread t3([&] {
+    for (Timestamp t = 500; t < 1000; t += 50) {
+      std::vector<Event> events;
+      for (Timestamp ts = t; ts < t + 50; ts += 10) {
+        events.push_back({ts, 0, 1.0, kNoMarker});
+      }
+      cluster.IngestAt(joined, events.data(), events.size());
+      cluster.AdvanceAt(joined, t + 50);
+    }
+    cluster.AdvanceAt(joined, 1200);
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(gate.mu);
+    gate.open = true;
+    gate.cv.notify_all();
+  }
+  t0.join();
+  t1.join();
+  t3.join();
+  cluster.Drain();
+
+  std::lock_guard<std::mutex> lock(collector.mu);
+  const auto& q1 = collector.results[1];
+  // No lost watermarks: every tumbling window up to [900, 1000) fired,
+  // across the removal at 300 and the join at 500.
+  for (Timestamp ws = 0; ws <= 900; ws += 100) {
+    ASSERT_TRUE(q1.contains(ws)) << "query 1 window @" << ws;
+    EXPECT_DOUBLE_EQ(q1.at(ws).value, 1.0);
+  }
+  // The runtime-added query produced results after its deployment.
+  EXPECT_FALSE(collector.results[2].empty());
+}
+
+// ------------------------------------------------------------- simlink ----
+
+TEST(SimLinkTransport, ZeroLossMatchesInline) {
+  const auto queries = ConformanceMix();
+  const auto streams = RandomStreams(3, 250, 1500, 31);
+  const ClusterTopology topology{3, 1};
+
+  ResultMap want = RunInlineReference(queries, streams, topology, 50, 2000);
+  ASSERT_FALSE(want.empty());
+
+  SimLinkConfig link;
+  link.latency_us = 200;
+  link.jitter_us = 40;
+  link.bytes_per_us = 2.0;
+  link.drop_probability = 0;
+  Cluster cluster(ClusterSystem::kDesis, topology);
+  cluster.set_transport(std::make_unique<SimLinkTransport>(link));
+  ResultCollector collector;
+  cluster.set_sink(collector.Sink());
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  DriveSingleThreaded(cluster, streams, 50, 2000);
+
+  ExpectSameResults(collector.results, want);
+  uint64_t retransmits = 0;
+  for (int i = 0; i < 3; ++i) {
+    retransmits += cluster.local_stats(i).retransmits;
+  }
+  EXPECT_EQ(retransmits, 0u);
+}
+
+TEST(SimLinkTransport, LossyLinkDeliversEverySlicePartial) {
+  const auto queries = ConformanceMix();
+  const auto streams = RandomStreams(3, 250, 1500, 31);
+  const ClusterTopology topology{3, 1};
+
+  ResultMap want = RunInlineReference(queries, streams, topology, 50, 2000);
+  ASSERT_FALSE(want.empty());
+
+  SimLinkConfig link;
+  link.latency_us = 100;
+  link.jitter_us = 50;
+  link.bytes_per_us = 1.0;
+  link.drop_probability = 0.25;
+  link.seed = 7;
+  Cluster cluster(ClusterSystem::kDesis, topology);
+  auto transport = std::make_unique<SimLinkTransport>(link);
+  SimLinkTransport* sim = transport.get();
+  cluster.set_transport(std::move(transport));
+  ResultCollector collector;
+  cluster.set_sink(collector.Sink());
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  DriveSingleThreaded(cluster, streams, 50, 2000);
+
+  // Zero lost windows: the retransmit layer recovered every drop.
+  ExpectSameResults(collector.results, want);
+  EXPECT_GT(sim->total_drops(), 0u);
+  EXPECT_GT(sim->total_retransmits(), 0u);
+  EXPECT_GT(sim->now_us(), 0);
+  uint64_t drops = 0;
+  uint64_t retransmits = 0;
+  for (int i = 0; i < 3; ++i) {
+    drops += cluster.local_stats(i).messages_dropped;
+    retransmits += cluster.local_stats(i).retransmits;
+  }
+  drops += cluster.intermediate_stats(0).messages_dropped;
+  retransmits += cluster.intermediate_stats(0).retransmits;
+  EXPECT_EQ(drops, sim->total_drops());
+  EXPECT_EQ(retransmits, sim->total_retransmits());
+  // Logical message counters stay loss-independent: the root received
+  // exactly what the intermediate sent, despite dropped transmissions.
+  EXPECT_EQ(cluster.root_stats().messages_received,
+            cluster.intermediate_stats(0).messages_sent);
+}
+
+TEST(SimLinkTransport, IdenticalSeedsAreDeterministic) {
+  const std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kSum)};
+  const auto streams = RandomStreams(2, 150, 800, 3);
+
+  auto run = [&] {
+    SimLinkConfig link;
+    link.latency_us = 80;
+    link.jitter_us = 20;
+    link.drop_probability = 0.3;
+    link.seed = 99;
+    Cluster cluster(ClusterSystem::kDesis, {2, 1});
+    auto transport = std::make_unique<SimLinkTransport>(link);
+    SimLinkTransport* sim = transport.get();
+    cluster.set_transport(std::move(transport));
+    EXPECT_TRUE(cluster.Configure(queries).ok());
+    DriveSingleThreaded(cluster, streams, 40, 1000);
+    return std::make_tuple(sim->total_drops(), sim->total_retransmits(),
+                           sim->now_us(), cluster.results());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --------------------------------------------------------- stats report ----
+
+TEST(StatsReport, EmitsOneJsonObjectWithPerRoleCounters) {
+  const std::vector<Query> queries = {
+      MakeQuery(1, WindowSpec::Tumbling(100), AggregationFunction::kAverage)};
+  const auto streams = RandomStreams(2, 200, 1000, 13);
+
+  SimLinkConfig link;
+  link.drop_probability = 0.2;
+  link.seed = 5;
+  Cluster cluster(ClusterSystem::kDesis, {2, 1});
+  cluster.set_transport(std::make_unique<SimLinkTransport>(link));
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  DriveSingleThreaded(cluster, streams, 50, 1500);
+
+  const std::string report = cluster.StatsReport();
+  EXPECT_EQ(report.front(), '{');
+  EXPECT_EQ(report.back(), '}');
+  for (const char* key :
+       {"\"system\":\"Desis\"", "\"transport\":\"simlink\"",
+        "\"topology\":{\"locals\":2,\"intermediates\":1,\"layers\":1}",
+        "\"results\":", "\"roles\":{\"local\":{\"nodes\":2",
+        "\"intermediate\":{\"nodes\":1", "\"root\":{\"nodes\":1",
+        "\"bytes_sent\":", "\"busy_ns\":", "\"queue_hwm\":",
+        "\"retransmits\":", "\"messages_dropped\":", "\"totals\":{"}) {
+    EXPECT_NE(report.find(key), std::string::npos)
+        << "missing " << key << " in " << report;
+  }
+  // Balanced braces — cheap well-formedness check without a JSON parser.
+  int depth = 0;
+  for (char c : report) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+}  // namespace
+}  // namespace desis
