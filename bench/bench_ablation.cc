@@ -125,5 +125,6 @@ int main() {
   desis::bench::A2_Sharing();
   desis::bench::A3_SortSubsumption();
   desis::bench::A4_SliceVsWindowShipping();
+  desis::bench::WriteMetricsSidecar("bench_ablation");
   return 0;
 }

@@ -109,5 +109,6 @@ int main() {
     cells.insert(cells.end(), lat_cells.begin(), lat_cells.end());
     desis::bench::PrintRow(std::to_string(slice_size) + " ev/slice", cells);
   }
+  desis::bench::WriteMetricsSidecar("bench_fig10");
   return 0;
 }

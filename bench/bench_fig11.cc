@@ -114,5 +114,6 @@ int main() {
   desis::bench::Fig11c();
   desis::bench::Fig11d();
   desis::bench::Fig11Hops();
+  desis::bench::WriteMetricsSidecar("bench_fig11");
   return 0;
 }

@@ -30,5 +30,6 @@ int main() {
                       "Fig 12a: per-role latency, average (us/result)");
   desis::bench::Fig12(desis::AggregationFunction::kMedian,
                       "Fig 12b: per-role latency, median (us/result)");
+  desis::bench::WriteMetricsSidecar("bench_fig12");
   return 0;
 }

@@ -153,5 +153,6 @@ void Fig13bcd() {
 int main() {
   desis::bench::Fig13a();
   desis::bench::Fig13bcd();
+  desis::bench::WriteMetricsSidecar("bench_fig13");
   return 0;
 }

@@ -74,5 +74,6 @@ void Fig6b() {
 int main() {
   desis::bench::Fig6a();
   desis::bench::Fig6b();
+  desis::bench::WriteMetricsSidecar("bench_fig6");
   return 0;
 }

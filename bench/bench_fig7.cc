@@ -109,5 +109,6 @@ int main() {
   desis::bench::Fig7cd();
   desis::bench::Fig7e();
   desis::bench::Fig7f();
+  desis::bench::WriteMetricsSidecar("bench_fig7");
   return 0;
 }

@@ -87,5 +87,6 @@ int main() {
   desis::bench::Sweep(true,
                       "Fig 8c: throughput, half user-defined (events/s)",
                       "Fig 8d: slices per minute, half user-defined");
+  desis::bench::WriteMetricsSidecar("bench_fig8");
   return 0;
 }

@@ -157,5 +157,6 @@ int main() {
                   events);
   ThroughputSweep("Fig 9h: throughput, mixed time/count measures (events/s)",
                   MixedMeasures, events);
+  desis::bench::WriteMetricsSidecar("bench_fig9");
   return 0;
 }

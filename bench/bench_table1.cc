@@ -7,6 +7,7 @@
 
 #include "core/aggregation.h"
 #include "core/operators.h"
+#include "harness.h"
 
 namespace desis {
 namespace {
@@ -82,5 +83,6 @@ void PrintSharingExamples() {
 int main() {
   desis::PrintTable1();
   desis::PrintSharingExamples();
+  desis::bench::WriteMetricsSidecar("bench_table1");
   return 0;
 }

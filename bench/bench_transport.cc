@@ -197,6 +197,7 @@ int Main(int argc, char** argv) {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
+  WriteMetricsSidecar("bench_transport");
   return 0;
 }
 

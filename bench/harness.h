@@ -15,6 +15,8 @@
 #include "gen/data_generator.h"
 #include "gen/query_generator.h"
 #include "net/cluster.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace desis::bench {
 
@@ -41,6 +43,83 @@ inline int64_t NowNs() {
       .count();
 }
 
+/// Per-slice-span budget per bench run; bounds the sidecar of a bench with
+/// dozens of runs to a few MB (the tracer keeps the newest spans).
+inline constexpr size_t kSidecarTraceCapacity = 1024;
+
+inline std::string EngineStatsJson(const EngineStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"events\":%llu,\"operator_executions\":%llu,"
+                "\"slices_created\":%llu,\"windows_fired\":%llu,"
+                "\"selection_evals\":%llu,\"merges\":%llu}",
+                static_cast<unsigned long long>(s.events),
+                static_cast<unsigned long long>(s.operator_executions),
+                static_cast<unsigned long long>(s.slices_created),
+                static_cast<unsigned long long>(s.windows_fired),
+                static_cast<unsigned long long>(s.selection_evals),
+                static_cast<unsigned long long>(s.merges));
+  return buf;
+}
+
+/// Process-wide accumulator for the machine-readable metrics sidecar:
+/// every measured run appends one entry (run label, metrics snapshot,
+/// slice-lifecycle spans); the bench main calls WriteMetricsSidecar() last.
+/// Single-threaded by design — bench mains drive runs sequentially.
+class Sidecar {
+ public:
+  static Sidecar& Instance() {
+    static Sidecar instance;
+    return instance;
+  }
+
+  /// Appends one run entry. `report_json` must be a complete JSON value
+  /// (e.g. Cluster::StatsReport()); `spans_json` a JSON array (e.g.
+  /// SliceTracer::ToJson() after quiescence).
+  void RecordRun(const std::string& label, const std::string& report_json,
+                 const std::string& spans_json) {
+    entries_.push_back("{\"run\":\"" + obs::JsonEscape(label) +
+                       "\",\"report\":" + report_json +
+                       ",\"spans\":" + spans_json + "}");
+  }
+
+  size_t num_runs() const { return entries_.size(); }
+
+  /// Writes `<bench>_metrics.json` (or $DESIS_METRICS_OUT) in the working
+  /// directory; returns false (with a note on stderr) on I/O failure.
+  bool Write(const std::string& bench_name) const {
+    const char* env = std::getenv("DESIS_METRICS_OUT");
+    const std::string path =
+        env != nullptr ? env : bench_name + "_metrics.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics sidecar %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"scale\":%g,\"obs_enabled\":%s,",
+                 obs::JsonEscape(bench_name).c_str(), ScaleFactor(),
+                 DESIS_OBS_ENABLED ? "true" : "false");
+    std::fprintf(f, "\"runs\":[");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ",", entries_[i].c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("metrics sidecar: %s (%zu runs)\n", path.c_str(),
+                entries_.size());
+    std::fflush(stdout);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> entries_;
+};
+
+/// Convenience for bench mains: dump everything recorded so far.
+inline bool WriteMetricsSidecar(const std::string& bench_name) {
+  return Sidecar::Instance().Write(bench_name);
+}
+
 /// Centralized engine factory (the single-node systems of §6.1.1).
 inline std::unique_ptr<StreamEngine> MakeEngine(const std::string& name) {
   if (name == "Desis") return std::make_unique<DesisEngine>();
@@ -63,6 +142,8 @@ struct ThroughputResult {
 inline ThroughputResult MeasureThroughput(StreamEngine& engine,
                                           const std::vector<Event>& events) {
   ThroughputResult out;
+  obs::SliceTracer tracer(kSidecarTraceCapacity);
+  engine.set_tracer(&tracer);
   engine.set_sink([&](const WindowResult&) { ++out.results; });
   const int64_t t0 = NowNs();
   for (const Event& e : events) engine.Ingest(e);
@@ -71,6 +152,16 @@ inline ThroughputResult MeasureThroughput(StreamEngine& engine,
   out.events_per_sec =
       static_cast<double>(events.size()) * 1e9 / static_cast<double>(dt);
   out.stats = engine.stats();
+  engine.set_tracer(nullptr);
+  char report[256];
+  std::snprintf(report, sizeof(report),
+                "{\"system\":\"%s\",\"events\":%zu,\"events_per_sec\":%g,"
+                "\"results\":%llu,\"stats\":",
+                engine.name().c_str(), events.size(), out.events_per_sec,
+                static_cast<unsigned long long>(out.results));
+  Sidecar::Instance().RecordRun(engine.name(),
+                                report + EngineStatsJson(out.stats) + "}",
+                                tracer.ToJson());
   return out;
 }
 
@@ -142,6 +233,12 @@ inline DecentralizedResult RunDecentralized(
     const std::vector<Query>& queries, size_t events_per_local,
     Timestamp mean_interval = 10, uint32_t data_keys = 10,
     Timestamp round_us = 100 * kMillisecond, double marker_probability = 0.0) {
+  // Observability sinks for the metrics sidecar: per-node series + slice-
+  // lifecycle spans. Declared before the cluster so they outlive its
+  // destructor (transport shutdown still reports into node gauges). With
+  // DESIS_OBS=OFF both are inert stubs.
+  obs::MetricsRegistry registry;
+  obs::SliceTracer tracer(kSidecarTraceCapacity);
   Cluster cluster(system, topology);
   auto status = cluster.Configure(queries);
   if (!status.ok()) {
@@ -149,6 +246,7 @@ inline DecentralizedResult RunDecentralized(
                  status.ToString().c_str());
     std::abort();
   }
+  cluster.AttachObs(&registry, &tracer);
 
   std::vector<std::vector<Event>> streams(
       static_cast<size_t>(topology.num_locals));
@@ -179,6 +277,17 @@ inline DecentralizedResult RunDecentralized(
     cluster.Advance(t + round_us);
   }
   cluster.Advance(max_ts + kMinute);
+  cluster.Drain();
+
+  char label[160];
+  std::snprintf(label, sizeof(label),
+                "%s locals=%d ints=%d layers=%d queries=%zu events=%zu",
+                ToString(system).c_str(), topology.num_locals,
+                topology.num_intermediates, topology.intermediate_layers,
+                queries.size(), events_per_local);
+  // Post-Drain: the transport is quiescent, so the full span payloads are
+  // safe to export alongside the registry snapshot in StatsReport().
+  Sidecar::Instance().RecordRun(label, cluster.StatsReport(), tracer.ToJson());
 
   DecentralizedResult out;
   out.total_events = events_per_local * streams.size();

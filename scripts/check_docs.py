@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Documentation checks: relative links resolve, code fences balance.
+
+Scans every tracked *.md file for
+  1. relative markdown links ([text](path) / [text](path#anchor)) whose
+     target file does not exist,
+  2. unbalanced ``` code fences,
+  3. trailing whitespace (lint; reported but non-fatal unless --strict).
+
+Exit code 0 when clean, 1 when any fatal finding exists. No external
+dependencies — stdlib only.
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def tracked_markdown(root: Path) -> list[Path]:
+    try:
+        out = subprocess.run(
+            ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+             "*.md", "**/*.md"],
+            cwd=root, capture_output=True, text=True, check=True,
+        ).stdout
+        files = [root / line for line in out.splitlines() if line]
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        files = list(root.rglob("*.md"))
+    return sorted(set(f for f in files if f.is_file()))
+
+
+def strip_fenced_code(text: str) -> str:
+    """Blanks out fenced code blocks so example links are not checked."""
+    lines = text.splitlines()
+    out = []
+    in_fence = False
+    for line in lines:
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def check_file(path: Path, root: Path, strict: bool) -> tuple[int, int]:
+    fatal = warnings = 0
+    text = path.read_text(encoding="utf-8")
+
+    fences = sum(1 for line in text.splitlines() if FENCE_RE.match(line))
+    if fences % 2 != 0:
+        print(f"{path.relative_to(root)}: unbalanced code fences "
+              f"({fences} markers)")
+        fatal += 1
+
+    for m in LINK_RE.finditer(strip_fenced_code(text)):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = (path.parent / rel).resolve()
+        if not resolved.exists():
+            print(f"{path.relative_to(root)}: broken link -> {target}")
+            fatal += 1
+
+    for i, line in enumerate(text.splitlines(), 1):
+        if line != line.rstrip():
+            if strict:
+                print(f"{path.relative_to(root)}:{i}: trailing whitespace")
+                fatal += 1
+            else:
+                warnings += 1
+
+    return fatal, warnings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent)
+    parser.add_argument("--strict", action="store_true",
+                        help="treat lint findings as fatal")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    files = tracked_markdown(root)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+
+    fatal = warnings = 0
+    for f in files:
+        ff, ww = check_file(f, root, args.strict)
+        fatal += ff
+        warnings += ww
+
+    print(f"checked {len(files)} markdown files: "
+          f"{fatal} errors, {warnings} lint warnings")
+    return 1 if fatal else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,14 @@ std::unique_ptr<StreamSlicer> SlicingEngine::MakeSlicer(QueryGroup group) {
   slicer->set_window_sink(
       [this](const WindowResult& result) { Emit(result); });
   if (slice_sink_) slicer->set_slice_sink(slice_sink_);
+  slicer->set_obs(tracer_, tracer_node_id_, tracer_role_);
   return slicer;
+}
+
+void SlicingEngine::OnTracerAttached() {
+  for (auto& slicer : slicers_) {
+    slicer->set_obs(tracer_, tracer_node_id_, tracer_role_);
+  }
 }
 
 Status SlicingEngine::Configure(const std::vector<Query>& queries) {

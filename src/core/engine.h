@@ -63,6 +63,10 @@ class SlicingEngine : public StreamEngine {
   /// nodes ship these partials instead of assembling windows locally).
   void SetSliceSink(SliceSink sink);
 
+ protected:
+  /// Forwards the tracer to every slicer (slice-created spans).
+  void OnTracerAttached() override;
+
  private:
   std::unique_ptr<StreamSlicer> MakeSlicer(QueryGroup group);
 

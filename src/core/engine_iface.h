@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/query.h"
 #include "core/stats.h"
+#include "obs/trace.h"
 
 namespace desis {
 
@@ -52,13 +53,38 @@ class StreamEngine {
 
   void set_sink(ResultSink sink) { sink_ = std::move(sink); }
 
+  /// Attaches a slice tracer: every emitted window records a
+  /// kWindowEmitted span (virtual_ts = window end). Engines that slice
+  /// override OnTracerAttached() to also trace slice creation. Engines
+  /// embedded in a cluster are NOT attached directly — the cluster's
+  /// result sink records emission at the root instead.
+  void set_tracer(obs::SliceTracer* tracer, uint32_t node_id = 0,
+                  uint8_t role = obs::kSpanRoleEngine) {
+    tracer_ = tracer;
+    tracer_node_id_ = node_id;
+    tracer_role_ = role;
+    OnTracerAttached();
+  }
+  obs::SliceTracer* tracer() const { return tracer_; }
+
  protected:
   void Emit(const WindowResult& result) {
     ++stats_.windows_fired;
+    if (tracer_ != nullptr) {
+      tracer_->Record(obs::SlicePhase::kWindowEmitted, /*slice_id=*/0,
+                      /*group_id=*/0, result.query_id, tracer_node_id_,
+                      tracer_role_, result.window_end);
+    }
     if (sink_) sink_(result);
   }
 
+  /// Subclass hook: tracer_/tracer_node_id_/tracer_role_ changed.
+  virtual void OnTracerAttached() {}
+
   EngineStats stats_;
+  obs::SliceTracer* tracer_ = nullptr;
+  uint32_t tracer_node_id_ = 0;
+  uint8_t tracer_role_ = obs::kSpanRoleEngine;
 
  private:
   ResultSink sink_;

@@ -332,6 +332,11 @@ uint64_t StreamSlicer::SealCurrentSlice(Timestamp end_ts) {
   records_.push_back(std::move(rec));
   have_unshipped_ = true;
   ++stats_->slices_created;
+  if (tracer_ != nullptr) {
+    tracer_->Record(obs::SlicePhase::kSliceCreated, current_slice_id_,
+                    group_.id, /*query_id=*/0, obs_node_id_, obs_role_,
+                    end_ts);
+  }
 
   current_lanes_.clear();
   for (size_t i = 0; i < group_.lanes.size(); ++i) {

@@ -12,6 +12,7 @@
 #include "core/operators.h"
 #include "core/query_analyzer.h"
 #include "core/stats.h"
+#include "obs/trace.h"
 
 namespace desis {
 
@@ -94,6 +95,15 @@ class StreamSlicer {
   /// instead of finalized results.
   void set_window_partial_sink(WindowPartialSink sink) {
     window_partial_sink_ = std::move(sink);
+  }
+
+  /// Attaches a slice tracer: every sealed slice records a kSliceCreated
+  /// span tagged with the owning node's id/role (obs::kSpanRoleEngine for
+  /// single-node engines). Null detaches. Per-slice cost, never per-event.
+  void set_obs(obs::SliceTracer* tracer, uint32_t node_id, uint8_t role) {
+    tracer_ = tracer;
+    obs_node_id_ = node_id;
+    obs_role_ = role;
   }
 
   /// Processes one event (non-decreasing ts order).
@@ -212,6 +222,9 @@ class StreamSlicer {
   QueryGroup group_;
   SlicerOptions options_;
   EngineStats* stats_;
+  obs::SliceTracer* tracer_ = nullptr;
+  uint32_t obs_node_id_ = 0;
+  uint8_t obs_role_ = obs::kSpanRoleEngine;
   WindowSink window_sink_;
   SliceSink slice_sink_;
   WindowPartialSink window_partial_sink_;

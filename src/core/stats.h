@@ -3,25 +3,35 @@
 
 #include <cstdint>
 
+#include "obs/relaxed_cell.h"
+
 namespace desis {
 
 /// Work counters maintained by every engine (Desis and baselines alike).
 /// These back the paper's "number of slices" (Fig 8b/8d) and "number of
 /// calculations" (Fig 9b/9d/9f) plots.
+///
+/// Each counter is a relaxed-atomic cell: engines mutate them from
+/// whatever thread runs the engine (under a threaded transport that is a
+/// delivery worker), and the observability exporters may read them
+/// concurrently (`Cluster::StatsReport()` mid-run, a polling monitor).
+/// Writers are single-threaded per stats instance; the atomics make the
+/// concurrent *reads* well-defined. Exact cross-thread totals are
+/// guaranteed only after quiescence (`Cluster::Drain()`).
 struct EngineStats {
   /// Events ingested.
-  uint64_t events = 0;
+  obs::RelaxedU64 events;
   /// Per-event aggregation operator executions (one increment per operator
   /// state an event was folded into).
-  uint64_t operator_executions = 0;
+  obs::RelaxedU64 operator_executions;
   /// Slices (or, for non-slicing systems, window buffers/buckets) created.
-  uint64_t slices_created = 0;
+  obs::RelaxedU64 slices_created;
   /// Window results emitted.
-  uint64_t windows_fired = 0;
+  obs::RelaxedU64 windows_fired;
   /// Selection-predicate evaluations.
-  uint64_t selection_evals = 0;
+  obs::RelaxedU64 selection_evals;
   /// Partial-result merge operations (window assembly / upstream merging).
-  uint64_t merges = 0;
+  obs::RelaxedU64 merges;
 
   EngineStats& operator+=(const EngineStats& other) {
     events += other.events;

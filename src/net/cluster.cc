@@ -1,6 +1,7 @@
 #include "net/cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <functional>
@@ -43,6 +44,25 @@ void Cluster::set_transport(std::unique_ptr<Transport> transport) {
 void Cluster::WireNode(Node* node) {
   node->set_transport(transport_);
   transport_->AddNode(node);
+  if (obs_registry_ != nullptr || obs_tracer_ != nullptr) {
+    node->AttachObs(obs_registry_, obs_tracer_);
+  }
+}
+
+void Cluster::AttachObs(obs::MetricsRegistry* registry,
+                        obs::SliceTracer* tracer) {
+  obs_registry_ = registry;
+  obs_tracer_ = tracer;
+  results_counter_ = nullptr;
+  ingest_batch_hist_ = nullptr;
+  if (registry != nullptr) {
+    const obs::Labels labels = {{"system", ToString(system_)}};
+    results_counter_ = registry->GetCounter("cluster.results", labels,
+                                            "windows");
+    ingest_batch_hist_ =
+        registry->GetHistogram("cluster.ingest_batch_ns", labels, "ns");
+  }
+  for (const auto& node : nodes_) node->AttachObs(registry, tracer);
 }
 
 void Cluster::set_sink(WindowSink sink) { sink_ = std::move(sink); }
@@ -60,8 +80,17 @@ Status Cluster::Configure(const std::vector<Query>& queries) {
   }
 
   uint32_t next_id = 0;
+  // Runs on the root's delivery worker under a threaded transport; the obs
+  // sinks are lock-free so recording from there is safe.
   auto sink = [this](const WindowResult& r) {
     ++results_;
+    if (results_counter_ != nullptr) results_counter_->Add();
+    if (obs_tracer_ != nullptr) {
+      obs_tracer_->Record(obs::SlicePhase::kWindowEmitted, /*slice_id=*/0,
+                          /*group_id=*/0, r.query_id,
+                          root_raw_ != nullptr ? root_raw_->id() : 0,
+                          obs::kSpanRoleRoot, r.window_end);
+    }
     if (sink_) sink_(r);
   };
 
@@ -321,6 +350,16 @@ void Cluster::IngestAt(int local_idx, const Event* events, size_t count) {
     mu = local_mu_[i].get();
   }
   std::lock_guard<std::mutex> lock(*mu);
+  if (ingest_batch_hist_ != nullptr) {
+    // One steady_clock pair per batch — amortized over the whole span.
+    const auto t0 = std::chrono::steady_clock::now();
+    local->IngestBatch(events, count);
+    ingest_batch_hist_->Record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return;
+  }
   local->IngestBatch(events, count);
 }
 
@@ -359,20 +398,29 @@ int64_t Cluster::MaxBusyNs() const {
 
 namespace {
 
+// Plain-integer fold of the relaxed-atomic NodeStats cells (snapshots the
+// counters once; also keeps the snprintf varargs below well-formed).
 struct RoleAggregate {
   uint64_t nodes = 0;
-  NodeStats stats;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_received = 0;
+  int64_t busy_ns = 0;
+  uint64_t queue_hwm = 0;
+  uint64_t retransmits = 0;
+  uint64_t messages_dropped = 0;
 
   void Absorb(const NodeStats& s) {
     ++nodes;
-    stats.bytes_sent += s.bytes_sent;
-    stats.bytes_received += s.bytes_received;
-    stats.messages_sent += s.messages_sent;
-    stats.messages_received += s.messages_received;
-    stats.busy_ns += s.busy_ns;
-    stats.queue_hwm = std::max(stats.queue_hwm, s.queue_hwm);
-    stats.retransmits += s.retransmits;
-    stats.messages_dropped += s.messages_dropped;
+    bytes_sent += s.bytes_sent;
+    bytes_received += s.bytes_received;
+    messages_sent += s.messages_sent;
+    messages_received += s.messages_received;
+    busy_ns += s.busy_ns;
+    queue_hwm = std::max<uint64_t>(queue_hwm, s.queue_hwm);
+    retransmits += s.retransmits;
+    messages_dropped += s.messages_dropped;
   }
 };
 
@@ -385,9 +433,9 @@ void AppendRole(std::string& out, const char* key, const RoleAggregate& agg) {
       ",\"messages_received\":%" PRIu64 ",\"busy_ns\":%" PRId64
       ",\"queue_hwm\":%" PRIu64 ",\"retransmits\":%" PRIu64
       ",\"messages_dropped\":%" PRIu64 "}",
-      key, agg.nodes, agg.stats.bytes_sent, agg.stats.bytes_received,
-      agg.stats.messages_sent, agg.stats.messages_received, agg.stats.busy_ns,
-      agg.stats.queue_hwm, agg.stats.retransmits, agg.stats.messages_dropped);
+      key, agg.nodes, agg.bytes_sent, agg.bytes_received, agg.messages_sent,
+      agg.messages_received, agg.busy_ns, agg.queue_hwm, agg.retransmits,
+      agg.messages_dropped);
   out += buf;
 }
 
@@ -413,7 +461,7 @@ std::string Cluster::StatsReport() const {
                 "\"layers\":%d},\"results\":%" PRIu64 ",\"roles\":{",
                 ToString(system_).c_str(), transport_->name(),
                 topology_.num_locals, topology_.num_intermediates,
-                topology_.intermediate_layers, results_);
+                topology_.intermediate_layers, results_.load());
   out += buf;
   AppendRole(out, "local", local);
   out += ",";
@@ -422,6 +470,20 @@ std::string Cluster::StatsReport() const {
   AppendRole(out, "root", root);
   out += "},";
   AppendRole(out, "totals", total);
+  if (obs_registry_ != nullptr || obs_tracer_ != nullptr) {
+    // Registry snapshot and span *counters* only: both read relaxed
+    // atomics, so polling mid-run is race-free. Span payloads (the actual
+    // trace) need quiescence and are exported by the owner after Drain().
+    out += ",\"obs\":{\"metrics\":";
+    out += obs_registry_ != nullptr ? obs_registry_->ToJson()
+                                    : "{\"metrics\":[]}";
+    std::snprintf(buf, sizeof(buf),
+                  ",\"spans_recorded\":%" PRIu64 ",\"spans_dropped\":%" PRIu64
+                  "}",
+                  obs_tracer_ != nullptr ? obs_tracer_->recorded() : 0,
+                  obs_tracer_ != nullptr ? obs_tracer_->dropped() : 0);
+    out += buf;
+  }
   out += "}";
   return out;
 }

@@ -138,8 +138,20 @@ class Cluster {
   /// One JSON object aggregating per-role network/CPU/queue counters plus
   /// run metadata (system, topology, transport, results) — the machine-
   /// readable form of the per-role stats the benches used to recompute by
-  /// hand. Call after Drain().
+  /// hand. With obs attached, gains an "obs" section (registry snapshot +
+  /// span counters — safe to poll mid-run; full span payloads are only
+  /// exported by the caller after Drain()). Call after Drain() for exact
+  /// totals.
   std::string StatsReport() const;
+
+  /// Attaches observability sinks to the cluster and every node (current
+  /// and future): per-node series land in `registry`, slice-lifecycle
+  /// spans in `tracer` (either may be null). Window emission at the root
+  /// records a kWindowEmitted span. Call any time before traffic; both
+  /// must outlive the cluster.
+  void AttachObs(obs::MetricsRegistry* registry, obs::SliceTracer* tracer);
+  obs::MetricsRegistry* obs_registry() const { return obs_registry_; }
+  obs::SliceTracer* obs_tracer() const { return obs_tracer_; }
 
  private:
   Node* ParentForLocal(size_t ordinal) const;
@@ -164,8 +176,13 @@ class Cluster {
   std::vector<Node*> intermediates_raw_;
   Node* root_raw_ = nullptr;
   WindowSink sink_;
-  uint64_t results_ = 0;
+  /// Incremented from the root's delivery worker; read by monitors mid-run.
+  obs::RelaxedU64 results_;
   bool configured_ = false;
+  obs::MetricsRegistry* obs_registry_ = nullptr;
+  obs::SliceTracer* obs_tracer_ = nullptr;
+  obs::Counter* results_counter_ = nullptr;   // cluster.results
+  obs::Histogram* ingest_batch_hist_ = nullptr;  // cluster.ingest_batch_ns
   // Desis runtime state (for AddLocalNode / AddQuery).
   std::vector<QueryGroup> desis_groups_;
   uint32_t next_node_id_ = 0;

@@ -28,7 +28,14 @@ void DesisLocalNode::AddGroups(const std::vector<QueryGroup>& groups) {
     const uint32_t gid = group.id;
     slicer->set_slice_sink(
         [this, gid](const SliceRecord& rec) { ShipSlice(gid, rec); });
+    slicer->set_obs(tracer_, id(), obs::kSpanRoleLocal);
     slicers_.emplace_back(gid, std::move(slicer));
+  }
+}
+
+void DesisLocalNode::OnObsAttached() {
+  for (auto& [gid, slicer] : slicers_) {
+    slicer->set_obs(tracer_, id(), obs::kSpanRoleLocal);
   }
 }
 
@@ -62,6 +69,10 @@ void DesisLocalNode::ShipSlice(uint32_t group_id, const SliceRecord& rec) {
   ByteWriter out;
   msg.SerializeTo(out);
   SendToParent({MessageType::kSlicePartial, group_id, out.TakeBytes()});
+  if (tracer_ != nullptr) {
+    tracer_->Record(obs::SlicePhase::kPartialShipped, rec.id, group_id,
+                    /*query_id=*/0, id(), obs::kSpanRoleLocal, rec.end);
+  }
 }
 
 void DesisLocalNode::FlushForwardBatch(uint32_t group_id) {
@@ -124,6 +135,10 @@ void DesisIntermediateNode::OnChildDetached(int child_index) {
 
 void DesisIntermediateNode::ForwardEntry(uint32_t group_id,
                                          SlicePartialMsg&& msg) {
+  if (tracer_ != nullptr) {
+    tracer_->Record(obs::SlicePhase::kMerged, msg.slice_id, group_id,
+                    /*query_id=*/0, id(), obs::kSpanRoleIntermediate, msg.end);
+  }
   ByteWriter out;
   msg.SerializeTo(out);
   SendToParent({MessageType::kSlicePartial, group_id, out.TakeBytes()});
@@ -222,6 +237,12 @@ Status DesisRootNode::SuppressQuery(QueryId id) {
   return Status::NotFound("no running query with this id");
 }
 
+void DesisRootNode::OnObsAttached() {
+  for (auto& [gid, rg] : root_only_) {
+    rg.slicer->set_obs(tracer_, id(), obs::kSpanRoleRoot);
+  }
+}
+
 void DesisRootNode::AddGroups(const std::vector<QueryGroup>& groups) {
   for (const QueryGroup& group : groups) {
     if (group.root_only) {
@@ -229,6 +250,7 @@ void DesisRootNode::AddGroups(const std::vector<QueryGroup>& groups) {
       auto slicer = std::make_unique<StreamSlicer>(group, options, &stats_);
       slicer->set_window_sink(
           [this](const WindowResult& r) { EmitResult(r); });
+      slicer->set_obs(tracer_, id(), obs::kSpanRoleRoot);
       root_only_.emplace(group.id,
                          RootOnlyGroup{std::move(slicer), {}, kNoTimestamp});
     } else {

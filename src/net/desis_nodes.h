@@ -40,6 +40,8 @@ class DesisLocalNode : public Node, public LocalIngest {
 
  protected:
   void HandleMessage(const Message& message, int child_index) override;
+  /// Forwards the tracer to every slicer (slice-created spans at locals).
+  void OnObsAttached() override;
 
  private:
   void ShipSlice(uint32_t group_id, const SliceRecord& rec);
@@ -105,6 +107,8 @@ class DesisRootNode : public Node {
  protected:
   void HandleMessage(const Message& message, int child_index) override;
   void OnChildDetached(int child_index) override;
+  /// Forwards the tracer to the root-only groups' local slicers.
+  void OnObsAttached() override;
 
  private:
   void NoteChildWatermark(int child_index, Timestamp wm);

@@ -54,11 +54,27 @@ void Node::DetachChild(int child_index) {
   Metered([&] { OnChildDetached(child_index); });
 }
 
+void Node::AttachObs(obs::MetricsRegistry* registry,
+                     obs::SliceTracer* tracer) {
+  obs_registry_ = registry;
+  tracer_ = tracer;
+  if (registry != nullptr) {
+    const obs::Labels labels = {{"node", std::to_string(id_)},
+                                {"role", ToString(role_)}};
+    handler_latency_ =
+        registry->GetHistogram("node.handler_latency_ns", labels, "ns");
+    queue_hwm_gauge_ = registry->GetGauge("node.queue_hwm", labels, "messages");
+  }
+  OnObsAttached();
+}
+
 void Node::Receive(const Message& message, int child_index) {
   if (child_detached(child_index)) return;  // stale traffic from a removed node
   net_stats_.bytes_received += message.WireBytes();
   ++net_stats_.messages_received;
-  Metered([&] { HandleMessage(message, child_index); });
+  const int64_t attributed_ns =
+      Metered([&] { HandleMessage(message, child_index); });
+  if (handler_latency_ != nullptr) handler_latency_->Record(attributed_ns);
 }
 
 void Node::SendToParent(const Message& message) {

@@ -7,6 +7,8 @@
 
 #include "core/stats.h"
 #include "net/message.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace desis {
 
@@ -38,20 +40,26 @@ class LocalIngest {
 /// `bytes_sent`/`messages_sent` count logical sends exactly once, whatever
 /// the transport does underneath; retransmissions and drops on a lossy
 /// link are accounted separately so inline runs stay byte-identical.
+///
+/// All counters are relaxed-atomic cells: under ThreadedTransport they are
+/// mutated from per-receiver delivery workers while `Cluster::StatsReport()`
+/// (or a monitoring thread) may read them mid-run. Relaxed atomics keep the
+/// hot path a single uncontended RMW; exact totals are only guaranteed
+/// after `Cluster::Drain()`.
 struct NodeStats {
-  uint64_t bytes_sent = 0;
-  uint64_t bytes_received = 0;
-  uint64_t messages_sent = 0;
-  uint64_t messages_received = 0;
-  int64_t busy_ns = 0;
+  obs::RelaxedU64 bytes_sent;
+  obs::RelaxedU64 bytes_received;
+  obs::RelaxedU64 messages_sent;
+  obs::RelaxedU64 messages_received;
+  obs::RelaxedI64 busy_ns;
   /// High-water mark of inbound queue depth (threaded mailbox occupancy or
   /// a lossy link's out-of-order reassembly buffer); 0 for inline delivery.
-  uint64_t queue_hwm = 0;
+  obs::RelaxedU64 queue_hwm;
   /// Transmissions re-sent on this node's uplink after a loss or timeout.
-  uint64_t retransmits = 0;
+  obs::RelaxedU64 retransmits;
   /// Transmissions the link dropped on this node's uplink (each one is
   /// eventually covered by a retransmit).
-  uint64_t messages_dropped = 0;
+  obs::RelaxedU64 messages_dropped;
 };
 
 /// A node in the simulated decentralized network. SendToParent() counts
@@ -105,11 +113,21 @@ class Node {
   void set_transport(Transport* transport) { transport_ = transport; }
   Transport* transport() const { return transport_; }
 
+  /// Attaches observability sinks: per-node series are registered in
+  /// `registry` (labels: node id + role) and slice-lifecycle spans go to
+  /// `tracer`. Either may be null. Subclasses extend via OnObsAttached().
+  /// Call before traffic flows; handles live as long as the registry.
+  void AttachObs(obs::MetricsRegistry* registry, obs::SliceTracer* tracer);
+  obs::SliceTracer* tracer() const { return tracer_; }
+
   // --- Transport accounting hooks (see NodeStats) ------------------------
 
   /// Records an inbound queue-depth observation; keeps the maximum.
   void NoteQueueDepth(uint64_t depth) {
-    if (depth > net_stats_.queue_hwm) net_stats_.queue_hwm = depth;
+    net_stats_.queue_hwm.StoreMax(depth);
+    if (queue_hwm_gauge_ != nullptr) {
+      queue_hwm_gauge_->StoreMax(static_cast<int64_t>(depth));
+    }
   }
   /// Records one retransmission on this node's uplink.
   void NoteRetransmit() { ++net_stats_.retransmits; }
@@ -123,21 +141,31 @@ class Node {
   /// watermark).
   virtual void OnChildDetached(int /*child_index*/) {}
 
+  /// Subclass hook: obs sinks attached (obs_registry_/tracer_ are set).
+  /// Subclasses register their own series and forward the tracer to any
+  /// engines/slicers they own.
+  virtual void OnObsAttached() {}
+
   /// Ships a message to the parent (no-op without a parent — the root).
   void SendToParent(const Message& message);
 
   /// Runs `fn` attributing its wall time (minus nested upstream work) to
-  /// this node's busy counter. Used by local nodes for event ingestion.
+  /// this node's busy counter; returns the attributed nanoseconds. Used by
+  /// local nodes for event ingestion.
   template <typename Fn>
-  void Metered(Fn&& fn) {
+  int64_t Metered(Fn&& fn) {
     const int64_t saved = ExchangeNested(0);
     const int64_t t0 = NowNs();
     fn();
     const int64_t dt = NowNs() - t0;
-    net_stats_.busy_ns += dt - ExchangeNested(saved + dt);
+    const int64_t attributed = dt - ExchangeNested(saved + dt);
+    net_stats_.busy_ns += attributed;
+    return attributed;
   }
 
   NodeStats net_stats_;
+  obs::MetricsRegistry* obs_registry_ = nullptr;
+  obs::SliceTracer* tracer_ = nullptr;
 
  private:
   static int64_t NowNs();
@@ -146,6 +174,9 @@ class Node {
   uint32_t id_;
   NodeRole role_;
   Transport* transport_;
+  obs::Histogram* handler_latency_ = nullptr;  // node.handler_latency_ns
+  obs::Gauge* queue_hwm_gauge_ = nullptr;      // node.queue_hwm
+
   Node* parent_ = nullptr;
   int child_index_at_parent_ = -1;
   int children_ = 0;

@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace desis::obs {
+
+const char* ToString(SlicePhase phase) {
+  switch (phase) {
+    case SlicePhase::kSliceCreated: return "slice_created";
+    case SlicePhase::kPartialShipped: return "partial_shipped";
+    case SlicePhase::kMerged: return "merged";
+    case SlicePhase::kWindowEmitted: return "window_emitted";
+  }
+  return "unknown";
+}
+
+const char* SpanRoleName(uint8_t role) {
+  switch (role) {
+    case kSpanRoleLocal: return "local";
+    case kSpanRoleIntermediate: return "intermediate";
+    case kSpanRoleRoot: return "root";
+    case kSpanRoleEngine: return "engine";
+  }
+  return "unknown";
+}
+
+#if DESIS_OBS_ENABLED
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendSpanJson(std::string& out, const SliceSpan& s) {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"phase\":\"%s\",\"slice_id\":%" PRIu64 ",\"group\":%" PRIu32
+      ",\"query\":%" PRIu64 ",\"node\":%" PRIu32
+      ",\"role\":\"%s\",\"virtual_ts\":%" PRId64 ",\"real_ns\":%" PRId64 "}",
+      ToString(s.phase), s.slice_id, s.group_id, s.query_id, s.node_id,
+      SpanRoleName(s.role), s.virtual_ts, s.real_ns);
+  out += buf;
+}
+
+}  // namespace
+
+struct SliceTracer::Slot {
+  RelaxedU64 seq;  // ticket + 1 of the last completed write; 0 = never
+  SliceSpan span;
+};
+
+SliceTracer::SliceTracer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+SliceTracer::~SliceTracer() { delete[] slots_; }
+
+void SliceTracer::Record(SlicePhase phase, uint64_t slice_id,
+                         uint32_t group_id, uint64_t query_id,
+                         uint32_t node_id, uint8_t role,
+                         Timestamp virtual_ts) {
+  const uint64_t ticket = head_++;
+  Slot& slot = slots_[ticket % capacity_];
+  slot.span.slice_id = slice_id;
+  slot.span.group_id = group_id;
+  slot.span.query_id = query_id;
+  slot.span.node_id = node_id;
+  slot.span.role = role;
+  slot.span.phase = phase;
+  slot.span.virtual_ts = virtual_ts;
+  slot.span.real_ns = NowNs();
+  slot.seq.store(ticket + 1);
+}
+
+std::vector<SliceSpan> SliceTracer::Snapshot() const {
+  const uint64_t head = head_.load();
+  const uint64_t n = head < capacity_ ? head : capacity_;
+  std::vector<SliceSpan> out;
+  out.reserve(n);
+  for (uint64_t t = head - n; t < head; ++t) {
+    const Slot& slot = slots_[t % capacity_];
+    if (slot.seq.load() != t + 1) continue;  // torn by a ring wrap
+    out.push_back(slot.span);
+  }
+  return out;
+}
+
+std::string SliceTracer::ToJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const SliceSpan& s : Snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    AppendSpanJson(out, s);
+  }
+  out += "]";
+  return out;
+}
+
+std::string SliceTracer::ToChromeTrace() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const SliceSpan& s : Snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    const char* ph = "n";
+    if (s.phase == SlicePhase::kSliceCreated) ph = "b";
+    if (s.phase == SlicePhase::kWindowEmitted) ph = "e";
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"cat\":\"slice\",\"ph\":\"%s\",\"id\":%" PRIu64
+        ",\"ts\":%" PRId64 ",\"pid\":%" PRIu32
+        ",\"tid\":%" PRIu32 ",\"args\":{\"query\":%" PRIu64
+        ",\"role\":\"%s\",\"real_ns\":%" PRId64 "}}",
+        ToString(s.phase), ph, s.slice_id, s.virtual_ts, s.node_id, s.group_id,
+        s.query_id, SpanRoleName(s.role), s.real_ns);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+#endif  // DESIS_OBS_ENABLED
+
+}  // namespace desis::obs

@@ -1,0 +1,122 @@
+#ifndef DESIS_OBS_TRACE_H_
+#define DESIS_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/event.h"
+#include "obs/metrics.h"  // DESIS_OBS_ENABLED + JsonEscape
+#include "obs/relaxed_cell.h"
+
+namespace desis::obs {
+
+/// Lifecycle phase of a slice as it moves through the decentralized
+/// pipeline (§5.1): sealed on a local node, shipped upstream as a partial,
+/// merged on an intermediate node, and finally consumed by a window
+/// emission at the root.
+enum class SlicePhase : uint8_t {
+  kSliceCreated = 0,
+  kPartialShipped,
+  kMerged,
+  kWindowEmitted,
+};
+
+const char* ToString(SlicePhase phase);
+
+/// Role byte carried in spans; mirrors net/NodeRole without depending on
+/// src/net (obs sits below core). kEngine marks single-node engines that
+/// run outside any cluster topology.
+inline constexpr uint8_t kSpanRoleLocal = 0;
+inline constexpr uint8_t kSpanRoleIntermediate = 1;
+inline constexpr uint8_t kSpanRoleRoot = 2;
+inline constexpr uint8_t kSpanRoleEngine = 255;
+
+const char* SpanRoleName(uint8_t role);
+
+/// One recorded span event. `virtual_ts` is event time (µs, the slice/
+/// window end); `real_ns` is the steady-clock instant the phase happened.
+/// Slice phases fill slice_id/group_id; kWindowEmitted fills query_id and
+/// uses virtual_ts = window end (see docs/METRICS.md for the contract).
+struct SliceSpan {
+  uint64_t slice_id = 0;
+  uint32_t group_id = 0;
+  uint64_t query_id = 0;
+  uint32_t node_id = 0;
+  uint8_t role = kSpanRoleEngine;
+  SlicePhase phase = SlicePhase::kSliceCreated;
+  Timestamp virtual_ts = 0;
+  int64_t real_ns = 0;
+};
+
+#if DESIS_OBS_ENABLED
+
+/// Bounded lock-free ring buffer of slice-lifecycle spans. Record() is a
+/// relaxed ticket fetch_add plus a slot write — no allocation, no lock —
+/// and safe from any thread; once full, the oldest spans are overwritten
+/// (`dropped()` counts them). Snapshot()/exporters must only run when no
+/// Record() is in flight (after `Cluster::Drain()` / engine quiescence):
+/// the aggregate counters (`recorded()`, `dropped()`) are always safe to
+/// read, the span payloads are not synchronized against in-flight writers.
+class SliceTracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 16384;
+
+  explicit SliceTracer(size_t capacity = kDefaultCapacity);
+  SliceTracer(const SliceTracer&) = delete;
+  SliceTracer& operator=(const SliceTracer&) = delete;
+  ~SliceTracer();
+
+  void Record(SlicePhase phase, uint64_t slice_id, uint32_t group_id,
+              uint64_t query_id, uint32_t node_id, uint8_t role,
+              Timestamp virtual_ts);
+
+  size_t capacity() const { return capacity_; }
+  /// Spans ever recorded / overwritten by ring wrap-around.
+  uint64_t recorded() const { return head_.load(); }
+  uint64_t dropped() const {
+    const uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+
+  /// The retained spans, oldest first. Quiescence required (see above).
+  std::vector<SliceSpan> Snapshot() const;
+
+  /// JSON array of span objects, oldest first (schema: docs/METRICS.md).
+  std::string ToJson() const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}): loadable in
+  /// chrome://tracing / Perfetto. Spans map to async events keyed by slice
+  /// id ("b" at slice_created, "e" at window_emitted, "n" in between);
+  /// pid = node id, ts = virtual (event-time) µs.
+  std::string ToChromeTrace() const;
+
+ private:
+  struct Slot;
+
+  const size_t capacity_;
+  Slot* slots_;
+  RelaxedU64 head_;
+};
+
+#else  // !DESIS_OBS_ENABLED ------------------------------------------------
+
+class SliceTracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 0;
+  explicit SliceTracer(size_t = 0) {}
+  void Record(SlicePhase, uint64_t, uint32_t, uint64_t, uint32_t, uint8_t,
+              Timestamp) {}
+  size_t capacity() const { return 0; }
+  uint64_t recorded() const { return 0; }
+  uint64_t dropped() const { return 0; }
+  std::vector<SliceSpan> Snapshot() const { return {}; }
+  std::string ToJson() const { return "[]"; }
+  std::string ToChromeTrace() const { return "{\"traceEvents\":[]}"; }
+};
+
+#endif  // DESIS_OBS_ENABLED
+
+}  // namespace desis::obs
+
+#endif  // DESIS_OBS_TRACE_H_

@@ -493,5 +493,63 @@ TEST(StatsReport, EmitsOneJsonObjectWithPerRoleCounters) {
   EXPECT_EQ(depth, 0);
 }
 
+// EngineStats/NodeStats are relaxed-atomic cells so a monitor may poll them
+// while transport workers mutate them. This runs per-local driver threads
+// plus a polling thread against the threaded transport and must stay clean
+// under TSan (the CI thread-sanitizer job runs StatsReport*).
+TEST(StatsReport, ConcurrentPollingWhileIngestingIsRaceFree) {
+  const std::vector<Query> queries = ConformanceMix();
+  const auto streams = RandomStreams(4, 300, 1500, 21);
+
+  obs::MetricsRegistry registry;
+  obs::SliceTracer tracer(4096);
+  Cluster cluster(ClusterSystem::kDesis, {4, 2});
+  cluster.set_transport(std::make_unique<ThreadedTransport>());
+  ASSERT_TRUE(cluster.Configure(queries).ok());
+  cluster.AttachObs(&registry, &tracer);
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    uint64_t polls = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      // Everything read here races with delivery workers by design: the
+      // report (mid-run registry snapshot + span counters), raw per-node
+      // counters, and the results counter.
+      const std::string report = cluster.StatsReport();
+      EXPECT_FALSE(report.empty());
+      uint64_t received = 0;
+      for (int i = 0; i < cluster.num_locals(); ++i) {
+        received += cluster.local_stats(i).messages_received;
+      }
+      received += cluster.root_stats().messages_received;
+      (void)received;
+      (void)cluster.results();
+      (void)tracer.recorded();
+      ++polls;
+    }
+    EXPECT_GT(polls, 0u);
+  });
+
+  DrivePerLocalThreads(cluster, streams, 40, 1500);
+  stop.store(true, std::memory_order_release);
+  poller.join();
+
+  // Post-Drain the counters are exact: every sent message was received.
+  uint64_t sent = 0, received = 0;
+  for (int i = 0; i < cluster.num_locals(); ++i) {
+    sent += cluster.local_stats(i).messages_sent;
+  }
+  EXPECT_GT(sent, 0u);
+  received = cluster.root_stats().messages_received;
+  for (int i = 0; i < cluster.num_intermediates(); ++i) {
+    received += cluster.intermediate_stats(i).messages_received;
+  }
+  EXPECT_GE(received, sent);
+  EXPECT_GT(cluster.results(), 0u);
+  const std::string report = cluster.StatsReport();
+  EXPECT_NE(report.find("\"obs\":"), std::string::npos);
+  EXPECT_NE(report.find("\"spans_recorded\":"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace desis
