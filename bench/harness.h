@@ -4,9 +4,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include <unistd.h>  // getpid: unique sidecar filenames
 
 #include "baselines/ce_buffer.h"
 #include "baselines/de_bucket.h"
@@ -17,6 +20,7 @@
 #include "net/cluster.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "transport/transport.h"
 
 namespace desis::bench {
 
@@ -83,14 +87,80 @@ class Sidecar {
                        ",\"spans\":" + spans_json + "}");
   }
 
+  /// Remembers a delivery channel used by some run ("inline", "threaded",
+  /// "simlink"); the distinct names end up in the meta header so diffs can
+  /// refuse to compare, say, an inline run against a lossy-link run.
+  void NoteTransport(const std::string& name) {
+    for (const std::string& have : transports_) {
+      if (have == name) return;
+    }
+    transports_.push_back(name);
+  }
+
   size_t num_runs() const { return entries_.size(); }
+
+  /// Provenance header written ahead of the runs: code version, build
+  /// flavor, wall-clock time of the write, and the transports used. This
+  /// is what desis-inspect keys its "comparable runs?" checks on.
+  std::string MetaJson() const {
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+    if (gmtime_r(&now, &utc) != nullptr) {
+      std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+    }
+    std::string out = "{\"git_sha\":\"";
+#ifdef DESIS_GIT_SHA
+    out += obs::JsonEscape(DESIS_GIT_SHA);
+#else
+    out += "unknown";
+#endif
+    out += "\",\"build_type\":\"";
+#ifdef DESIS_BUILD_TYPE
+    out += obs::JsonEscape(DESIS_BUILD_TYPE);
+#else
+    out += "unknown";
+#endif
+    out += "\",\"written_utc\":\"";
+    out += stamp;
+    out += "\",\"obs_enabled\":";
+    out += DESIS_OBS_ENABLED ? "true" : "false";
+    out += ",\"transports\":[";
+    for (size_t i = 0; i < transports_.size(); ++i) {
+      out += (i == 0 ? "\"" : ",\"") + obs::JsonEscape(transports_[i]) + "\"";
+    }
+    out += "]}";
+    return out;
+  }
 
   /// Writes `<bench>_metrics.json` (or $DESIS_METRICS_OUT) in the working
   /// directory; returns false (with a note on stderr) on I/O failure.
+  /// DESIS_METRICS_UNIQUE=1 inserts a UTC timestamp + pid into the default
+  /// filename so repeated runs archive side by side instead of overwriting
+  /// each other (the fixed name stays the default: CI golden checks and
+  /// plot scripts glob for it).
   bool Write(const std::string& bench_name) const {
     const char* env = std::getenv("DESIS_METRICS_OUT");
-    const std::string path =
-        env != nullptr ? env : bench_name + "_metrics.json";
+    std::string path;
+    if (env != nullptr) {
+      path = env;
+    } else {
+      path = bench_name + "_metrics";
+      const char* unique = std::getenv("DESIS_METRICS_UNIQUE");
+      if (unique != nullptr && unique[0] == '1') {
+        char suffix[64];
+        const std::time_t now = std::time(nullptr);
+        std::tm utc{};
+        char stamp[32] = "unknown";
+        if (gmtime_r(&now, &utc) != nullptr) {
+          std::strftime(stamp, sizeof(stamp), "%Y%m%dT%H%M%SZ", &utc);
+        }
+        std::snprintf(suffix, sizeof(suffix), ".%s.%d", stamp,
+                      static_cast<int>(getpid()));
+        path += suffix;
+      }
+      path += ".json";
+    }
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write metrics sidecar %s\n", path.c_str());
@@ -99,6 +169,7 @@ class Sidecar {
     std::fprintf(f, "{\"bench\":\"%s\",\"scale\":%g,\"obs_enabled\":%s,",
                  obs::JsonEscape(bench_name).c_str(), ScaleFactor(),
                  DESIS_OBS_ENABLED ? "true" : "false");
+    std::fprintf(f, "\"meta\":%s,", MetaJson().c_str());
     std::fprintf(f, "\"runs\":[");
     for (size_t i = 0; i < entries_.size(); ++i) {
       std::fprintf(f, "%s%s", i == 0 ? "" : ",", entries_[i].c_str());
@@ -113,6 +184,7 @@ class Sidecar {
 
  private:
   std::vector<std::string> entries_;
+  std::vector<std::string> transports_;
 };
 
 /// Convenience for bench mains: dump everything recorded so far.
@@ -143,7 +215,13 @@ inline ThroughputResult MeasureThroughput(StreamEngine& engine,
                                           const std::vector<Event>& events) {
   ThroughputResult out;
   obs::SliceTracer tracer(kSidecarTraceCapacity);
+  // Per-query-group cost attribution (group.events_in / operator_evals —
+  // the sharing-ratio inputs, docs/METRICS.md). Registration happens here,
+  // outside the timed region; the hot path only pays the slicer's
+  // per-sealed-slice flushes.
+  obs::MetricsRegistry registry;
   engine.set_tracer(&tracer);
+  engine.set_metrics_registry(&registry);
   engine.set_sink([&](const WindowResult&) { ++out.results; });
   const int64_t t0 = NowNs();
   for (const Event& e : events) engine.Ingest(e);
@@ -159,9 +237,10 @@ inline ThroughputResult MeasureThroughput(StreamEngine& engine,
                 "\"results\":%llu,\"stats\":",
                 engine.name().c_str(), events.size(), out.events_per_sec,
                 static_cast<unsigned long long>(out.results));
-  Sidecar::Instance().RecordRun(engine.name(),
-                                report + EngineStatsJson(out.stats) + "}",
-                                tracer.ToJson());
+  std::string report_json = report + EngineStatsJson(out.stats);
+  report_json += ",\"obs\":{\"metrics\":" + registry.ToJson() + "}}";
+  Sidecar::Instance().RecordRun(engine.name(), report_json, tracer.ToJson());
+  engine.set_metrics_registry(nullptr);  // registry dies with this frame
   return out;
 }
 
@@ -279,6 +358,7 @@ inline DecentralizedResult RunDecentralized(
   cluster.Advance(max_ts + kMinute);
   cluster.Drain();
 
+  Sidecar::Instance().NoteTransport(cluster.transport()->name());
   char label[160];
   std::snprintf(label, sizeof(label),
                 "%s locals=%d ints=%d layers=%d queries=%zu events=%zu",

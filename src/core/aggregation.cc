@@ -64,6 +64,18 @@ std::string ToString(OperatorKind kind) {
   return "unknown";
 }
 
+const char* OperatorShortName(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kSum: return "sum";
+    case OperatorKind::kCount: return "count";
+    case OperatorKind::kMultiply: return "mult";
+    case OperatorKind::kDecomposableSort: return "dsort";
+    case OperatorKind::kNonDecomposableSort: return "ndsort";
+    case OperatorKind::kSumSquares: return "sumsq";
+  }
+  return "unknown";
+}
+
 int OperatorCount(OperatorMask mask) { return std::popcount(mask); }
 
 OperatorMask ResolveNeeded(OperatorMask needed, OperatorMask group_mask) {

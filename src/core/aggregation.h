@@ -71,6 +71,10 @@ bool IsDecomposable(AggregationFunction fn);
 std::string ToString(AggregationFunction fn);
 std::string ToString(OperatorKind kind);
 
+/// Short operator label used as the `op` metric label value
+/// (group.operator_evals{op=sum|count|mult|dsort|ndsort|sumsq}).
+const char* OperatorShortName(OperatorKind kind);
+
 /// Number of set bits, i.e. operators a mask requires per event.
 int OperatorCount(OperatorMask mask);
 

@@ -23,12 +23,31 @@ std::unique_ptr<StreamSlicer> SlicingEngine::MakeSlicer(QueryGroup group) {
       [this](const WindowResult& result) { Emit(result); });
   if (slice_sink_) slicer->set_slice_sink(slice_sink_);
   slicer->set_obs(tracer_, tracer_node_id_, tracer_role_);
+  if (slicers_.size() < kMaxInstrumentedGroups) {
+    slicer->set_metrics(registry_);
+  }
   return slicer;
 }
 
 void SlicingEngine::OnTracerAttached() {
   for (auto& slicer : slicers_) {
     slicer->set_obs(tracer_, tracer_node_id_, tracer_role_);
+  }
+}
+
+void SlicingEngine::OnRegistryAttached() {
+  // Cap the instrumented groups: a no-sharing policy (DeBucket-style) can
+  // produce thousands of one-query groups, and per-group series would bloat
+  // every sidecar. The aggregate beyond the cap is still visible in
+  // EngineStats; the cap itself is exported so readers notice truncation.
+  for (size_t i = 0; i < slicers_.size(); ++i) {
+    slicers_[i]->set_metrics(i < kMaxInstrumentedGroups ? registry_ : nullptr);
+  }
+  if (registry_ != nullptr && slicers_.size() > kMaxInstrumentedGroups) {
+    if (obs::Gauge* g = registry_->GetGauge("group.metrics_truncated", {},
+                                            "groups")) {
+      g->Set(static_cast<int64_t>(slicers_.size() - kMaxInstrumentedGroups));
+    }
   }
 }
 

@@ -63,9 +63,16 @@ class SlicingEngine : public StreamEngine {
   /// nodes ship these partials instead of assembling windows locally).
   void SetSliceSink(SliceSink sink);
 
+  /// Per-group cost-attribution series are registered for at most this
+  /// many groups (no-sharing policies can create one group per query; the
+  /// overflow count is exported as group.metrics_truncated).
+  static constexpr size_t kMaxInstrumentedGroups = 256;
+
  protected:
   /// Forwards the tracer to every slicer (slice-created spans).
   void OnTracerAttached() override;
+  /// Forwards the metrics registry to every slicer (group cost series).
+  void OnRegistryAttached() override;
 
  private:
   std::unique_ptr<StreamSlicer> MakeSlicer(QueryGroup group);

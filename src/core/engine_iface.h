@@ -67,6 +67,17 @@ class StreamEngine {
   }
   obs::SliceTracer* tracer() const { return tracer_; }
 
+  /// Attaches a metrics registry: slicing engines register the per-query-
+  /// group cost-attribution series (group.events_in, group.operator_evals
+  /// — see docs/METRICS.md) via OnRegistryAttached(). Null detaches; the
+  /// registry must outlive the attachment. Non-slicing baselines keep the
+  /// default no-op hook and expose only EngineStats.
+  void set_metrics_registry(obs::MetricsRegistry* registry) {
+    registry_ = registry;
+    OnRegistryAttached();
+  }
+  obs::MetricsRegistry* metrics_registry() const { return registry_; }
+
  protected:
   void Emit(const WindowResult& result) {
     ++stats_.windows_fired;
@@ -81,8 +92,12 @@ class StreamEngine {
   /// Subclass hook: tracer_/tracer_node_id_/tracer_role_ changed.
   virtual void OnTracerAttached() {}
 
+  /// Subclass hook: registry_ changed.
+  virtual void OnRegistryAttached() {}
+
   EngineStats stats_;
   obs::SliceTracer* tracer_ = nullptr;
+  obs::MetricsRegistry* registry_ = nullptr;
   uint32_t tracer_node_id_ = 0;
   uint8_t tracer_role_ = obs::kSpanRoleEngine;
 

@@ -110,4 +110,18 @@ Result<std::vector<QueryGroup>> QueryAnalyzer::Analyze(
   return groups;
 }
 
+void RegisterGroupMetrics(const QueryGroup& group,
+                          obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  const obs::Labels labels = {{"group", std::to_string(group.id)}};
+  // Null-guarded: the DESIS_OBS=OFF stub registry hands out null gauges.
+  auto set = [&](const char* name, const char* unit, int64_t v) {
+    if (obs::Gauge* g = registry->GetGauge(name, labels, unit)) g->Set(v);
+  };
+  set("group.queries", "queries", static_cast<int64_t>(group.queries.size()));
+  set("group.operators", "operators", OperatorCount(group.mask));
+  set("group.lanes", "lanes", static_cast<int64_t>(group.lanes.size()));
+  set("group.root_only", "bool", group.root_only ? 1 : 0);
+}
+
 }  // namespace desis

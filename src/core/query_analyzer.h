@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/query.h"
+#include "obs/metrics.h"
 
 namespace desis {
 
@@ -73,6 +74,15 @@ class QueryAnalyzer {
   DeploymentMode mode_;
   SharingPolicy policy_;
 };
+
+/// Registers the static cost-attribution gauges for one query-group
+/// (labels {group}): group.queries (queries sharing the group),
+/// group.operators (distinct operators in its reduced mask), group.lanes,
+/// group.root_only. The dynamic counters (group.events_in,
+/// group.operator_evals{op}) are owned by the group's StreamSlicer; see
+/// docs/METRICS.md for the derived sharing ratio. Null registry is a no-op.
+void RegisterGroupMetrics(const QueryGroup& group,
+                          obs::MetricsRegistry* registry);
 
 }  // namespace desis
 

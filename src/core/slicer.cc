@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 #include <map>
+#include <string>
 #include <tuple>
 
 namespace desis {
@@ -133,10 +134,37 @@ bool StreamSlicer::SuppressQuery(QueryId id) {
   for (const GroupedQuery& gq : group_.queries) {
     if (gq.query.id == id && !suppressed_.contains(id)) {
       suppressed_.insert(id);
+      if (queries_gauge_ != nullptr) {
+        queries_gauge_->Set(static_cast<int64_t>(active_queries()));
+      }
       return true;
     }
   }
   return false;
+}
+
+void StreamSlicer::set_metrics(obs::MetricsRegistry* registry) {
+  FlushEventsInCounter();  // do not lose events counted for an old registry
+  events_in_counter_ = nullptr;
+  queries_gauge_ = nullptr;
+  for (int k = 0; k < kNumOperatorKinds; ++k) op_eval_counters_[k] = nullptr;
+  if (registry == nullptr) return;
+  RegisterGroupMetrics(group_, registry);
+  const obs::Labels labels = {{"group", std::to_string(group_.id)}};
+  events_in_counter_ =
+      registry->GetCounter("group.events_in", labels, "events");
+  queries_gauge_ = registry->GetGauge("group.queries", labels, "queries");
+  if (queries_gauge_ != nullptr) {
+    queries_gauge_->Set(static_cast<int64_t>(active_queries()));
+  }
+  for (int k = 0; k < kNumOperatorKinds; ++k) {
+    const auto kind = static_cast<OperatorKind>(k);
+    if (!MaskHas(group_.mask, kind)) continue;
+    obs::Labels op_labels = labels;
+    op_labels.emplace_back("op", OperatorShortName(kind));
+    op_eval_counters_[k] =
+        registry->GetCounter("group.operator_evals", op_labels, "evals");
+  }
 }
 
 void StreamSlicer::Initialize(Timestamp first_ts) {
@@ -332,6 +360,15 @@ uint64_t StreamSlicer::SealCurrentSlice(Timestamp end_ts) {
   records_.push_back(std::move(rec));
   have_unshipped_ = true;
   ++stats_->slices_created;
+  if (events_in_counter_ != nullptr) {
+    // Per-slice cost-attribution flush: every fold in the sealed slice paid
+    // each operator in the group mask exactly once (the sharing invariant),
+    // so each active op series advances by the slice's fold count.
+    FlushEventsInCounter();
+    for (obs::Counter* op : op_eval_counters_) {
+      if (op != nullptr) op->Add(current_slice_events_);
+    }
+  }
   if (tracer_ != nullptr) {
     tracer_->Record(obs::SlicePhase::kSliceCreated, current_slice_id_,
                     group_.id, /*query_id=*/0, obs_node_id_, obs_role_,
@@ -434,6 +471,7 @@ void StreamSlicer::CollectGarbage() {
 
 void StreamSlicer::Ingest(const Event& event) {
   if (!initialized_) Initialize(event.ts);
+  ++pending_events_in_;  // plain integer; flushed at seal/advance boundaries
   last_seen_ts_ = std::max(last_seen_ts_, event.ts);
   ProcessBoundariesUpTo(event.ts);
 
@@ -587,9 +625,11 @@ void StreamSlicer::IngestBatch(const Event* events, size_t count) {
   if (count == 0) return;
   if (!batch_fast_path_) {
     for (size_t i = 0; i < count; ++i) Ingest(events[i]);
+    FlushEventsInCounter();
     return;
   }
   if (!initialized_) Initialize(events[0].ts);
+  pending_events_in_ += count;
   last_seen_ts_ = std::max(last_seen_ts_, events[count - 1].ts);
   size_t i = 0;
   while (i < count) {
@@ -603,6 +643,7 @@ void StreamSlicer::IngestBatch(const Event* events, size_t count) {
     i = j;
   }
   FlushShippableSlice();
+  FlushEventsInCounter();
   // Match the per-event GC cadence (~every 64 events).
   gc_tick_ += count;
   if (gc_tick_ >= 64) {
@@ -616,6 +657,7 @@ void StreamSlicer::AdvanceTo(Timestamp watermark) {
   if (!initialized_) return;
   ProcessBoundariesUpTo(watermark);
   FlushShippableSlice();
+  FlushEventsInCounter();
   CollectGarbage();
 }
 

@@ -106,6 +106,16 @@ class StreamSlicer {
     obs_role_ = role;
   }
 
+  /// Attaches cost-attribution metrics (labels {group}, docs/METRICS.md):
+  /// group.events_in counts ingested events, group.operator_evals{op} one
+  /// series per active operator in the group's mask. Evals are flushed per
+  /// *sealed slice* (each fold pays every mask operator once), so the hot
+  /// path stays allocation- and atomic-free; events_in accumulates in a
+  /// plain integer and flushes at seal/advance/batch boundaries. Several
+  /// slicers of the same group (one per cluster local) share the series —
+  /// the handles are relaxed atomics. Null detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Processes one event (non-decreasing ts order).
   void Ingest(const Event& event);
 
@@ -219,12 +229,27 @@ class StreamSlicer {
   void FlushShippableSlice();
   void CollectGarbage();
 
+  // Flushes pending_events_in_ into the group.events_in counter; called at
+  // slice seals, watermark advances, and batch boundaries.
+  void FlushEventsInCounter() {
+    if (pending_events_in_ != 0 && events_in_counter_ != nullptr) {
+      events_in_counter_->Add(pending_events_in_);
+    }
+    pending_events_in_ = 0;
+  }
+
   QueryGroup group_;
   SlicerOptions options_;
   EngineStats* stats_;
   obs::SliceTracer* tracer_ = nullptr;
   uint32_t obs_node_id_ = 0;
   uint8_t obs_role_ = obs::kSpanRoleEngine;
+  // Cost-attribution handles (null when detached / DESIS_OBS=OFF); indexed
+  // by OperatorKind, null for operators outside the group mask.
+  obs::Counter* events_in_counter_ = nullptr;
+  obs::Counter* op_eval_counters_[kNumOperatorKinds] = {};
+  obs::Gauge* queries_gauge_ = nullptr;
+  uint64_t pending_events_in_ = 0;
   WindowSink window_sink_;
   SliceSink slice_sink_;
   WindowPartialSink window_partial_sink_;

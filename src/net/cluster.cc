@@ -62,7 +62,21 @@ void Cluster::AttachObs(obs::MetricsRegistry* registry,
     ingest_batch_hist_ =
         registry->GetHistogram("cluster.ingest_batch_ns", labels, "ns");
   }
+  if (tracer != nullptr) {
+    // Ring overwrites surface as a counter so span loss is visible in every
+    // export, not only to callers polling the tracer.
+    tracer->set_drop_counter(
+        registry != nullptr
+            ? registry->GetCounter("trace.dropped_spans", {}, "spans")
+            : nullptr);
+  }
   for (const auto& node : nodes_) node->AttachObs(registry, tracer);
+}
+
+void Cluster::SampleHealth() const {
+  if (obs_registry_ == nullptr) return;
+  std::shared_lock<std::shared_mutex> lock(membership_mu_);
+  for (const auto& node : nodes_) node->PublishHealth();
 }
 
 void Cluster::set_sink(WindowSink sink) { sink_ = std::move(sink); }
@@ -223,9 +237,18 @@ void Cluster::AdvanceAt(int local_idx, Timestamp watermark) {
     local->Advance(watermark);
   }
   transport_->Pump();
+  // Low-overhead periodic snapshot: health gauges refresh on a watermark
+  // cadence, not per event, so monitors polling StatsReport() mid-run see
+  // recent lag/backlog values without any hot-path cost.
+  if (health_sample_ticks_++ % kHealthSamplePeriod == kHealthSamplePeriod - 1) {
+    SampleHealth();
+  }
 }
 
-void Cluster::Drain() { transport_->Flush(); }
+void Cluster::Drain() {
+  transport_->Flush();
+  SampleHealth();
+}
 
 Result<int> Cluster::AddLocalNode() {
   if (system_ != ClusterSystem::kDesis) {
@@ -442,6 +465,7 @@ void AppendRole(std::string& out, const char* key, const RoleAggregate& agg) {
 }  // namespace
 
 std::string Cluster::StatsReport() const {
+  SampleHealth();  // report freshest watermark-lag/backlog gauges
   RoleAggregate local, intermediate, root, total;
   for (const auto& node : nodes_) {
     switch (node->role()) {

@@ -153,6 +153,17 @@ class Cluster {
   obs::MetricsRegistry* obs_registry() const { return obs_registry_; }
   obs::SliceTracer* obs_tracer() const { return obs_tracer_; }
 
+  /// Publishes every node's health cells (watermark lag, backlog, reorder
+  /// depth — see docs/METRICS.md) into the attached registry's gauges.
+  /// Cheap (relaxed reads + gauge stores, no locks taken on node state) and
+  /// safe to call mid-run from any thread. Runs automatically every
+  /// kHealthSamplePeriod watermark advances, at Drain(), and at
+  /// StatsReport(); call directly for a finer-grained monitor.
+  void SampleHealth() const;
+
+  /// Watermark advances between automatic SampleHealth() runs.
+  static constexpr uint64_t kHealthSamplePeriod = 64;
+
  private:
   Node* ParentForLocal(size_t ordinal) const;
   Status RemoveLocalNodeLocked(int local_idx);
@@ -178,6 +189,8 @@ class Cluster {
   WindowSink sink_;
   /// Incremented from the root's delivery worker; read by monitors mid-run.
   obs::RelaxedU64 results_;
+  /// AdvanceAt() calls since the last automatic health sample.
+  obs::RelaxedU64 health_sample_ticks_;
   bool configured_ = false;
   obs::MetricsRegistry* obs_registry_ = nullptr;
   obs::SliceTracer* obs_tracer_ = nullptr;

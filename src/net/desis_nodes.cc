@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/engine.h"  // SlicingEngine::kMaxInstrumentedGroups
+
 namespace desis {
 
 // ---------------------------------------------------------------- local --
@@ -29,6 +31,12 @@ void DesisLocalNode::AddGroups(const std::vector<QueryGroup>& groups) {
     slicer->set_slice_sink(
         [this, gid](const SliceRecord& rec) { ShipSlice(gid, rec); });
     slicer->set_obs(tracer_, id(), obs::kSpanRoleLocal);
+    // Group cost series are shared across locals (same labels -> same
+    // handles), so events_in/operator_evals accumulate cluster-wide; the
+    // instrumentation cap mirrors the single-node engine's.
+    if (gid < SlicingEngine::kMaxInstrumentedGroups) {
+      slicer->set_metrics(obs_registry_);
+    }
     slicers_.emplace_back(gid, std::move(slicer));
   }
 }
@@ -36,6 +44,9 @@ void DesisLocalNode::AddGroups(const std::vector<QueryGroup>& groups) {
 void DesisLocalNode::OnObsAttached() {
   for (auto& [gid, slicer] : slicers_) {
     slicer->set_obs(tracer_, id(), obs::kSpanRoleLocal);
+    if (gid < SlicingEngine::kMaxInstrumentedGroups) {
+      slicer->set_metrics(obs_registry_);
+    }
   }
 }
 
@@ -61,6 +72,12 @@ void DesisLocalNode::IngestBatch(const Event* events, size_t count) {
         }
       }
     }
+    health_.last_event_ts = last_ts_;
+    int64_t parked = 0;
+    for (const ForwardGroup& fg : forward_groups_) {
+      parked += static_cast<int64_t>(fg.pending.size());
+    }
+    health_.backlog = parked;
   });
 }
 
@@ -96,6 +113,8 @@ void DesisLocalNode::Advance(Timestamp watermark) {
     }
     for (ForwardGroup& fg : forward_groups_) FlushForwardBatch(fg.group.id);
     SendToParent({MessageType::kWatermark, 0, EncodeWatermark(safe)});
+    health_.watermark = safe;
+    health_.backlog = 0;  // forward batches flushed
   });
 }
 
@@ -168,6 +187,7 @@ void DesisIntermediateNode::HandleMessage(const Message& message,
     case MessageType::kSlicePartial: {
       ByteReader in(message.payload);
       SlicePartialMsg msg = SlicePartialMsg::DeserializeFrom(in);
+      health_.last_event_ts.StoreMax(msg.last_event_ts);
       auto key = std::make_tuple(message.group_id, msg.start, msg.end);
       auto it = entries_.find(key);
       if (it == entries_.end()) {
@@ -209,14 +229,19 @@ void DesisIntermediateNode::HandleMessage(const Message& message,
       // Root-only groups: pass raw batches through unchanged.
       SendToParent(message);
       break;
-    case MessageType::kWatermark:
-      NoteChildWatermark(child_index, DecodeWatermark(message.payload));
+    case MessageType::kWatermark: {
+      const Timestamp wm = DecodeWatermark(message.payload);
+      health_.last_event_ts.StoreMax(wm);
+      NoteChildWatermark(child_index, wm);
       FlushUpTo(MinChildWatermark());
       break;
+    }
     case MessageType::kText:
       SendToParent(message);
       break;
   }
+  health_.watermark = sent_wm_;
+  health_.backlog = static_cast<int64_t>(entries_.size());
 }
 
 // ----------------------------------------------------------------- root --
@@ -240,6 +265,9 @@ Status DesisRootNode::SuppressQuery(QueryId id) {
 void DesisRootNode::OnObsAttached() {
   for (auto& [gid, rg] : root_only_) {
     rg.slicer->set_obs(tracer_, id(), obs::kSpanRoleRoot);
+    if (gid < SlicingEngine::kMaxInstrumentedGroups) {
+      rg.slicer->set_metrics(obs_registry_);
+    }
   }
 }
 
@@ -251,6 +279,9 @@ void DesisRootNode::AddGroups(const std::vector<QueryGroup>& groups) {
       slicer->set_window_sink(
           [this](const WindowResult& r) { EmitResult(r); });
       slicer->set_obs(tracer_, id(), obs::kSpanRoleRoot);
+      if (group.id < SlicingEngine::kMaxInstrumentedGroups) {
+        slicer->set_metrics(obs_registry_);
+      }
       root_only_.emplace(group.id,
                          RootOnlyGroup{std::move(slicer), {}, kNoTimestamp});
     } else {
@@ -318,11 +349,32 @@ void DesisRootNode::AdvanceAll(Timestamp watermark) {
   }
 }
 
+void DesisRootNode::UpdateHealthCells() {
+  int64_t backlog = 0;
+  int64_t reorder = 0;
+  for (const auto& [gid, assembler] : assemblers_) {
+    backlog += static_cast<int64_t>(assembler->pending_entries());
+  }
+  for (const auto& [gid, rg] : root_only_) {
+    backlog += static_cast<int64_t>(rg.pending.size());
+    reorder += static_cast<int64_t>(rg.pending.size());
+  }
+  health_.backlog = backlog;
+  health_.reorder_depth = reorder;
+  health_.watermark = advanced_wm_;
+}
+
 void DesisRootNode::HandleMessage(const Message& message, int child_index) {
   switch (message.type) {
     case MessageType::kSlicePartial: {
       ByteReader in(message.payload);
       SlicePartialMsg msg = SlicePartialMsg::DeserializeFrom(in);
+      health_.last_event_ts.StoreMax(msg.last_event_ts);
+      if (tracer_ != nullptr) {
+        tracer_->Record(obs::SlicePhase::kMerged, msg.slice_id,
+                        message.group_id, /*query_id=*/0, id(),
+                        obs::kSpanRoleRoot, msg.end);
+      }
       auto it = assemblers_.find(message.group_id);
       if (it != assemblers_.end()) it->second->AddPartial(msg);
       break;
@@ -331,18 +383,25 @@ void DesisRootNode::HandleMessage(const Message& message, int child_index) {
       auto it = root_only_.find(message.group_id);
       if (it != root_only_.end()) {
         std::vector<Event> events = DecodeEventBatch(message.payload);
+        if (!events.empty()) {
+          health_.last_event_ts.StoreMax(events.back().ts);
+        }
         it->second.pending.insert(it->second.pending.end(), events.begin(),
                                   events.end());
       }
       break;
     }
-    case MessageType::kWatermark:
-      NoteChildWatermark(child_index, DecodeWatermark(message.payload));
+    case MessageType::kWatermark: {
+      const Timestamp wm = DecodeWatermark(message.payload);
+      health_.last_event_ts.StoreMax(wm);
+      NoteChildWatermark(child_index, wm);
       AdvanceAll(MinChildWatermark());
       break;
+    }
     case MessageType::kText:
       break;  // Desis clusters never carry text payloads.
   }
+  UpdateHealthCells();
 }
 
 }  // namespace desis

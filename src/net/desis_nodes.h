@@ -115,6 +115,9 @@ class DesisRootNode : public Node {
   Timestamp MinChildWatermark() const;
   void AdvanceAll(Timestamp watermark);
   void EmitResult(const WindowResult& result);
+  /// Recomputes the health cells (assembler backlog, reorder-buffer
+  /// occupancy, advanced watermark) after handling a message.
+  void UpdateHealthCells();
 
   EngineStats stats_;
   WindowSink sink_;

@@ -15,6 +15,8 @@ void ForwardingLocalNode::IngestBatch(const Event* events, size_t count) {
       i += take;
       if (pending_.size() >= batch_size_) Flush();
     }
+    if (count > 0) health_.last_event_ts = events[count - 1].ts;
+    health_.backlog = static_cast<int64_t>(pending_.size());
   });
 }
 
@@ -28,6 +30,8 @@ void ForwardingLocalNode::Advance(Timestamp watermark) {
   Metered([&] {
     Flush();
     SendToParent({MessageType::kWatermark, 0, EncodeWatermark(watermark)});
+    health_.watermark = watermark;
+    health_.backlog = 0;
   });
 }
 
@@ -48,6 +52,8 @@ void RelayIntermediateNode::HandleMessage(const Message& message,
       if (wm == kNoTimestamp) return;
       min_wm = std::min(min_wm, wm);
     }
+    health_.last_event_ts.StoreMax(min_wm);
+    health_.watermark = min_wm;
     SendToParent({MessageType::kWatermark, 0, EncodeWatermark(min_wm)});
     return;
   }
@@ -68,6 +74,7 @@ void EngineRootNode::HandleMessage(const Message& message, int child_index) {
   switch (message.type) {
     case MessageType::kEventBatch: {
       std::vector<Event> events = DecodeEventBatch(message.payload);
+      if (!events.empty()) health_.last_event_ts.StoreMax(events.back().ts);
       pending_.insert(pending_.end(), events.begin(), events.end());
       break;
     }
@@ -98,6 +105,11 @@ void EngineRootNode::HandleMessage(const Message& message, int child_index) {
     default:
       break;
   }
+  // The root's reorder buffer doubles as its backlog: raw events held back
+  // until every child's watermark passes them.
+  health_.backlog = static_cast<int64_t>(pending_.size());
+  health_.reorder_depth = static_cast<int64_t>(pending_.size());
+  health_.watermark = released_wm_;
 }
 
 }  // namespace desis

@@ -55,6 +55,12 @@ class EngineRootNode : public Node {
 
  protected:
   void HandleMessage(const Message& message, int child_index) override;
+  /// Forwards the registry to the embedded engine (group cost series for
+  /// centralized baselines). The tracer stays detached — the cluster's
+  /// result sink records window emission at the root.
+  void OnObsAttached() override {
+    engine_->set_metrics_registry(obs_registry_);
+  }
 
  private:
   Timestamp MinChildWatermark() const;

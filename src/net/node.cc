@@ -1,5 +1,6 @@
 #include "net/node.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "transport/transport.h"
@@ -64,8 +65,52 @@ void Node::AttachObs(obs::MetricsRegistry* registry,
     handler_latency_ =
         registry->GetHistogram("node.handler_latency_ns", labels, "ns");
     queue_hwm_gauge_ = registry->GetGauge("node.queue_hwm", labels, "messages");
+    mailbox_depth_gauge_ =
+        registry->GetGauge("health.mailbox_depth", labels, "messages");
+    wm_lag_gauge_ = registry->GetGauge("health.watermark_lag_us", labels, "us");
+    backlog_gauge_ = registry->GetGauge("health.backlog", labels, "slices");
+    reorder_depth_gauge_ =
+        registry->GetGauge("health.reorder_depth", labels, "events");
+    retransmits_counter_ =
+        registry->GetCounter("node.retransmits", labels, "messages");
+    drops_counter_ =
+        registry->GetCounter("node.messages_dropped", labels, "messages");
   }
   OnObsAttached();
+}
+
+void Node::PublishHealth() const {
+  if (wm_lag_gauge_ != nullptr) {
+    // Lag is only meaningful once both ends of the interval exist; before
+    // traffic flows the gauge stays at its initial 0.
+    const int64_t seen = health_.last_event_ts;
+    const int64_t wm = health_.watermark;
+    if (seen != kNoTimestamp) {
+      wm_lag_gauge_->Set(wm == kNoTimestamp ? seen : std::max<int64_t>(0, seen - wm));
+    }
+  }
+  if (backlog_gauge_ != nullptr) backlog_gauge_->Set(health_.backlog);
+  if (reorder_depth_gauge_ != nullptr) {
+    reorder_depth_gauge_->Set(health_.reorder_depth);
+  }
+}
+
+void Node::NoteRetransmit(const Message* message) {
+  ++net_stats_.retransmits;
+  if (retransmits_counter_ != nullptr) retransmits_counter_->Add();
+  // A retransmitted slice partial keeps its slice identity, so the span
+  // lands on the same async track as the original shipment. The id and
+  // time range are the first three payload fields (see SlicePartialMsg).
+  if (tracer_ != nullptr && message != nullptr &&
+      message->type == MessageType::kSlicePartial &&
+      message->payload.size() >= sizeof(uint64_t) + 2 * sizeof(int64_t)) {
+    ByteReader reader(message->payload);
+    const uint64_t slice_id = reader.ReadU64();
+    reader.ReadI64();  // start
+    const Timestamp end = reader.ReadI64();
+    tracer_->Record(obs::SlicePhase::kRetransmit, slice_id, message->group_id,
+                    /*query_id=*/0, id_, static_cast<uint8_t>(role_), end);
+  }
 }
 
 void Node::Receive(const Message& message, int child_index) {

@@ -62,6 +62,26 @@ struct NodeStats {
   obs::RelaxedU64 messages_dropped;
 };
 
+/// Per-node health cells, updated by the node's own handler/driver thread
+/// at message or batch granularity and sampled race-free by
+/// Cluster::SampleHealth() (all relaxed atomics — statistics, not
+/// synchronization). kNoTimestamp marks "nothing seen yet".
+struct NodeHealth {
+  /// Newest event-time this node has seen (ingested locally or carried by
+  /// child partials/watermarks).
+  obs::RelaxedI64 last_event_ts{kNoTimestamp};
+  /// The node's own output watermark: what it has advertised upstream (or,
+  /// at the root, advanced to). last_event_ts - watermark is the node's
+  /// watermark lag.
+  obs::RelaxedI64 watermark{kNoTimestamp};
+  /// Work parked waiting for completion: pending intermediate slices,
+  /// root-assembler slice backlog, or unflushed forward batches.
+  obs::RelaxedI64 backlog{0};
+  /// Occupancy of a reorder buffer (root-only raw events held back for
+  /// cross-child ordering); 0 where no reordering happens.
+  obs::RelaxedI64 reorder_depth{0};
+};
+
 /// A node in the simulated decentralized network. SendToParent() counts
 /// the serialized bytes on both ends and hands the message to the node's
 /// `Transport` for delivery — synchronously inline by default (bit-exact
@@ -80,6 +100,7 @@ class Node {
   uint32_t id() const { return id_; }
   NodeRole role() const { return role_; }
   const NodeStats& net_stats() const { return net_stats_; }
+  const NodeHealth& health() const { return health_; }
   int64_t busy_ns() const { return net_stats_.busy_ns; }
 
   /// Registers `child` as a child of this node; messages the child sends
@@ -120,19 +141,41 @@ class Node {
   void AttachObs(obs::MetricsRegistry* registry, obs::SliceTracer* tracer);
   obs::SliceTracer* tracer() const { return tracer_; }
 
+  /// Publishes this node's health cells into its registry gauges
+  /// (health.watermark_lag_us / health.backlog / health.reorder_depth, see
+  /// docs/METRICS.md). Safe from any thread (relaxed reads, gauge stores);
+  /// no-op before AttachObs. Called by Cluster::SampleHealth().
+  void PublishHealth() const;
+
   // --- Transport accounting hooks (see NodeStats) ------------------------
 
-  /// Records an inbound queue-depth observation; keeps the maximum.
+  /// Records an inbound queue-depth observation: keeps the maximum in
+  /// queue_hwm and mirrors the momentary occupancy into the
+  /// health.mailbox_depth gauge. Called live per enqueue by queue-based
+  /// transports, so the gauge tracks occupancy mid-run — not only at Flush.
   void NoteQueueDepth(uint64_t depth) {
     net_stats_.queue_hwm.StoreMax(depth);
     if (queue_hwm_gauge_ != nullptr) {
       queue_hwm_gauge_->StoreMax(static_cast<int64_t>(depth));
     }
+    if (mailbox_depth_gauge_ != nullptr) {
+      mailbox_depth_gauge_->Set(static_cast<int64_t>(depth));
+    }
   }
-  /// Records one retransmission on this node's uplink.
-  void NoteRetransmit() { ++net_stats_.retransmits; }
+  /// Marks the inbound queue quiesced (occupancy gauge back to zero; the
+  /// high-water mark is preserved). Called by transports after Flush.
+  void NoteQueueDrained() {
+    if (mailbox_depth_gauge_ != nullptr) mailbox_depth_gauge_->Set(0);
+  }
+  /// Records one retransmission on this node's uplink; with the in-flight
+  /// message supplied, slice partials additionally record a kRetransmit
+  /// span so the merged trace shows the repeated hop.
+  void NoteRetransmit(const Message* message = nullptr);
   /// Records one dropped transmission on this node's uplink.
-  void NoteDrop() { ++net_stats_.messages_dropped; }
+  void NoteDrop() {
+    ++net_stats_.messages_dropped;
+    if (drops_counter_ != nullptr) drops_counter_->Add();
+  }
 
  protected:
   virtual void HandleMessage(const Message& message, int child_index) = 0;
@@ -164,6 +207,9 @@ class Node {
   }
 
   NodeStats net_stats_;
+  /// Health cells; subclasses store into these from their own handler
+  /// thread (see NodeHealth).
+  NodeHealth health_;
   obs::MetricsRegistry* obs_registry_ = nullptr;
   obs::SliceTracer* tracer_ = nullptr;
 
@@ -174,8 +220,14 @@ class Node {
   uint32_t id_;
   NodeRole role_;
   Transport* transport_;
-  obs::Histogram* handler_latency_ = nullptr;  // node.handler_latency_ns
-  obs::Gauge* queue_hwm_gauge_ = nullptr;      // node.queue_hwm
+  obs::Histogram* handler_latency_ = nullptr;   // node.handler_latency_ns
+  obs::Gauge* queue_hwm_gauge_ = nullptr;       // node.queue_hwm
+  obs::Gauge* mailbox_depth_gauge_ = nullptr;   // health.mailbox_depth
+  obs::Gauge* wm_lag_gauge_ = nullptr;          // health.watermark_lag_us
+  obs::Gauge* backlog_gauge_ = nullptr;         // health.backlog
+  obs::Gauge* reorder_depth_gauge_ = nullptr;   // health.reorder_depth
+  obs::Counter* retransmits_counter_ = nullptr;  // node.retransmits
+  obs::Counter* drops_counter_ = nullptr;        // node.messages_dropped
 
   Node* parent_ = nullptr;
   int child_index_at_parent_ = -1;

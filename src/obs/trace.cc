@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -12,8 +13,20 @@ const char* ToString(SlicePhase phase) {
     case SlicePhase::kPartialShipped: return "partial_shipped";
     case SlicePhase::kMerged: return "merged";
     case SlicePhase::kWindowEmitted: return "window_emitted";
+    case SlicePhase::kRetransmit: return "retransmit";
   }
   return "unknown";
+}
+
+bool PhaseFromString(const std::string& name, SlicePhase* out) {
+  for (uint8_t p = 0; p <= static_cast<uint8_t>(SlicePhase::kRetransmit);
+       ++p) {
+    if (name == ToString(static_cast<SlicePhase>(p))) {
+      *out = static_cast<SlicePhase>(p);
+      return true;
+    }
+  }
+  return false;
 }
 
 const char* SpanRoleName(uint8_t role) {
@@ -24,6 +37,79 @@ const char* SpanRoleName(uint8_t role) {
     case kSpanRoleEngine: return "engine";
   }
   return "unknown";
+}
+
+bool SpanRoleFromName(const std::string& name, uint8_t* out) {
+  for (uint8_t r : {kSpanRoleLocal, kSpanRoleIntermediate, kSpanRoleRoot,
+                    kSpanRoleEngine}) {
+    if (name == SpanRoleName(r)) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ChromeTraceFromSpans(std::vector<SliceSpan> spans) {
+  // Stable event-time order keeps async begin/instant/end phases legal for
+  // the viewer even when spans were collected from several tracers.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SliceSpan& a, const SliceSpan& b) {
+                     if (a.virtual_ts != b.virtual_ts) {
+                       return a.virtual_ts < b.virtual_ts;
+                     }
+                     return a.real_ns < b.real_ns;
+                   });
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  // One process_name metadata record per node so the merged view labels
+  // each pid with its topology role.
+  std::vector<std::pair<uint32_t, uint8_t>> named;
+  for (const SliceSpan& s : spans) {
+    bool seen = false;
+    for (const auto& [node, role] : named) {
+      seen = seen || (node == s.node_id && role == s.role);
+    }
+    if (seen) continue;
+    named.emplace_back(s.node_id, s.role);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRIu32
+                  ",\"args\":{\"name\":\"node %" PRIu32 " (%s)\"}}",
+                  s.node_id, s.node_id, SpanRoleName(s.role));
+    if (!first) out += ',';
+    first = false;
+    out += buf;
+  }
+  for (const SliceSpan& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    const char* ph = "n";
+    if (s.phase == SlicePhase::kSliceCreated) ph = "b";
+    if (s.phase == SlicePhase::kWindowEmitted) ph = "e";
+    // Global async id: the slice identity shared across nodes. Window
+    // emissions carry no slice id (they are per query), so they track by
+    // query instead of collapsing onto one bogus slice-0 lane.
+    char gid[64];
+    if (s.phase == SlicePhase::kWindowEmitted && s.slice_id == 0) {
+      std::snprintf(gid, sizeof(gid), "q%" PRIu64, s.query_id);
+    } else {
+      std::snprintf(gid, sizeof(gid), "g%" PRIu32 ".s%" PRIu64, s.group_id,
+                    s.slice_id);
+    }
+    char buf[384];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"name\":\"%s\",\"cat\":\"slice\",\"ph\":\"%s\","
+        "\"id2\":{\"global\":\"%s\"},\"ts\":%" PRId64 ",\"pid\":%" PRIu32
+        ",\"tid\":%" PRIu32 ",\"args\":{\"slice\":%" PRIu64
+        ",\"query\":%" PRIu64 ",\"role\":\"%s\",\"real_ns\":%" PRId64 "}}",
+        ToString(s.phase), ph, gid, s.virtual_ts, s.node_id, s.group_id,
+        s.slice_id, s.query_id, SpanRoleName(s.role), s.real_ns);
+    out += buf;
+  }
+  out += "]}";
+  return out;
 }
 
 #if DESIS_OBS_ENABLED
@@ -52,7 +138,16 @@ void AppendSpanJson(std::string& out, const SliceSpan& s) {
 
 struct SliceTracer::Slot {
   RelaxedU64 seq;  // ticket + 1 of the last completed write; 0 = never
-  SliceSpan span;
+  // Span payload as individual relaxed cells: two Record() calls whose
+  // tickets alias one slot (ring wrap) interleave per-field instead of
+  // racing on plain memory; the seq check in Snapshot() discards such torn
+  // slots. Small fields are packed to keep the slot compact.
+  RelaxedU64 slice_id;
+  RelaxedU64 query_id;
+  RelaxedU64 group_and_node;  // group_id << 32 | node_id
+  RelaxedU64 role_and_phase;  // role << 8 | phase
+  RelaxedI64 virtual_ts;
+  RelaxedI64 real_ns;
 };
 
 SliceTracer::SliceTracer(size_t capacity)
@@ -66,15 +161,15 @@ void SliceTracer::Record(SlicePhase phase, uint64_t slice_id,
                          uint32_t node_id, uint8_t role,
                          Timestamp virtual_ts) {
   const uint64_t ticket = head_++;
+  if (ticket >= capacity_ && drop_counter_ != nullptr) drop_counter_->Add();
   Slot& slot = slots_[ticket % capacity_];
-  slot.span.slice_id = slice_id;
-  slot.span.group_id = group_id;
-  slot.span.query_id = query_id;
-  slot.span.node_id = node_id;
-  slot.span.role = role;
-  slot.span.phase = phase;
-  slot.span.virtual_ts = virtual_ts;
-  slot.span.real_ns = NowNs();
+  slot.slice_id.store(slice_id);
+  slot.query_id.store(query_id);
+  slot.group_and_node.store(static_cast<uint64_t>(group_id) << 32 | node_id);
+  slot.role_and_phase.store(static_cast<uint64_t>(role) << 8 |
+                            static_cast<uint64_t>(phase));
+  slot.virtual_ts.store(virtual_ts);
+  slot.real_ns.store(NowNs());
   slot.seq.store(ticket + 1);
 }
 
@@ -86,7 +181,18 @@ std::vector<SliceSpan> SliceTracer::Snapshot() const {
   for (uint64_t t = head - n; t < head; ++t) {
     const Slot& slot = slots_[t % capacity_];
     if (slot.seq.load() != t + 1) continue;  // torn by a ring wrap
-    out.push_back(slot.span);
+    SliceSpan span;
+    span.slice_id = slot.slice_id.load();
+    span.query_id = slot.query_id.load();
+    const uint64_t gn = slot.group_and_node.load();
+    span.group_id = static_cast<uint32_t>(gn >> 32);
+    span.node_id = static_cast<uint32_t>(gn);
+    const uint64_t rp = slot.role_and_phase.load();
+    span.role = static_cast<uint8_t>(rp >> 8);
+    span.phase = static_cast<SlicePhase>(rp & 0xff);
+    span.virtual_ts = slot.virtual_ts.load();
+    span.real_ns = slot.real_ns.load();
+    out.push_back(span);
   }
   return out;
 }
@@ -125,6 +231,16 @@ std::string SliceTracer::ToChromeTrace() const {
   }
   out += "]}";
   return out;
+}
+
+std::string MergeTraces(const std::vector<const SliceTracer*>& tracers) {
+  std::vector<SliceSpan> spans;
+  for (const SliceTracer* tracer : tracers) {
+    if (tracer == nullptr) continue;
+    std::vector<SliceSpan> part = tracer->Snapshot();
+    spans.insert(spans.end(), part.begin(), part.end());
+  }
+  return ChromeTraceFromSpans(std::move(spans));
 }
 
 #endif  // DESIS_OBS_ENABLED

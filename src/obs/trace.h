@@ -20,9 +20,16 @@ enum class SlicePhase : uint8_t {
   kPartialShipped,
   kMerged,
   kWindowEmitted,
+  /// A transport retransmitted the partial after a loss/timeout
+  /// (SimLinkTransport); same slice identity, so the merged trace shows the
+  /// extra hop on the slice's own track.
+  kRetransmit,
 };
 
 const char* ToString(SlicePhase phase);
+/// Inverse of ToString; returns false on an unknown name. Used by tools
+/// that reconstruct spans from exported JSON.
+bool PhaseFromString(const std::string& name, SlicePhase* out);
 
 /// Role byte carried in spans; mirrors net/NodeRole without depending on
 /// src/net (obs sits below core). kEngine marks single-node engines that
@@ -33,6 +40,8 @@ inline constexpr uint8_t kSpanRoleRoot = 2;
 inline constexpr uint8_t kSpanRoleEngine = 255;
 
 const char* SpanRoleName(uint8_t role);
+/// Inverse of SpanRoleName; returns false on an unknown name.
+bool SpanRoleFromName(const std::string& name, uint8_t* out);
 
 /// One recorded span event. `virtual_ts` is event time (µs, the slice/
 /// window end); `real_ns` is the steady-clock instant the phase happened.
@@ -48,6 +57,15 @@ struct SliceSpan {
   Timestamp virtual_ts = 0;
   int64_t real_ns = 0;
 };
+
+/// Chrome trace_event JSON over an explicit span set — the cross-node
+/// correlation view. Unlike SliceTracer::ToChromeTrace (one tracer, plain
+/// per-pid async ids), this emits process_name metadata per node and keys
+/// every slice phase with a *global* async id ("g<group>.s<slice>") so one
+/// slice's life lines up across local -> intermediate -> root processes,
+/// retransmits included. Available with DESIS_OBS=OFF too (pure data
+/// transform; desis-inspect uses it on parsed sidecar spans).
+std::string ChromeTraceFromSpans(std::vector<SliceSpan> spans);
 
 #if DESIS_OBS_ENABLED
 
@@ -70,6 +88,11 @@ class SliceTracer {
   void Record(SlicePhase phase, uint64_t slice_id, uint32_t group_id,
               uint64_t query_id, uint32_t node_id, uint8_t role,
               Timestamp virtual_ts);
+
+  /// Mirrors ring overwrites into a registry counter (trace.dropped_spans)
+  /// so monitors see span loss without polling the tracer. Null detaches.
+  /// One extra null-check + relaxed Add per overflowing Record().
+  void set_drop_counter(Counter* counter) { drop_counter_ = counter; }
 
   size_t capacity() const { return capacity_; }
   /// Spans ever recorded / overwritten by ring wrap-around.
@@ -97,7 +120,13 @@ class SliceTracer {
   const size_t capacity_;
   Slot* slots_;
   RelaxedU64 head_;
+  Counter* drop_counter_ = nullptr;
 };
+
+/// Concatenates the retained spans of several tracers (e.g. one per bench
+/// run, or per sub-cluster) into one correlated Chrome trace; null entries
+/// are skipped. Quiescence required, as for Snapshot().
+std::string MergeTraces(const std::vector<const SliceTracer*>& tracers);
 
 #else  // !DESIS_OBS_ENABLED ------------------------------------------------
 
@@ -107,6 +136,7 @@ class SliceTracer {
   explicit SliceTracer(size_t = 0) {}
   void Record(SlicePhase, uint64_t, uint32_t, uint64_t, uint32_t, uint8_t,
               Timestamp) {}
+  void set_drop_counter(Counter*) {}
   size_t capacity() const { return 0; }
   uint64_t recorded() const { return 0; }
   uint64_t dropped() const { return 0; }
@@ -114,6 +144,10 @@ class SliceTracer {
   std::string ToJson() const { return "[]"; }
   std::string ToChromeTrace() const { return "{\"traceEvents\":[]}"; }
 };
+
+inline std::string MergeTraces(const std::vector<const SliceTracer*>&) {
+  return "{\"traceEvents\":[]}";
+}
 
 #endif  // DESIS_OBS_ENABLED
 

@@ -98,7 +98,9 @@ void SimLinkTransport::Pump() {
       case EventKind::kRtoFires:
         if (link.unacked.count(ev.seq) != 0) {
           ++retransmits_;
-          link.from->NoteRetransmit();
+          // Handing over the message lets slice partials record a
+          // kRetransmit span on the slice's own trace track.
+          link.from->NoteRetransmit(&link.unacked.at(ev.seq));
           Transmit(link, ev.seq);
         }
         break;

@@ -11,12 +11,20 @@ ThreadedTransport::ThreadedTransport(size_t mailbox_capacity)
 ThreadedTransport::~ThreadedTransport() { Shutdown(); }
 
 void ThreadedTransport::Mailbox::Push(Item item) {
-  std::unique_lock<std::mutex> lock(mu);
-  not_full.wait(lock, [&] { return stop || queue.size() < capacity; });
-  if (stop) return;  // teardown already drained; late traffic is void
-  queue.push_back(std::move(item));
-  if (queue.size() > hwm) hwm = queue.size();
-  not_empty.notify_one();
+  uint64_t depth;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    not_full.wait(lock, [&] { return stop || queue.size() < capacity; });
+    if (stop) return;  // teardown already drained; late traffic is void
+    queue.push_back(std::move(item));
+    if (queue.size() > hwm) hwm = queue.size();
+    depth = queue.size();
+    not_empty.notify_one();
+  }
+  // Mirror the live occupancy into the receiver's gauges on every enqueue
+  // (outside the lock — the gauges are relaxed atomics), so monitors see
+  // mailbox pressure mid-run instead of only the high-water mark at Flush.
+  node->NoteQueueDepth(depth);
 }
 
 void ThreadedTransport::Mailbox::Run() {
@@ -138,6 +146,7 @@ void ThreadedTransport::Flush() {
       hwm = box->hwm;
     }
     box->node->NoteQueueDepth(hwm);
+    box->node->NoteQueueDrained();  // occupancy is zero after quiescence
   }
 }
 

@@ -1,0 +1,409 @@
+#ifndef DESIS_TOOLS_INSPECT_LIB_H_
+#define DESIS_TOOLS_INSPECT_LIB_H_
+
+// desis-inspect core logic, header-only so tests/test_inspect.cc exercises
+// exactly what the CLI runs. Consumes the metrics sidecars written by
+// bench/harness.h (schema: docs/METRICS.md):
+//
+//   {"bench":..., "scale":..., "obs_enabled":..., "meta":{...},
+//    "runs":[{"run":label, "report":{...}, "spans":[...]}, ...]}
+//
+// Three views: a health/cost summary (per-group sharing ratios, per-node
+// watermark-lag/backlog gauges), a noise-aware diff of two sidecars (the CI
+// perf-regression gate), and a merged cross-node Chrome trace.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "json_lite.h"
+#include "obs/trace.h"
+
+namespace desis::tools {
+
+inline bool LoadJsonFile(const std::string& path, JsonValue* out,
+                         std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  if (!JsonParser::Parse(text, out, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+/// The registry snapshot of a run: reports embed it as
+/// report.obs.metrics.metrics (an array of series objects).
+inline const JsonValue& MetricsOf(const JsonValue& run) {
+  return run["report"]["obs"]["metrics"]["metrics"];
+}
+
+// ------------------------------------------------------- cost attribution --
+
+/// Per-query-group cost attribution, reassembled from the group.* series.
+struct GroupCost {
+  std::string group;
+  double queries = 0;
+  double operators = 0;
+  double events_in = 0;
+  double operator_evals = 0;
+
+  /// queries*events / operator_evals: how many per-query operator
+  /// evaluations one shared evaluation replaced (the paper's sharing win,
+  /// Figs 6-9). 1.0 means no sharing; <1 happens for a single query whose
+  /// function decomposes into several operators (average = sum + count).
+  double SharingRatio() const {
+    return operator_evals > 0 ? queries * events_in / operator_evals : 0;
+  }
+};
+
+inline std::vector<GroupCost> ExtractGroupCosts(const JsonValue& metrics) {
+  std::map<std::string, GroupCost> by_group;
+  for (const JsonValue& m : metrics.array) {
+    const std::string name = m["name"].AsString();
+    if (name.rfind("group.", 0) != 0) continue;
+    const std::string group = m["labels"]["group"].AsString();
+    if (group.empty()) continue;
+    GroupCost& gc = by_group[group];
+    gc.group = group;
+    const double value = m["value"].AsNumber();
+    if (name == "group.queries") gc.queries = value;
+    if (name == "group.operators") gc.operators = value;
+    if (name == "group.events_in") gc.events_in = value;
+    if (name == "group.operator_evals") gc.operator_evals += value;
+  }
+  std::vector<GroupCost> out;
+  for (auto& [key, gc] : by_group) out.push_back(gc);
+  return out;
+}
+
+// --------------------------------------------------------- cluster health --
+
+/// Per-node health gauges, reassembled from the health.* series.
+struct NodeHealthRow {
+  std::string node;
+  std::string role;
+  double watermark_lag_us = 0;
+  double backlog = 0;
+  double reorder_depth = 0;
+  double mailbox_depth = 0;
+  bool any = false;
+};
+
+inline std::vector<NodeHealthRow> ExtractHealth(const JsonValue& metrics) {
+  std::map<std::string, NodeHealthRow> by_node;
+  for (const JsonValue& m : metrics.array) {
+    const std::string name = m["name"].AsString();
+    if (name.rfind("health.", 0) != 0) continue;
+    const std::string node = m["labels"]["node"].AsString();
+    NodeHealthRow& row = by_node[node];
+    row.node = node;
+    row.role = m["labels"]["role"].AsString();
+    row.any = true;
+    const double value = m["value"].AsNumber();
+    if (name == "health.watermark_lag_us") row.watermark_lag_us = value;
+    if (name == "health.backlog") row.backlog = value;
+    if (name == "health.reorder_depth") row.reorder_depth = value;
+    if (name == "health.mailbox_depth") row.mailbox_depth = value;
+  }
+  std::vector<NodeHealthRow> out;
+  for (auto& [key, row] : by_node) out.push_back(row);
+  std::sort(out.begin(), out.end(),
+            [](const NodeHealthRow& a, const NodeHealthRow& b) {
+              return std::atoi(a.node.c_str()) < std::atoi(b.node.c_str());
+            });
+  return out;
+}
+
+// ------------------------------------------------------------- span merge --
+
+/// Rebuilds SliceSpans from one run's exported "spans" array (the inverse
+/// of SliceTracer::ToJson). Unknown phases/roles are skipped.
+inline std::vector<obs::SliceSpan> SpansFromJson(const JsonValue& spans) {
+  std::vector<obs::SliceSpan> out;
+  for (const JsonValue& s : spans.array) {
+    obs::SliceSpan span;
+    if (!obs::PhaseFromString(s["phase"].AsString(), &span.phase)) continue;
+    if (!obs::SpanRoleFromName(s["role"].AsString(), &span.role)) continue;
+    span.slice_id = static_cast<uint64_t>(s["slice_id"].AsNumber());
+    span.group_id = static_cast<uint32_t>(s["group"].AsNumber());
+    span.query_id = static_cast<uint64_t>(s["query"].AsNumber());
+    span.node_id = static_cast<uint32_t>(s["node"].AsNumber());
+    span.virtual_ts = static_cast<Timestamp>(s["virtual_ts"].AsNumber());
+    span.real_ns = static_cast<int64_t>(s["real_ns"].AsNumber());
+    out.push_back(span);
+  }
+  return out;
+}
+
+/// One Chrome trace over every span of every run in the sidecar — the
+/// cross-node correlation view (a slice's life across local, intermediate
+/// and root shares one global async id).
+inline std::string MergedChromeTrace(const JsonValue& sidecar) {
+  std::vector<obs::SliceSpan> all;
+  for (const JsonValue& run : sidecar["runs"].array) {
+    std::vector<obs::SliceSpan> spans = SpansFromJson(run["spans"]);
+    all.insert(all.end(), spans.begin(), spans.end());
+  }
+  return obs::ChromeTraceFromSpans(std::move(all));
+}
+
+// ---------------------------------------------------------------- summary --
+
+inline std::string FormatDouble(double v) {
+  char buf[64];
+  if (v == static_cast<int64_t>(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+inline std::string Summarize(const JsonValue& sidecar) {
+  std::string out;
+  out += "bench: " + sidecar["bench"].AsString("?") + "\n";
+  const JsonValue& meta = sidecar["meta"];
+  if (meta.is_object()) {
+    out += "meta:  git=" + meta["git_sha"].AsString("?") +
+           " build=" + meta["build_type"].AsString("?") +
+           " written=" + meta["written_utc"].AsString("?") + " transports=[";
+    const JsonValue& transports = meta["transports"];
+    for (size_t i = 0; i < transports.array.size(); ++i) {
+      out += (i == 0 ? "" : ",") + transports.array[i].AsString();
+    }
+    out += "]\n";
+  }
+  for (const JsonValue& run : sidecar["runs"].array) {
+    out += "\nrun: " + run["run"].AsString("?") + "\n";
+    const JsonValue& report = run["report"];
+    if (report["events_per_sec"].is_number()) {
+      out += "  events_per_sec: " +
+             FormatDouble(report["events_per_sec"].AsNumber()) + "\n";
+    }
+    const JsonValue& metrics = MetricsOf(run);
+    for (const GroupCost& gc : ExtractGroupCosts(metrics)) {
+      out += "  group " + gc.group + ": queries=" + FormatDouble(gc.queries) +
+             " operators=" + FormatDouble(gc.operators) +
+             " events_in=" + FormatDouble(gc.events_in) +
+             " operator_evals=" + FormatDouble(gc.operator_evals) +
+             " sharing_ratio=" + FormatDouble(gc.SharingRatio()) + "\n";
+    }
+    for (const NodeHealthRow& row : ExtractHealth(metrics)) {
+      out += "  node " + row.node + " (" + row.role +
+             "): watermark_lag_us=" + FormatDouble(row.watermark_lag_us) +
+             " backlog=" + FormatDouble(row.backlog) +
+             " reorder_depth=" + FormatDouble(row.reorder_depth) +
+             " mailbox_depth=" + FormatDouble(row.mailbox_depth) + "\n";
+    }
+    const JsonValue& obs = report["obs"];
+    if (obs["spans_recorded"].is_number()) {
+      out += "  spans: recorded=" +
+             FormatDouble(obs["spans_recorded"].AsNumber()) +
+             " dropped=" + FormatDouble(obs["spans_dropped"].AsNumber()) +
+             "\n";
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------- diff --
+
+struct DiffOptions {
+  /// Relative band; a worse-direction change beyond it is a regression.
+  double threshold = 0.15;
+  /// Compare only deterministic metrics (byte/event/slice counters);
+  /// wall-clock-derived numbers (throughput, busy time, latencies) are
+  /// skipped. For CI machines with unpredictable noise.
+  bool stable_only = false;
+};
+
+struct DiffFinding {
+  std::string run;
+  std::string metric;
+  double before = 0;
+  double after = 0;
+  bool regression = false;
+};
+
+struct DiffResult {
+  std::vector<DiffFinding> findings;  // changed metrics, regressions first
+  size_t compared = 0;
+  bool comparable = true;  // same bench + obs setting on both sides
+
+  bool HasRegression() const {
+    for (const DiffFinding& f : findings) {
+      if (f.regression) return true;
+    }
+    return false;
+  }
+};
+
+/// Wall-clock-derived metric names: real on a quiet machine, noise in CI.
+inline bool IsNoisyMetric(const std::string& name) {
+  return name.find("events_per_sec") != std::string::npos ||
+         name.find("busy_ns") != std::string::npos ||
+         name.find("_ns") != std::string::npos ||
+         name.find("us_per_result") != std::string::npos ||
+         name.find("latency") != std::string::npos ||
+         name.find("watermark_lag") != std::string::npos;
+}
+
+/// Direction of badness: for these, only a *decrease* is a regression; for
+/// everything else any drift beyond the band is flagged.
+inline bool HigherIsBetter(const std::string& name) {
+  return name.find("events_per_sec") != std::string::npos ||
+         name.find("sharing_ratio") != std::string::npos;
+}
+
+/// Flattens the numeric leaves of a report subtree into dotted paths
+/// ("roles.local.bytes_sent"). The obs subtree is handled separately.
+inline void FlattenNumbers(const JsonValue& v, const std::string& prefix,
+                           std::map<std::string, double>* out) {
+  if (v.is_number()) {
+    (*out)[prefix] = v.number;
+    return;
+  }
+  if (!v.is_object()) return;
+  for (const auto& [key, child] : v.object) {
+    if (key == "obs") continue;
+    FlattenNumbers(child, prefix.empty() ? key : prefix + "." + key, out);
+  }
+}
+
+/// One run's comparable scalar metrics: report leaves, obs counters, and
+/// the derived per-group sharing ratio.
+inline std::map<std::string, double> ComparableMetrics(const JsonValue& run) {
+  std::map<std::string, double> out;
+  FlattenNumbers(run["report"], "", &out);
+  const JsonValue& metrics = MetricsOf(run);
+  for (const JsonValue& m : metrics.array) {
+    if (m["type"].AsString() != "counter") continue;  // gauges are moments
+    std::string key = "obs." + m["name"].AsString();
+    for (const auto& [k, v] : m["labels"].object) {
+      key += "{" + k + "=" + v.AsString() + "}";
+    }
+    out[key] = m["value"].AsNumber();
+  }
+  for (const GroupCost& gc : ExtractGroupCosts(metrics)) {
+    out["group." + gc.group + ".sharing_ratio"] = gc.SharingRatio();
+  }
+  return out;
+}
+
+/// Run keys, de-duplicated by occurrence: sweeps record the same label
+/// several times ("Desis" at n=1,10,100,1000), and positional matching
+/// would silently pair different sweep points.
+inline std::vector<std::pair<std::string, const JsonValue*>> KeyedRuns(
+    const JsonValue& sidecar) {
+  std::vector<std::pair<std::string, const JsonValue*>> out;
+  std::map<std::string, int> seen;
+  for (const JsonValue& run : sidecar["runs"].array) {
+    const std::string label = run["run"].AsString();
+    const int n = seen[label]++;
+    out.emplace_back(n == 0 ? label : label + "#" + std::to_string(n), &run);
+  }
+  return out;
+}
+
+inline DiffResult DiffSidecars(const JsonValue& before, const JsonValue& after,
+                               const DiffOptions& options) {
+  DiffResult result;
+  if (before["bench"].AsString() != after["bench"].AsString() ||
+      before["obs_enabled"].boolean != after["obs_enabled"].boolean) {
+    result.comparable = false;
+    return result;
+  }
+  std::map<std::string, const JsonValue*> after_runs;
+  for (const auto& [key, run] : KeyedRuns(after)) after_runs[key] = run;
+  for (const auto& [label, run_ptr] : KeyedRuns(before)) {
+    const JsonValue& run = *run_ptr;
+    auto it = after_runs.find(label);
+    if (it == after_runs.end()) continue;
+    const std::map<std::string, double> a = ComparableMetrics(run);
+    const std::map<std::string, double> b = ComparableMetrics(*it->second);
+    for (const auto& [metric, before_v] : a) {
+      auto bt = b.find(metric);
+      if (bt == b.end()) continue;
+      if (options.stable_only && IsNoisyMetric(metric)) continue;
+      ++result.compared;
+      const double after_v = bt->second;
+      const double base = std::fabs(before_v);
+      const double rel =
+          base > 0 ? (after_v - before_v) / base : (after_v != 0 ? 1.0 : 0.0);
+      if (std::fabs(rel) <= options.threshold) continue;
+      DiffFinding finding;
+      finding.run = label;
+      finding.metric = metric;
+      finding.before = before_v;
+      finding.after = after_v;
+      finding.regression = HigherIsBetter(metric) ? rel < 0 : true;
+      result.findings.push_back(finding);
+    }
+  }
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const DiffFinding& x, const DiffFinding& y) {
+                     return x.regression > y.regression;
+                   });
+  return result;
+}
+
+inline std::string FormatDiff(const DiffResult& result,
+                              const DiffOptions& options) {
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", options.threshold * 100);
+  out += "compared " + std::to_string(result.compared) + " metrics, band +-" +
+         buf + "%\n";
+  for (const DiffFinding& f : result.findings) {
+    out += std::string(f.regression ? "REGRESSION " : "change     ") + f.run +
+           " :: " + f.metric + ": " + FormatDouble(f.before) + " -> " +
+           FormatDouble(f.after) + "\n";
+  }
+  if (result.findings.empty()) out += "no changes beyond the band\n";
+  return out;
+}
+
+// ---------------------------------------------------------------- history --
+
+/// One JSONL line for BENCH_history.jsonl: bench + provenance + the headline
+/// number of every run. Appended by the CI gate after each main-branch run.
+inline std::string HistoryLine(const JsonValue& sidecar) {
+  std::string out = "{\"bench\":\"" + sidecar["bench"].AsString("?") + "\"";
+  const JsonValue& meta = sidecar["meta"];
+  out += ",\"git_sha\":\"" + meta["git_sha"].AsString("unknown") + "\"";
+  out += ",\"written_utc\":\"" + meta["written_utc"].AsString("unknown") + "\"";
+  out += ",\"runs\":{";
+  bool first = true;
+  for (const auto& [key, run_ptr] : KeyedRuns(sidecar)) {
+    const JsonValue& report = (*run_ptr)["report"];
+    double headline = 0;
+    if (report["events_per_sec"].is_number()) {
+      headline = report["events_per_sec"].AsNumber();
+    } else if (report["results"].is_number()) {
+      headline = report["results"].AsNumber();
+    }
+    if (!first) out += ",";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", headline);
+    out += "\"" + obs::JsonEscape(key) + "\":" + buf;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace desis::tools
+
+#endif  // DESIS_TOOLS_INSPECT_LIB_H_

@@ -1,0 +1,229 @@
+#ifndef DESIS_TOOLS_JSON_LITE_H_
+#define DESIS_TOOLS_JSON_LITE_H_
+
+// Minimal recursive-descent JSON reader for the desis-inspect toolchain.
+// Parses the metrics sidecars the benches write (docs/METRICS.md) into a
+// simple tree; no external dependencies, header-only so the tool and its
+// tests share one implementation. Not a general-purpose library: numbers
+// are doubles, no \uXXXX surrogate pairs, inputs are trusted files we
+// wrote ourselves (errors still fail cleanly, never crash).
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace desis::tools {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Key order does not matter to any consumer; a map keeps lookups simple.
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member access; returns a shared null value when absent (so
+  /// chained lookups like v["report"]["obs"]["metrics"] never throw).
+  const JsonValue& operator[](const std::string& key) const {
+    static const JsonValue null_value;
+    if (type != Type::kObject) return null_value;
+    auto it = object.find(key);
+    return it == object.end() ? null_value : it->second;
+  }
+
+  double AsNumber(double fallback = 0) const {
+    return type == Type::kNumber ? number : fallback;
+  }
+  std::string AsString(const std::string& fallback = "") const {
+    return type == Type::kString ? str : fallback;
+  }
+};
+
+/// Parses `text`; returns false (and sets `error` if given) on malformed
+/// input. Trailing garbage after the top-level value is an error.
+class JsonParser {
+ public:
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error = nullptr) {
+    JsonParser p(text);
+    if (!p.ParseValue(out)) {
+      if (error != nullptr) *error = p.error_;
+      return false;
+    }
+    p.SkipWs();
+    if (p.pos_ != text.size()) {
+      if (error != nullptr) *error = "trailing characters after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Fail(const std::string& what) {
+    error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* word) {
+    const size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // Basic-plane escapes only; enough for JsonEscape() output.
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          const unsigned long cp =
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str);
+    }
+    if (ConsumeWord("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (ConsumeWord("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (ConsumeWord("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    // Number.
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return Fail("unexpected character");
+    pos_ += static_cast<size_t>(end - begin);
+    out->type = JsonValue::Type::kNumber;
+    out->number = v;
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return Fail("expected object");
+    out->type = JsonValue::Type::kObject;
+    SkipWs();
+    if (Consume('}')) return true;
+    for (;;) {
+      std::string key;
+      SkipWs();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return Fail("expected ':'");
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return Fail("expected array");
+    out->type = JsonValue::Type::kArray;
+    SkipWs();
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace desis::tools
+
+#endif  // DESIS_TOOLS_JSON_LITE_H_
