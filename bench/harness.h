@@ -1,12 +1,15 @@
 #ifndef DESIS_BENCH_HARNESS_H_
 #define DESIS_BENCH_HARNESS_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <ctime>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>  // getpid: unique sidecar filenames
@@ -97,6 +100,18 @@ class Sidecar {
     transports_.push_back(name);
   }
 
+  /// Remembers an engine-shard count used by some run (0 = the serial seed
+  /// path). The distinct counts end up in the meta header next to the
+  /// hardware thread count, so desis-inspect refuses to diff sidecars that
+  /// ran with different parallelism configurations.
+  void NoteEngineShards(int shards) {
+    for (int have : engine_shards_) {
+      if (have == shards) return;
+    }
+    engine_shards_.push_back(shards);
+    std::sort(engine_shards_.begin(), engine_shards_.end());
+  }
+
   size_t num_runs() const { return entries_.size(); }
 
   /// Provenance header written ahead of the runs: code version, build
@@ -129,7 +144,13 @@ class Sidecar {
     for (size_t i = 0; i < transports_.size(); ++i) {
       out += (i == 0 ? "\"" : ",\"") + obs::JsonEscape(transports_[i]) + "\"";
     }
-    out += "]}";
+    out += "],\"engine_shards\":[";
+    for (size_t i = 0; i < engine_shards_.size(); ++i) {
+      out += (i == 0 ? "" : ",") + std::to_string(engine_shards_[i]);
+    }
+    out += "],\"hw_threads\":";
+    out += std::to_string(std::thread::hardware_concurrency());
+    out += "}";
     return out;
   }
 
@@ -185,6 +206,7 @@ class Sidecar {
  private:
   std::vector<std::string> entries_;
   std::vector<std::string> transports_;
+  std::vector<int> engine_shards_;
 };
 
 /// Convenience for bench mains: dump everything recorded so far.
@@ -311,14 +333,15 @@ inline DecentralizedResult RunDecentralized(
     ClusterSystem system, ClusterTopology topology,
     const std::vector<Query>& queries, size_t events_per_local,
     Timestamp mean_interval = 10, uint32_t data_keys = 10,
-    Timestamp round_us = 100 * kMillisecond, double marker_probability = 0.0) {
+    Timestamp round_us = 100 * kMillisecond, double marker_probability = 0.0,
+    ClusterOptions cluster_options = {}) {
   // Observability sinks for the metrics sidecar: per-node series + slice-
   // lifecycle spans. Declared before the cluster so they outlive its
   // destructor (transport shutdown still reports into node gauges). With
   // DESIS_OBS=OFF both are inert stubs.
   obs::MetricsRegistry registry;
   obs::SliceTracer tracer(kSidecarTraceCapacity);
-  Cluster cluster(system, topology);
+  Cluster cluster(system, topology, cluster_options);
   auto status = cluster.Configure(queries);
   if (!status.ok()) {
     std::fprintf(stderr, "cluster config failed: %s\n",
@@ -359,12 +382,21 @@ inline DecentralizedResult RunDecentralized(
   cluster.Drain();
 
   Sidecar::Instance().NoteTransport(cluster.transport()->name());
+  Sidecar::Instance().NoteEngineShards(cluster_options.engine_shards);
   char label[160];
   std::snprintf(label, sizeof(label),
                 "%s locals=%d ints=%d layers=%d queries=%zu events=%zu",
                 ToString(system).c_str(), topology.num_locals,
                 topology.num_intermediates, topology.intermediate_layers,
                 queries.size(), events_per_local);
+  if (cluster_options.engine_shards > 0) {
+    char shards[24];
+    std::snprintf(shards, sizeof(shards), " shards=%d",
+                  cluster_options.engine_shards);
+    if (std::strlen(label) + std::strlen(shards) < sizeof(label)) {
+      std::strcat(label, shards);
+    }
+  }
   // Post-Drain: the transport is quiescent, so the full span payloads are
   // safe to export alongside the registry snapshot in StatsReport().
   Sidecar::Instance().RecordRun(label, cluster.StatsReport(), tracer.ToJson());

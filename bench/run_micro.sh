@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # Runs the microbenchmark suite and records the results as JSON.
 #
-# Usage: bench/run_micro.sh [build-dir] [output-json]
+# Usage: bench/run_micro.sh [build-dir] [output-json] [sharded-sidecar-json]
 #
-# Defaults to ./build and ./BENCH_micro.json (repo root). The JSON is the
-# native google-benchmark format; the batched-ingest acceptance numbers live
-# in the BM_IngestPerEvent / BM_IngestBatch/* entries (items_per_second).
+# Defaults to ./build, ./BENCH_micro.json and ./BENCH_micro_sharded.json
+# (repo root). The first JSON is the native google-benchmark format; the
+# batched-ingest acceptance numbers live in the BM_IngestPerEvent /
+# BM_IngestBatch/* entries (items_per_second). The sharded sidecar carries
+# the BM_IngestSharded shard sweep (events/sec, speedup and scaling
+# efficiency vs 1 shard, deterministic engine counters); its headline
+# numbers are appended to BENCH_history.jsonl when desis_inspect is built.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out_json="${2:-$repo_root/BENCH_micro.json}"
+sharded_json="${3:-$repo_root/BENCH_micro_sharded.json}"
 bin="$build_dir/bench/bench_micro"
 
 if [[ ! -x "$bin" ]]; then
@@ -19,10 +24,16 @@ if [[ ! -x "$bin" ]]; then
   exit 1
 fi
 
-"$bin" \
+DESIS_METRICS_OUT="$sharded_json" "$bin" \
   --benchmark_format=json \
   --benchmark_out="$out_json" \
   --benchmark_out_format=json \
   --benchmark_min_time=0.2
 
 echo "Wrote $out_json"
+
+inspect="$build_dir/tools/desis_inspect"
+if [[ -x "$inspect" && -s "$sharded_json" ]]; then
+  "$inspect" summary "$sharded_json"
+  "$inspect" history "$sharded_json" --append="$repo_root/BENCH_history.jsonl"
+fi

@@ -1,28 +1,35 @@
 #!/usr/bin/env bash
-# CI perf-regression gate (docs/EXPERIMENTS.md): run the Fig 6 smoke bench,
-# diff its metrics sidecar against the committed baseline with
-# `desis-inspect diff --stable-only`, and append the run to
+# CI perf-regression gate (docs/EXPERIMENTS.md): run the Fig 6 smoke bench
+# (which includes a 2-shard decentralized variant) and the sharded-ingest
+# shard sweep, diff each metrics sidecar against its committed baseline
+# with `desis-inspect diff --stable-only`, and append both runs to
 # BENCH_history.jsonl. Exit status is desis-inspect's: 0 clean, 1 a stable
 # counter drifted beyond the band, 2 on tooling errors.
 #
 # Usage: scripts/regression_gate.sh <build-dir> [threshold]
 #
 # The comparison is restricted to deterministic counters (events, operator
-# evaluations, bytes on the wire, result counts) so it is meaningful on
-# noisy shared CI machines; wall-clock throughput is recorded in the
-# history file but never gated on. Regenerate the baseline after an
-# intentional behaviour change with:
+# evaluations, bytes on the wire, slice/result counts) so it is meaningful
+# on noisy shared CI machines; wall-clock throughput — and the shard
+# speedup/efficiency ratios derived from it — is recorded in the history
+# file but never gated on. Regenerate the baselines after an intentional
+# behaviour change with:
 #   DESIS_BENCH_SCALE=0.01 \
 #   DESIS_METRICS_OUT=bench/baselines/fig6_smoke_baseline.json \
 #     <build-dir>/bench/bench_fig6
+#   DESIS_METRICS_OUT=bench/baselines/micro_sharded_baseline.json \
+#     <build-dir>/bench/bench_micro \
+#       --benchmark_filter='BM_IngestSharded' --benchmark_min_time=0.05
 set -euo pipefail
 
 BUILD_DIR=${1:?usage: regression_gate.sh <build-dir> [threshold]}
 THRESHOLD=${2:-0.15}
 REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BASELINE="$REPO_ROOT/bench/baselines/fig6_smoke_baseline.json"
+SHARDED_BASELINE="$REPO_ROOT/bench/baselines/micro_sharded_baseline.json"
 OUT=$(mktemp -t fig6_smoke_XXXXXX.json)
-trap 'rm -f "$OUT"' EXIT
+SHARDED_OUT=$(mktemp -t micro_sharded_XXXXXX.json)
+trap 'rm -f "$OUT" "$SHARDED_OUT"' EXIT
 
 # Same pinned scale the baseline was generated with.
 DESIS_BENCH_SCALE=0.01 DESIS_METRICS_OUT="$OUT" \
@@ -32,4 +39,15 @@ DESIS_BENCH_SCALE=0.01 DESIS_METRICS_OUT="$OUT" \
 "$BUILD_DIR/tools/desis_inspect" history "$OUT" \
   --append="$REPO_ROOT/BENCH_history.jsonl"
 "$BUILD_DIR/tools/desis_inspect" diff "$BASELINE" "$OUT" \
+  --threshold="$THRESHOLD" --stable-only
+
+# Sharded-ingest shard sweep: events/sec and scaling efficiency land in
+# the history file; only the deterministic engine counters are gated.
+DESIS_METRICS_OUT="$SHARDED_OUT" "$BUILD_DIR/bench/bench_micro" \
+  --benchmark_filter='BM_IngestSharded' --benchmark_min_time=0.05 >/dev/null
+
+"$BUILD_DIR/tools/desis_inspect" summary "$SHARDED_OUT"
+"$BUILD_DIR/tools/desis_inspect" history "$SHARDED_OUT" \
+  --append="$REPO_ROOT/BENCH_history.jsonl"
+"$BUILD_DIR/tools/desis_inspect" diff "$SHARDED_BASELINE" "$SHARDED_OUT" \
   --threshold="$THRESHOLD" --stable-only

@@ -1,6 +1,8 @@
 #ifndef DESIS_CORE_ENGINE_IFACE_H_
 #define DESIS_CORE_ENGINE_IFACE_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <functional>
 #include <string>
@@ -39,6 +41,15 @@ class StreamEngine {
   /// feeding pre-buffered input through IngestBatch() is measurably faster
   /// on the slicing engines.
   virtual void IngestBatch(const Event* events, size_t count) {
+    if (count == 0) return;
+    // The ordering precondition is checked once per batch, not once per
+    // event: a batch is internally sorted iff adjacent pairs are ordered,
+    // so the per-event check inside the loop would be pure overhead.
+    assert(std::is_sorted(events, events + count,
+                          [](const Event& a, const Event& b) {
+                            return a.ts < b.ts;
+                          }) &&
+           "IngestBatch requires non-decreasing event timestamps");
     for (size_t i = 0; i < count; ++i) Ingest(events[i]);
   }
 

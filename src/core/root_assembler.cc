@@ -1,4 +1,4 @@
-#include "net/root_assembler.h"
+#include "core/root_assembler.h"
 
 #include <algorithm>
 #include <cassert>
@@ -69,7 +69,7 @@ void RootAssembler::InitializeSchedules(Timestamp first_start) {
   initialized_ = true;
 }
 
-void RootAssembler::AddPartial(const SlicePartialMsg& msg) {
+void RootAssembler::AddPartial(const SliceRecord& msg) {
   if (!initialized_) {
     InitializeSchedules(msg.start);
   } else if (!any_closed_ && msg.start < first_start_) {
@@ -78,6 +78,13 @@ void RootAssembler::AddPartial(const SlicePartialMsg& msg) {
     InitializeSchedules(msg.start);
   }
 
+  // Senders pin their advertised watermark to the earliest slice they still
+  // hold (ShardedEngine::AdvanceTo, DesisIntermediateNode::FlushUpTo), so a
+  // partial can never arrive at or behind the session scan's cursor — the
+  // scan consumes each entry exactly once, and activity merged in behind it
+  // would silently vanish from session tracking.
+  assert((session_specs_.empty() || session_cursor_.first == kNoTimestamp ||
+          EntryKey{msg.start, msg.end} > session_cursor_));
   auto [it, inserted] = entries_.try_emplace(EntryKey{msg.start, msg.end});
   Entry& entry = it->second;
   if (inserted) {

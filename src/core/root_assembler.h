@@ -1,5 +1,5 @@
-#ifndef DESIS_NET_ROOT_ASSEMBLER_H_
-#define DESIS_NET_ROOT_ASSEMBLER_H_
+#ifndef DESIS_CORE_ROOT_ASSEMBLER_H_
+#define DESIS_CORE_ROOT_ASSEMBLER_H_
 
 #include <deque>
 #include <map>
@@ -10,23 +10,26 @@
 #include "core/query_analyzer.h"
 #include "core/slicer.h"
 #include "core/stats.h"
-#include "net/message.h"
 
 namespace desis {
 
-/// Root-side window assembly for one pushed-down query-group (§5.1): merges
-/// slice partials arriving from children into root slices and terminates
-/// windows from window attributes (fixed windows), global gap tracking
-/// (session windows), and shipped end punctuations (user-defined windows).
-/// Everything is watermark-driven: a window [ws, we) closes only once every
-/// child's watermark passed `we`, so out-of-order arrival across children is
-/// safe.
+/// Window assembly over slice partials for one pushed-down query-group
+/// (§5.1): merges partials arriving from children into root slices and
+/// terminates windows from window attributes (fixed windows), global gap
+/// tracking (session windows), and shipped end punctuations (user-defined
+/// windows). Everything is watermark-driven: a window [ws, we) closes only
+/// once every child's watermark passed `we`, so out-of-order arrival across
+/// children is safe. The "children" need not be remote nodes: the
+/// ShardedEngine reuses this exact machinery intra-process, with its shard
+/// threads as the children (core/sharded_engine.h), which is why this
+/// lives in core and consumes plain SliceRecords — the net layer converts
+/// wire SlicePartialMsgs before handing them over.
 class RootAssembler {
  public:
   RootAssembler(QueryGroup group, EngineStats* stats, WindowSink sink);
 
   /// Folds one child slice partial into the matching root slice.
-  void AddPartial(const SlicePartialMsg& msg);
+  void AddPartial(const SliceRecord& msg);
 
   /// Closes every window ending at or before `watermark` (use the minimum
   /// over all children's watermarks).
@@ -94,4 +97,4 @@ class RootAssembler {
 
 }  // namespace desis
 
-#endif  // DESIS_NET_ROOT_ASSEMBLER_H_
+#endif  // DESIS_CORE_ROOT_ASSEMBLER_H_

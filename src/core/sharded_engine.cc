@@ -1,0 +1,689 @@
+#include "core/sharded_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <tuple>
+
+#include "core/engine.h"
+
+namespace desis {
+
+namespace {
+
+/// Merges a shard slice into an accumulating record for the same
+/// (group, start, end) range — the intra-node equivalent of the root's
+/// per-lane partial merge. Counts one merge per non-empty source lane,
+/// matching the assembler's accounting.
+void MergeSliceInto(SliceRecord* dst, const SliceRecord& src,
+                    EngineStats* stats) {
+  for (size_t i = 0; i < dst->lanes.size(); ++i) {
+    if (src.lane_events[i] == 0) continue;
+    dst->lanes[i].Merge(src.lanes[i]);
+    dst->lane_events[i] += src.lane_events[i];
+    if (src.lane_last_ts[i] > dst->lane_last_ts[i]) {
+      dst->lane_last_ts[i] = src.lane_last_ts[i];
+    }
+    ++stats->merges;
+  }
+  if (src.last_event_ts > dst->last_event_ts) {
+    dst->last_event_ts = src.last_event_ts;
+  }
+  // Shard-local ids diverge after the first empty slice on any shard; keep
+  // the smallest so merged ids stay monotone per group.
+  if (src.id < dst->id) dst->id = src.id;
+  for (const EpInfo& ep : src.eps) dst->eps.push_back(ep);
+}
+
+}  // namespace
+
+bool GroupShardable(const QueryGroup& group) {
+  if (group.root_only) return false;
+  for (const SelectionLane& lane : group.lanes) {
+    if (lane.deduplicate) return false;
+  }
+  for (const GroupedQuery& gq : group.queries) {
+    if (gq.query.window.type == WindowType::kUserDefined) return false;
+  }
+  return true;
+}
+
+ShardedEngine::ShardedEngine(ShardedEngineOptions options)
+    : options_(options) {
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.ring_capacity < 2) options_.ring_capacity = 2;
+}
+
+ShardedEngine::~ShardedEngine() { StopThreads(); }
+
+size_t ShardedEngine::ShardOf(uint32_t key) const {
+  // lowbias32: decorrelates sequential keys from the shard count so
+  // round-robin key generators don't alias onto a single shard.
+  uint32_t h = key;
+  h ^= h >> 16;
+  h *= 0x7feb352dU;
+  h ^= h >> 15;
+  h *= 0x846ca68bU;
+  h ^= h >> 16;
+  return h % shards_.size();
+}
+
+Status ShardedEngine::Configure(const std::vector<Query>& queries) {
+  if (configured_) {
+    return Status::Internal("ShardedEngine: already configured");
+  }
+  QueryAnalyzer analyzer(DeploymentMode::kDecentralized,
+                         SharingPolicy::kCrossFunction);
+  auto groups = analyzer.Analyze(queries);
+  if (!groups.ok()) return groups.status();
+
+  std::vector<QueryGroup> sharded;
+  for (QueryGroup& g : groups.value()) {
+    for (const GroupedQuery& gq : g.queries) {
+      const WindowSpec& w = gq.query.window;
+      if (w.measure == WindowMeasure::kTime && w.IsFixedSize()) {
+        max_extent_ = std::max(max_extent_, static_cast<Timestamp>(w.length));
+      } else if (w.type == WindowType::kSession) {
+        max_extent_ = std::max(max_extent_, w.gap);
+      }
+    }
+    if (GroupShardable(g)) {
+      sharded.push_back(g);
+    } else {
+      // Unshardable groups run the full single-threaded path: assembling
+      // slicer, whole stream, caller thread.
+      SlicerOptions opt;
+      opt.punctuation = PunctuationStrategy::kPrecomputed;
+      auto slicer = std::make_unique<StreamSlicer>(std::move(g), opt, &stats_);
+      slicer->set_window_sink([this](const WindowResult& r) { Emit(r); });
+      slicer->set_obs(tracer_, tracer_node_id_, tracer_role_);
+      if (slicer->group().id < SlicingEngine::kMaxInstrumentedGroups) {
+        RegisterGroupMetrics(slicer->group(), registry_);
+        slicer->set_metrics(registry_);
+      }
+      serial_slicers_.push_back(std::move(slicer));
+    }
+  }
+
+  std::sort(sharded.begin(), sharded.end(),
+            [](const QueryGroup& a, const QueryGroup& b) { return a.id < b.id; });
+  for (const QueryGroup& g : sharded) {
+    if (g.id < SlicingEngine::kMaxInstrumentedGroups) {
+      RegisterGroupMetrics(g, registry_);
+    }
+    assemblers_.emplace_back(
+        g.id, std::make_unique<RootAssembler>(
+                  g, &assembler_stats_,
+                  [this](const WindowResult& r) { Emit(r); }));
+  }
+  SetupShards(sharded);
+  configured_ = true;
+  return Status::OK();
+}
+
+Status ShardedEngine::ConfigureGroups(const std::vector<QueryGroup>& groups,
+                                      GroupSliceSink sink) {
+  if (configured_) {
+    return Status::Internal("ShardedEngine: already configured");
+  }
+  for (const QueryGroup& g : groups) {
+    if (!GroupShardable(g)) {
+      return Status::InvalidArgument(
+          "ShardedEngine: group is not shardable; keep it on the caller");
+    }
+  }
+  local_mode_ = true;
+  group_slice_sink_ = std::move(sink);
+  SetupShards(groups);
+  configured_ = true;
+  return Status::OK();
+}
+
+void ShardedEngine::AddShardedGroups(const std::vector<QueryGroup>& groups) {
+  if (groups.empty()) return;
+  if (shards_.empty()) {
+    SetupShards(groups);
+    return;
+  }
+  Quiesce();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    SetupShardSlicers(*shards_[i], i, groups);
+  }
+  // The slicer vectors are consumer-side state: publish the change to the
+  // shard threads through the ring's release/acquire chain by forcing each
+  // one through its parking lot once.
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+  }
+}
+
+void ShardedEngine::SetupShards(const std::vector<QueryGroup>& groups) {
+  if (groups.empty()) return;
+  const int n = options_.shards;
+  shards_.reserve(static_cast<size_t>(n));
+  drained_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>(options_.ring_capacity);
+    shard->pop_buf.resize(kPopBatch);
+    if (ooo_) shard->reorder.emplace(lateness_);
+    SetupShardSlicers(*shard, static_cast<size_t>(i), groups);
+    shards_.push_back(std::move(shard));
+  }
+  RegisterShardMetrics();
+  StartThreads();
+}
+
+void ShardedEngine::SetupShardSlicers(Shard& shard, size_t shard_index,
+                                      const std::vector<QueryGroup>& groups) {
+  for (const QueryGroup& g : groups) {
+    SlicerOptions opt;
+    opt.punctuation = PunctuationStrategy::kPrecomputed;
+    opt.assemble_windows = false;
+    opt.keep_slices = false;
+    auto slicer = std::make_unique<StreamSlicer>(g, opt, &shard.stats);
+    Shard* sp = &shard;
+    const uint32_t gid = g.id;
+    slicer->set_slice_sink([sp, gid](const SliceRecord& rec) {
+      // Per sealed slice, never per event: one mutex hop is fine here.
+      std::lock_guard<std::mutex> lk(sp->mu);
+      sp->sealed.emplace_back(gid, rec);
+    });
+    slicer->set_obs(tracer_, ObsNodeId(shard_index), ObsRole());
+    if (gid < SlicingEngine::kMaxInstrumentedGroups) {
+      slicer->set_metrics(registry_);
+    }
+    shard.slicer_gids.push_back(gid);
+    shard.slicers.push_back(std::move(slicer));
+  }
+}
+
+void ShardedEngine::StartThreads() {
+  for (auto& s : shards_) {
+    Shard* sp = s.get();
+    s->thread = std::thread([this, sp] { ShardMain(sp); });
+  }
+}
+
+void ShardedEngine::StopThreads() {
+  for (auto& s : shards_) {
+    s->stop.store(true, std::memory_order_release);
+    WakeShard(s.get());
+  }
+  for (auto& s : shards_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+bool ShardedEngine::ShardHasWork(const Shard& shard) const {
+  if (!shard.ring.Empty()) return true;
+  const Timestamp req = shard.wm_requested.load(std::memory_order_acquire);
+  if (req != kNoTimestamp &&
+      req != shard.wm_applied.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return shard.stop.load(std::memory_order_acquire);
+}
+
+void ShardedEngine::ShardMain(Shard* shard) {
+  for (;;) {
+    const size_t n = shard->ring.TryPopN(shard->pop_buf.data(), kPopBatch);
+    if (n > 0) {
+      if (shard->reorder.has_value()) {
+        shard->release_scratch.clear();
+        for (size_t i = 0; i < n; ++i) {
+          shard->reorder->Push(shard->pop_buf[i]);
+          shard->reorder->DrainReleased(&shard->release_scratch);
+        }
+        if (!shard->release_scratch.empty()) {
+          for (auto& sl : shard->slicers) {
+            sl->IngestBatch(shard->release_scratch.data(),
+                            shard->release_scratch.size());
+          }
+        }
+      } else {
+        for (auto& sl : shard->slicers) {
+          sl->IngestBatch(shard->pop_buf.data(), n);
+        }
+      }
+      shard->consumed.fetch_add(n, std::memory_order_release);
+      continue;
+    }
+    // Ring drained. The caller only requests a watermark after pushing
+    // everything that precedes it (single producer), so applying now
+    // respects event order.
+    const Timestamp req = shard->wm_requested.load(std::memory_order_acquire);
+    if (req != kNoTimestamp &&
+        req != shard->wm_applied.load(std::memory_order_relaxed)) {
+      ApplyWatermark(shard, req);
+      continue;
+    }
+    if (shard->stop.load(std::memory_order_acquire)) return;
+
+    // Spin briefly, then park. The producer's seq_cst fence in WakeShard()
+    // pairs with the seq_cst fetch_add here: either the parker sees the new
+    // work on its re-check, or the producer sees parked > 0 and notifies.
+    bool work = false;
+    for (int i = 0; i < 64 && !work; ++i) {
+      std::this_thread::yield();
+      work = ShardHasWork(*shard);
+    }
+    if (work) continue;
+    shard->parked.fetch_add(1, std::memory_order_seq_cst);
+    if (!ShardHasWork(*shard)) {
+      std::unique_lock<std::mutex> lk(shard->mu);
+      shard->cv.wait_for(lk, std::chrono::microseconds(500),
+                         [this, shard] { return ShardHasWork(*shard); });
+    }
+    shard->parked.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedEngine::ApplyWatermark(Shard* shard, Timestamp watermark) {
+  if (shard->reorder.has_value()) {
+    shard->release_scratch.clear();
+    shard->reorder->DrainUpTo(watermark, &shard->release_scratch);
+    if (!shard->release_scratch.empty()) {
+      for (auto& sl : shard->slicers) {
+        sl->IngestBatch(shard->release_scratch.data(),
+                        shard->release_scratch.size());
+      }
+    }
+  }
+  Timestamp safe = watermark;
+  for (auto& sl : shard->slicers) {
+    sl->AdvanceTo(watermark);
+    const Timestamp sw = sl->SafeWatermark();
+    if (sw != kNoTimestamp && sw < safe) safe = sw;
+  }
+  // safe_published rides the wm_applied release: the caller acquire-loads
+  // wm_applied before reading it.
+  shard->safe_published.store(safe, std::memory_order_relaxed);
+  shard->wm_applied.store(watermark, std::memory_order_release);
+}
+
+void ShardedEngine::WakeShard(Shard* shard) {
+  // Pairs with the parker's seq_cst fetch_add: one of the two sides is
+  // guaranteed to observe the other (eventcount handshake), so a push can
+  // never be missed by a thread that is about to sleep.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (shard->parked.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    shard->cv.notify_one();
+  }
+}
+
+void ShardedEngine::PushBlocking(Shard* shard) {
+  const Event* p = shard->scratch.data();
+  size_t left = shard->scratch.size();
+  while (left > 0) {
+    const size_t n = shard->ring.TryPushN(p, left);
+    if (n > 0) {
+      p += n;
+      left -= n;
+      shard->pushed += n;
+      WakeShard(shard);
+    } else {
+      // Ring full: the shard is behind. Make sure it is awake and let it
+      // run; this backpressure bounds the caller/shard skew.
+      WakeShard(shard);
+      std::this_thread::yield();
+    }
+  }
+  shard->events_total += shard->scratch.size();
+  if (shard->events_counter != nullptr) {
+    shard->events_counter->Add(shard->scratch.size());
+  }
+  if (shard->queue_hwm_gauge != nullptr) {
+    shard->queue_hwm_gauge->StoreMax(
+        static_cast<int64_t>(shard->ring.SizeApprox()));
+  }
+  shard->scratch.clear();
+}
+
+void ShardedEngine::PartitionAndPush(const Event* events, size_t count) {
+  uint64_t forwarded = 0;
+  if (!ooo_) {
+    for (size_t i = 0; i < count; ++i) {
+      shards_[ShardOf(events[i].key)]->scratch.push_back(events[i]);
+    }
+    forwarded = count;
+  } else {
+    // Replay the single-threaded reorder buffer's drop rule on a
+    // timestamps-only shadow so dropped_events() matches it exactly. The
+    // shards reorder their own substreams; a shard's release frontier can
+    // only trail the global one, so shard-local buffers never drop.
+    for (size_t i = 0; i < count; ++i) {
+      const Event& e = events[i];
+      if (e.ts < shadow_frontier_) {
+        ++dropped_;
+        continue;
+      }
+      shadow_heap_.push(e.ts);
+      if (e.ts > shadow_max_ts_) shadow_max_ts_ = e.ts;
+      while (!shadow_heap_.empty() &&
+             shadow_heap_.top() + lateness_ <= shadow_max_ts_) {
+        if (shadow_heap_.top() > shadow_frontier_) {
+          shadow_frontier_ = shadow_heap_.top();
+        }
+        shadow_heap_.pop();
+      }
+      shards_[ShardOf(e.key)]->scratch.push_back(e);
+      ++forwarded;
+    }
+  }
+  stats_.events += forwarded;
+  for (auto& s : shards_) {
+    if (!s->scratch.empty()) PushBlocking(s.get());
+  }
+}
+
+void ShardedEngine::Ingest(const Event& event) { IngestBatch(&event, 1); }
+
+void ShardedEngine::IngestBatch(const Event* events, size_t count) {
+  if (count == 0) return;
+  if (events[count - 1].ts > last_ts_) last_ts_ = events[count - 1].ts;
+
+  // Serial groups see the whole stream, exactly as in SlicingEngine.
+  if (!serial_slicers_.empty()) {
+    if (serial_reorder_.has_value()) {
+      serial_scratch_.clear();
+      for (size_t i = 0; i < count; ++i) {
+        serial_reorder_->Push(events[i]);
+        serial_reorder_->DrainReleased(&serial_scratch_);
+      }
+      if (!serial_scratch_.empty()) {
+        for (auto& sl : serial_slicers_) {
+          sl->IngestBatch(serial_scratch_.data(), serial_scratch_.size());
+        }
+      }
+    } else {
+      for (auto& sl : serial_slicers_) sl->IngestBatch(events, count);
+    }
+  }
+
+  if (shards_.empty()) {
+    // No shardable groups: count the stream here (the serial path's stats_
+    // pointer only tracks slicer-side counters).
+    stats_.events += count;
+    return;
+  }
+  PartitionAndPush(events, count);
+  // Opportunistically move sealed slices out of the shard channels so they
+  // don't pile up between barriers; try_lock keeps ingest non-blocking.
+  DrainSealed(/*blocking=*/false);
+}
+
+void ShardedEngine::DrainSealed(bool blocking) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& s = *shards_[i];
+    std::unique_lock<std::mutex> lk(s.mu, std::defer_lock);
+    if (blocking) {
+      lk.lock();
+    } else if (!lk.try_lock()) {
+      continue;
+    }
+    if (s.sealed.empty()) continue;
+    auto& dst = drained_[i];
+    for (auto& rec : s.sealed) dst.push_back(std::move(rec));
+    s.sealed.clear();
+  }
+}
+
+void ShardedEngine::WaitBarrier(Timestamp watermark) {
+  for (auto& s : shards_) {
+    int spins = 0;
+    while (s->wm_applied.load(std::memory_order_acquire) < watermark) {
+      WakeShard(s.get());
+      if (++spins < 4096) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+}
+
+void ShardedEngine::AdvanceTo(Timestamp watermark) {
+  if (!configured_ || watermark == kNoTimestamp) return;
+
+  // Serial path mirrors SlicingEngine::AdvanceTo.
+  if (serial_reorder_.has_value()) {
+    serial_scratch_.clear();
+    serial_reorder_->DrainUpTo(watermark, &serial_scratch_);
+    if (!serial_scratch_.empty()) {
+      for (auto& sl : serial_slicers_) {
+        sl->IngestBatch(serial_scratch_.data(), serial_scratch_.size());
+      }
+    }
+  }
+  for (auto& sl : serial_slicers_) sl->AdvanceTo(watermark);
+
+  if (ooo_) {
+    // Shadow equivalent of ReorderBuffer::DrainUpTo.
+    while (!shadow_heap_.empty() && shadow_heap_.top() <= watermark) {
+      if (shadow_heap_.top() > shadow_frontier_) {
+        shadow_frontier_ = shadow_heap_.top();
+      }
+      shadow_heap_.pop();
+    }
+  }
+
+  // Watermark requests must be monotone (wm_applied comparisons rely on
+  // it); a caller moving backwards just re-waits on the old barrier.
+  const Timestamp effective =
+      advanced_wm_ == kNoTimestamp ? watermark
+                                   : std::max(watermark, advanced_wm_);
+  Timestamp barrier = effective;
+  if (!shards_.empty()) {
+    for (auto& s : shards_) {
+      s->wm_requested.store(effective, std::memory_order_release);
+      WakeShard(s.get());
+    }
+    WaitBarrier(effective);
+    DrainSealed(/*blocking=*/true);
+    for (auto& s : shards_) {
+      const Timestamp sw = s->safe_published.load(std::memory_order_relaxed);
+      if (sw != kNoTimestamp && sw < barrier) barrier = sw;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  MergeAndDeliver(barrier);
+  if (merge_ns_hist_ != nullptr) {
+    merge_ns_hist_->Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+  }
+  FoldShardStats();
+  // Pin the advertised watermark to the earliest held-back fragment (local
+  // mode): downstream consumers must not sweep past a range that is still
+  // accumulating shard fragments here, or a later ship of that range would
+  // land behind the root's session scan.
+  safe_wm_ = barrier;
+  for (const auto& [key, rec] : pending_ship_) {
+    safe_wm_ = std::min(safe_wm_, rec.start);
+  }
+  advanced_wm_ = effective;
+}
+
+void ShardedEngine::MergeAndDeliver(Timestamp barrier) {
+  if (local_mode_) {
+    // Merge shard slices per (group, start, end) and deliver in key order:
+    // the map iteration order fixes both the merge fold order (shard order
+    // per key, because drained_ is scanned shard-by-shard) and the delivery
+    // order, so downstream shipping is deterministic.
+    for (auto& vec : drained_) {
+      for (auto& [gid, rec] : vec) {
+        const auto key = std::make_tuple(gid, rec.start, rec.end);
+        auto it = pending_ship_.find(key);
+        if (it == pending_ship_.end()) {
+          pending_ship_.emplace(key, std::move(rec));
+        } else {
+          MergeSliceInto(&it->second, rec, &stats_);
+        }
+      }
+      vec.clear();
+    }
+    // Ship only ranges the barrier has passed (see pending_ship_ in the
+    // header): later barriers can still seal more fragments of any range
+    // ending beyond this one.
+    auto it = pending_ship_.begin();
+    while (it != pending_ship_.end()) {
+      if (it->second.end > barrier) {
+        ++it;
+        continue;
+      }
+      if (group_slice_sink_) {
+        group_slice_sink_(std::get<0>(it->first), it->second);
+      }
+      it = pending_ship_.erase(it);
+    }
+    return;
+  }
+
+  // Standalone mode: feed the assemblers in shard-index order (drained_
+  // preserves per-shard seal order), then advance every assembler to the
+  // barrier in group-id order. Deterministic merge and emission order.
+  for (auto& vec : drained_) {
+    for (auto& [gid, rec] : vec) {
+      const auto it = std::lower_bound(
+          assemblers_.begin(), assemblers_.end(), gid,
+          [](const auto& a, uint32_t id) { return a.first < id; });
+      it->second->AddPartial(rec);
+    }
+    vec.clear();
+  }
+  for (auto& [gid, assembler] : assemblers_) {
+    (void)gid;
+    assembler->AdvanceTo(barrier);
+  }
+}
+
+void ShardedEngine::FoldShardStats() {
+  const auto fold = [this](const EngineStats& src, StatsSnapshot* folded) {
+    StatsSnapshot now;
+    now.operator_executions = src.operator_executions.load();
+    now.slices_created = src.slices_created.load();
+    now.selection_evals = src.selection_evals.load();
+    now.merges = src.merges.load();
+    stats_.operator_executions += now.operator_executions -
+                                  folded->operator_executions;
+    stats_.slices_created += now.slices_created - folded->slices_created;
+    stats_.selection_evals += now.selection_evals - folded->selection_evals;
+    stats_.merges += now.merges - folded->merges;
+    *folded = now;
+  };
+  for (auto& s : shards_) fold(s->stats, &s->folded);
+  // windows_fired is deliberately excluded: Emit() already counts it once
+  // per emitted result.
+  fold(assembler_stats_, &assembler_folded_);
+
+  if (imbalance_gauge_ != nullptr && shards_.size() > 1) {
+    uint64_t lo = UINT64_MAX, hi = 0, total = 0;
+    for (auto& s : shards_) {
+      lo = std::min(lo, s->events_total);
+      hi = std::max(hi, s->events_total);
+      total += s->events_total;
+    }
+    if (total > 0) {
+      const double mean =
+          static_cast<double>(total) / static_cast<double>(shards_.size());
+      imbalance_gauge_->Set(
+          static_cast<int64_t>(100.0 * static_cast<double>(hi - lo) / mean));
+    }
+  }
+}
+
+void ShardedEngine::Quiesce() {
+  for (auto& s : shards_) {
+    while (s->consumed.load(std::memory_order_acquire) != s->pushed ||
+           s->wm_applied.load(std::memory_order_acquire) !=
+               s->wm_requested.load(std::memory_order_relaxed)) {
+      WakeShard(s.get());
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ShardedEngine::Finish() {
+  if (last_ts_ == kNoTimestamp) return;
+  AdvanceTo(last_ts_ + max_extent_ + 1);
+}
+
+void ShardedEngine::EnableOutOfOrderIngest(Timestamp allowed_lateness) {
+  ooo_ = true;
+  lateness_ = allowed_lateness;
+  if (!serial_slicers_.empty() || !configured_) {
+    serial_reorder_.emplace(allowed_lateness);
+  }
+  if (!shards_.empty()) {
+    Quiesce();
+    for (auto& s : shards_) s->reorder.emplace(allowed_lateness);
+  }
+}
+
+uint32_t ShardedEngine::ObsNodeId(size_t shard_index) const {
+  // Standalone engines tag slice spans with the shard index so traces show
+  // per-shard slice flow; inside a cluster the node id wins (shard identity
+  // still shows up in the engine.shard_* metrics).
+  return local_mode_ ? tracer_node_id_ : static_cast<uint32_t>(shard_index);
+}
+
+uint8_t ShardedEngine::ObsRole() const { return tracer_role_; }
+
+void ShardedEngine::OnTracerAttached() {
+  Quiesce();
+  for (auto& sl : serial_slicers_) {
+    sl->set_obs(tracer_, tracer_node_id_, tracer_role_);
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (auto& sl : shards_[i]->slicers) {
+      sl->set_obs(tracer_, ObsNodeId(i), ObsRole());
+    }
+  }
+}
+
+void ShardedEngine::RegisterShardMetrics() {
+  merge_ns_hist_ = nullptr;
+  imbalance_gauge_ = nullptr;
+  for (auto& s : shards_) {
+    s->events_counter = nullptr;
+    s->queue_hwm_gauge = nullptr;
+  }
+  if (registry_ == nullptr) return;
+  obs::Labels base;
+  if (!options_.node_label.empty()) {
+    base.emplace_back("node", options_.node_label);
+  }
+  merge_ns_hist_ = registry_->GetHistogram("engine.merge_ns", base, "ns");
+  imbalance_gauge_ =
+      registry_->GetGauge("engine.shard_imbalance_pct", base, "percent");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    obs::Labels labels = base;
+    labels.emplace_back("shard", std::to_string(i));
+    shards_[i]->events_counter =
+        registry_->GetCounter("engine.shard_events", labels, "events");
+    shards_[i]->queue_hwm_gauge =
+        registry_->GetGauge("engine.shard_queue_hwm", labels, "events");
+  }
+}
+
+void ShardedEngine::OnRegistryAttached() {
+  Quiesce();
+  RegisterShardMetrics();
+  for (auto& sl : serial_slicers_) {
+    sl->set_metrics(sl->group().id < SlicingEngine::kMaxInstrumentedGroups
+                        ? registry_
+                        : nullptr);
+  }
+  for (auto& s : shards_) {
+    for (size_t j = 0; j < s->slicers.size(); ++j) {
+      s->slicers[j]->set_metrics(
+          s->slicer_gids[j] < SlicingEngine::kMaxInstrumentedGroups
+              ? registry_
+              : nullptr);
+    }
+  }
+}
+
+}  // namespace desis

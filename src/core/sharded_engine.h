@@ -1,0 +1,262 @@
+#ifndef DESIS_CORE_SHARDED_ENGINE_H_
+#define DESIS_CORE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/engine_iface.h"
+#include "core/query_analyzer.h"
+#include "core/reorder_buffer.h"
+#include "core/root_assembler.h"
+#include "core/slicer.h"
+#include "core/spsc_ring.h"
+
+namespace desis {
+
+/// True when a query-group's windows can be evaluated on key-hash shards
+/// without changing results: root-only groups (count measures), dedup
+/// lanes (the dedup set is stream-global, a shard only sees its keys), and
+/// user-defined windows (their delimiting marker event lands on a single
+/// shard) must stay on one thread. Session groups shard fine — the
+/// RootAssembler's global gap tracking re-merges per-shard session
+/// fragments exactly like it merges per-local fragments in a cluster.
+bool GroupShardable(const QueryGroup& group);
+
+struct ShardedEngineOptions {
+  /// Number of shard worker threads (>= 1).
+  int shards = 1;
+  /// Per-shard handoff ring capacity in events (rounded up to a power of
+  /// two). The partitioner spins/yields when a ring is full, so this also
+  /// bounds how far a slow shard can lag the ingest thread.
+  size_t ring_capacity = 1 << 14;
+  /// When non-empty, the engine.shard_* series carry a leading
+  /// {node=<label>} label so several sharded engines (one per cluster
+  /// local) keep distinct series. Empty for standalone engines.
+  std::string node_label;
+};
+
+/// Key-sharded parallel Desis engine: a partitioning ingest stage hashes
+/// each event's key to one of N shards, hands it over a bounded lock-free
+/// SPSC ring, and each shard thread runs private StreamSlicer state (with
+/// its own reorder buffer in out-of-order mode) over its key subset.
+/// Sealed shard slices flow back to the caller thread, which merges them
+/// with the same RootAssembler machinery the decentralized root uses —
+/// shards are intra-process children. Windows are emitted only on the
+/// caller thread at AdvanceTo(), behind a barrier keyed on the global
+/// watermark = min over shard safe watermarks, so results match the
+/// single-threaded engine (bit-exact whenever the aggregate values are
+/// exactly representable; re-associated double sums can differ in ULPs).
+///
+/// Threading contract: Configure/Ingest/IngestBatch/AdvanceTo/Finish must
+/// be called from one thread (the usual StreamEngine contract); the shard
+/// threads are an implementation detail. Attach tracer/metrics before the
+/// first Ingest().
+class ShardedEngine : public StreamEngine {
+ public:
+  explicit ShardedEngine(ShardedEngineOptions options = {});
+  ~ShardedEngine() override;
+
+  Status Configure(const std::vector<Query>& queries) override;
+  void Ingest(const Event& event) override;
+  void IngestBatch(const Event* events, size_t count) override;
+  void AdvanceTo(Timestamp watermark) override;
+  std::string name() const override { return "DesisSharded"; }
+
+  /// Fires every fixed-size window still pending after the last event
+  /// (mirrors SlicingEngine::Finish()).
+  void Finish();
+
+  /// Accepts out-of-order events up to `allowed_lateness` late. The
+  /// partitioner replays the single-threaded engine's drop rule on a
+  /// timestamps-only shadow of its reorder buffer (so dropped_events()
+  /// matches exactly), and each shard reorders its own substream — a shard
+  /// frontier never overtakes the global one, so no shard-local drops.
+  /// Call before the first Ingest().
+  void EnableOutOfOrderIngest(Timestamp allowed_lateness);
+  uint64_t dropped_events() const { return dropped_; }
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// After AdvanceTo(wm): min over shards of min(wm, slicer safe
+  /// watermarks), additionally pinned to the earliest held-back fragment
+  /// in local-node mode (see pending_ship_). Everything at or before this
+  /// is sealed, merged, and (in local-node mode) delivered. kNoTimestamp
+  /// before the first barrier.
+  Timestamp SafeWatermark() const { return safe_wm_; }
+
+  // --- Local-node mode (decentralized deployments) -----------------------
+
+  /// Per-barrier delivery of merged shard slices: (group id, record).
+  using GroupSliceSink = std::function<void(uint32_t, const SliceRecord&)>;
+
+  /// Configures from pre-analyzed groups instead of raw queries and ships
+  /// merged slices through `sink` instead of assembling windows: shard
+  /// slices are merged by (group, start, end) across shards at each
+  /// AdvanceTo() barrier and delivered in (group, start, end) order.
+  /// Every group must satisfy GroupShardable() — DesisLocalNode keeps the
+  /// rest on its own thread. Mutually exclusive with Configure().
+  Status ConfigureGroups(const std::vector<QueryGroup>& groups,
+                         GroupSliceSink sink);
+
+  /// Deploys additional shardable groups at runtime (§3.2, local-node
+  /// mode): quiesces the shard pool, installs the slicers, resumes.
+  void AddShardedGroups(const std::vector<QueryGroup>& groups);
+
+ protected:
+  void OnTracerAttached() override;
+  void OnRegistryAttached() override;
+
+ private:
+  /// Plain-integer snapshot of the slicer-maintained EngineStats counters;
+  /// used to fold per-shard deltas into stats_ at each barrier.
+  struct StatsSnapshot {
+    uint64_t operator_executions = 0;
+    uint64_t slices_created = 0;
+    uint64_t selection_evals = 0;
+    uint64_t merges = 0;
+  };
+
+  struct Shard {
+    explicit Shard(size_t ring_capacity) : ring(ring_capacity) {}
+
+    SpscRing<Event> ring;
+
+    // Producer side (caller thread only).
+    std::vector<Event> scratch;      // per-batch partition buffer
+    uint64_t pushed = 0;             // ring pushes, mirrors `consumed`
+    uint64_t events_total = 0;       // for the imbalance gauge
+    StatsSnapshot folded;            // last stats fold into stats_
+    obs::Counter* events_counter = nullptr;   // engine.shard_events
+    obs::Gauge* queue_hwm_gauge = nullptr;    // engine.shard_queue_hwm
+
+    // Consumer side (shard thread only once running; the caller may touch
+    // these only at Configure time or through Quiesce()).
+    std::vector<std::unique_ptr<StreamSlicer>> slicers;
+    std::vector<uint32_t> slicer_gids;
+    std::optional<ReorderBuffer> reorder;
+    std::vector<Event> pop_buf;
+    std::vector<Event> release_scratch;
+    EngineStats stats;
+
+    // Shared coordination. `consumed`/`wm_applied` are release-stored by
+    // the shard and acquire-loaded by the caller; `safe_published` rides
+    // the wm_applied release.
+    std::atomic<uint64_t> consumed{0};
+    std::atomic<Timestamp> wm_requested{kNoTimestamp};
+    std::atomic<Timestamp> wm_applied{kNoTimestamp};
+    std::atomic<Timestamp> safe_published{kNoTimestamp};
+    std::atomic<bool> stop{false};
+    std::atomic<int> parked{0};
+
+    // Parking lot + sealed-slice handoff channel (both under mu: seals are
+    // per-slice, never per-event, so one mutex is cheap enough).
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<std::pair<uint32_t, SliceRecord>> sealed;
+
+    std::thread thread;
+  };
+
+  /// Consumer pop batch: bounds shard-thread latency per loop iteration.
+  static constexpr size_t kPopBatch = 512;
+
+  size_t ShardOf(uint32_t key) const;
+  void SetupShards(const std::vector<QueryGroup>& groups);
+  void SetupShardSlicers(Shard& shard, size_t shard_index,
+                         const std::vector<QueryGroup>& groups);
+  uint32_t ObsNodeId(size_t shard_index) const;
+  uint8_t ObsRole() const;
+  void RegisterShardMetrics();
+  void StartThreads();
+  void ShardMain(Shard* shard);
+  bool ShardHasWork(const Shard& shard) const;
+  void ApplyWatermark(Shard* shard, Timestamp watermark);
+  void WakeShard(Shard* shard);
+  void PushBlocking(Shard* shard);
+  void PartitionAndPush(const Event* events, size_t count);
+  /// Moves sealed slices out of every shard's handoff channel into
+  /// drained_ (per shard, in seal order). try_lock on the opportunistic
+  /// path so ingest never stalls behind a sealing shard.
+  void DrainSealed(bool blocking);
+  /// Waits until every shard has drained its ring and applied `watermark`.
+  void WaitBarrier(Timestamp watermark);
+  /// Waits until every shard is idle (ring drained, watermark applied) so
+  /// the caller may touch consumer-side state (runtime group deployment).
+  void Quiesce();
+  void FoldShardStats();
+  void MergeAndDeliver(Timestamp barrier);
+  void StopThreads();
+
+  ShardedEngineOptions options_;
+  bool configured_ = false;
+  bool local_mode_ = false;
+  Timestamp last_ts_ = kNoTimestamp;
+  Timestamp max_extent_ = 0;
+  Timestamp safe_wm_ = kNoTimestamp;
+  Timestamp advanced_wm_ = kNoTimestamp;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Per-shard sealed slices drained but not yet merged; fed to the merge
+  /// stage in shard-index order at each barrier so the merge (and its
+  /// floating-point fold order) is deterministic.
+  std::vector<std::vector<std::pair<uint32_t, SliceRecord>>> drained_;
+
+  /// Standalone mode: one assembler per sharded group, in group-id order.
+  /// Their windows_fired/merges land in assembler_stats_ (Emit() already
+  /// counts windows_fired in stats_; the rest is folded at barriers).
+  std::vector<std::pair<uint32_t, std::unique_ptr<RootAssembler>>> assemblers_;
+  EngineStats assembler_stats_;
+  StatsSnapshot assembler_folded_;
+
+  /// Unshardable groups (root-only / dedup / user-defined): full slicers
+  /// fed the entire stream on the caller thread — exactly the
+  /// single-threaded engine's path for those groups.
+  std::vector<std::unique_ptr<StreamSlicer>> serial_slicers_;
+
+  /// Local-node mode sink.
+  GroupSliceSink group_slice_sink_;
+  /// Local-node mode staging area: merged shard slices held until the
+  /// barrier watermark passes their end. Two shards can seal the very same
+  /// (start, end) range at *different* barriers (shard-local session
+  /// deadlines coincide whenever the underlying activity timestamps do);
+  /// shipping the first copy early would make the root merge the late copy
+  /// into an entry its session scan has already consumed, silently losing
+  /// that activity. Once the barrier passes a range's end every shard has
+  /// provably sealed beyond it, so each range ships exactly once, fully
+  /// merged — and downstream cannot consume a slice before the advertised
+  /// watermark passes its end anyway, so nothing is delayed observably.
+  std::map<std::tuple<uint32_t, Timestamp, Timestamp>, SliceRecord>
+      pending_ship_;
+
+  // Out-of-order support. The shadow heap holds timestamps only and
+  // replicates ReorderBuffer's release/drop frontier on the full stream;
+  // serial_reorder_ buffers real events for the serial slicers.
+  bool ooo_ = false;
+  Timestamp lateness_ = 0;
+  std::priority_queue<Timestamp, std::vector<Timestamp>,
+                      std::greater<Timestamp>>
+      shadow_heap_;
+  Timestamp shadow_max_ts_ = kNoTimestamp;
+  Timestamp shadow_frontier_ = kNoTimestamp;
+  uint64_t dropped_ = 0;
+  std::optional<ReorderBuffer> serial_reorder_;
+  std::vector<Event> serial_scratch_;
+
+  obs::Histogram* merge_ns_hist_ = nullptr;     // engine.merge_ns
+  obs::Gauge* imbalance_gauge_ = nullptr;       // engine.shard_imbalance_pct
+};
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_SHARDED_ENGINE_H_

@@ -1,0 +1,118 @@
+#ifndef DESIS_CORE_SPSC_RING_H_
+#define DESIS_CORE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+namespace desis {
+
+/// Bounded lock-free single-producer/single-consumer ring buffer: the
+/// ingest-side handoff queue between the ShardedEngine's partitioning
+/// stage and its shard threads.
+///
+/// Design notes (the usual SPSC playbook, tuned for batched ingest):
+///  - head_ (producer-owned) and tail_ (consumer-owned) live on separate
+///    cache lines so the two threads never false-share an index.
+///  - Each side caches the *other* side's index and only re-reads the
+///    shared atomic when the cached value says the ring looks full/empty,
+///    turning the common case into purely thread-local arithmetic.
+///  - TryPushN/TryPopN move whole spans with a single release/acquire pair,
+///    so an IngestBatch() of N events pays one fence, not N.
+///
+/// Capacity is rounded up to a power of two; one slot convention is not
+/// needed because head/tail are monotonically increasing sequence numbers
+/// (wraparound is handled by masking, fullness by `head - tail == cap`).
+template <typename T>
+class SpscRing {
+ public:
+  /// Destructive-interference distance. Pinned to 64 rather than
+  /// std::hardware_destructive_interference_size: the latter varies with
+  /// -mtune (gcc warns about exactly this), and 64 is correct for every
+  /// x86-64 and the common aarch64 parts this builds on.
+  static constexpr size_t kCacheLine = 64;
+
+  explicit SpscRing(size_t min_capacity) {
+    size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Producer: appends up to `n` items; returns how many fit (0..n).
+  /// One release store regardless of n.
+  size_t TryPushN(const T* items, size_t n) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    size_t free = capacity_ - static_cast<size_t>(head - cached_tail_);
+    if (free < n) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      free = capacity_ - static_cast<size_t>(head - cached_tail_);
+      if (free == 0) return 0;
+    }
+    const size_t take = n < free ? n : free;
+    for (size_t i = 0; i < take; ++i) {
+      slots_[static_cast<size_t>(head + i) & mask_] = items[i];
+    }
+    head_.store(head + take, std::memory_order_release);
+    return take;
+  }
+
+  bool TryPush(const T& item) { return TryPushN(&item, 1) == 1; }
+
+  /// Consumer: removes up to `max` items into `out`; returns how many.
+  /// One release store regardless of the count.
+  size_t TryPopN(T* out, size_t max) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    size_t avail = static_cast<size_t>(cached_head_ - tail);
+    if (avail == 0) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      avail = static_cast<size_t>(cached_head_ - tail);
+      if (avail == 0) return 0;
+    }
+    const size_t take = max < avail ? max : avail;
+    for (size_t i = 0; i < take; ++i) {
+      out[i] = slots_[static_cast<size_t>(tail + i) & mask_];
+    }
+    tail_.store(tail + take, std::memory_order_release);
+    return take;
+  }
+
+  bool TryPop(T* out) { return TryPopN(out, 1) == 1; }
+
+  /// Either side: racy but monotonicity-safe occupancy estimate (exact when
+  /// the opposite side is idle). The producer's view never under-counts,
+  /// the consumer's never over-counts.
+  size_t SizeApprox() const {
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    return head >= tail ? static_cast<size_t>(head - tail) : 0;
+  }
+
+  bool Empty() const { return SizeApprox() == 0; }
+
+ private:
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  std::unique_ptr<T[]> slots_;
+
+  /// Producer-owned line: write index + cached consumer index.
+  alignas(kCacheLine) std::atomic<uint64_t> head_{0};
+  uint64_t cached_tail_ = 0;
+  /// Consumer-owned line: read index + cached producer index.
+  alignas(kCacheLine) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+  /// Trailing pad so an adjacent allocation cannot share tail_'s line.
+  alignas(kCacheLine) char pad_end_[kCacheLine] = {};
+};
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_SPSC_RING_H_

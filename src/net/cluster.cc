@@ -25,9 +25,11 @@ std::string ToString(ClusterSystem system) {
   return "unknown";
 }
 
-Cluster::Cluster(ClusterSystem system, ClusterTopology topology)
+Cluster::Cluster(ClusterSystem system, ClusterTopology topology,
+                 ClusterOptions options)
     : system_(system),
       topology_(topology),
+      options_(options),
       transport_(&DefaultInlineTransport()) {}
 
 Cluster::~Cluster() {
@@ -127,7 +129,9 @@ Status Cluster::Configure(const std::vector<Query>& queries) {
         return std::make_unique<DesisIntermediateNode>(id);
       };
       make_local = [this](uint32_t id) {
-        return std::make_unique<DesisLocalNode>(id, desis_groups_);
+        return std::make_unique<DesisLocalNode>(
+            id, desis_groups_, /*forward_batch_size=*/512,
+            options_.engine_shards);
       };
       break;
     }
@@ -255,7 +259,9 @@ Result<int> Cluster::AddLocalNode() {
     return Status::Unsupported("runtime membership requires the Desis system");
   }
   std::unique_lock<std::shared_mutex> lock(membership_mu_);
-  auto node = std::make_unique<DesisLocalNode>(next_node_id_++, desis_groups_);
+  auto node = std::make_unique<DesisLocalNode>(
+      next_node_id_++, desis_groups_, /*forward_batch_size=*/512,
+      options_.engine_shards);
   const int local_idx = static_cast<int>(locals_.size());
   locals_.push_back(node.get());
   locals_raw_.push_back(node.get());
@@ -482,10 +488,12 @@ std::string Cluster::StatsReport() const {
   std::snprintf(buf, sizeof(buf),
                 "\"system\":\"%s\",\"transport\":\"%s\","
                 "\"topology\":{\"locals\":%d,\"intermediates\":%d,"
-                "\"layers\":%d},\"results\":%" PRIu64 ",\"roles\":{",
+                "\"layers\":%d},\"engine_shards\":%d,"
+                "\"results\":%" PRIu64 ",\"roles\":{",
                 ToString(system_).c_str(), transport_->name(),
                 topology_.num_locals, topology_.num_intermediates,
-                topology_.intermediate_layers, results_.load());
+                topology_.intermediate_layers, options_.engine_shards,
+                results_.load());
   out += buf;
   AppendRole(out, "local", local);
   out += ",";

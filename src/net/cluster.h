@@ -39,6 +39,16 @@ struct ClusterTopology {
   int intermediate_layers = 1;
 };
 
+/// Cluster-wide engine knobs.
+struct ClusterOptions {
+  /// Shard threads per Desis local node (core/sharded_engine.h): each
+  /// local's shardable pushed-down groups run on a key-sharded engine pool
+  /// and per-shard slices are merged intra-node before shipping. 0 keeps
+  /// the seed single-threaded path byte-identical; ignored by the other
+  /// systems.
+  int engine_shards = 0;
+};
+
 /// An in-process decentralized cluster: builds the topology, deploys the
 /// chosen system on it, counts every byte crossing a link, and meters
 /// per-node CPU busy time (see DESIGN.md for the pipeline throughput model
@@ -53,7 +63,8 @@ struct ClusterTopology {
 /// only after Drain().
 class Cluster {
  public:
-  Cluster(ClusterSystem system, ClusterTopology topology);
+  Cluster(ClusterSystem system, ClusterTopology topology,
+          ClusterOptions options = {});
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -115,6 +126,7 @@ class Cluster {
 
   ClusterSystem system() const { return system_; }
   const ClusterTopology& topology() const { return topology_; }
+  const ClusterOptions& options() const { return options_; }
   uint64_t results() const { return results_; }
 
   int num_locals() const { return topology_.num_locals; }
@@ -171,6 +183,7 @@ class Cluster {
 
   ClusterSystem system_;
   ClusterTopology topology_;
+  ClusterOptions options_;
   Transport* transport_;
   std::unique_ptr<Transport> owned_transport_;
   /// Guards the membership vectors below (exclusive for membership/query

@@ -11,15 +11,55 @@ namespace desis {
 
 DesisLocalNode::DesisLocalNode(uint32_t id,
                                const std::vector<QueryGroup>& groups,
-                               size_t forward_batch_size)
-    : Node(id, NodeRole::kLocal), forward_batch_size_(forward_batch_size) {
+                               size_t forward_batch_size, int engine_shards)
+    : Node(id, NodeRole::kLocal),
+      forward_batch_size_(forward_batch_size),
+      engine_shards_(engine_shards) {
   AddGroups(groups);
 }
 
+void DesisLocalNode::DeployToPool(const std::vector<QueryGroup>& groups) {
+  if (groups.empty()) return;
+  if (pool_ == nullptr) {
+    ShardedEngineOptions opts;
+    opts.shards = engine_shards_;
+    opts.node_label = std::to_string(id());
+    pool_ = std::make_unique<ShardedEngine>(opts);
+    Status st = pool_->ConfigureGroups(
+        groups, [this](uint32_t gid, const SliceRecord& rec) {
+          ShipSlice(gid, rec);
+        });
+    assert(st.ok());
+    (void)st;
+    pool_->set_tracer(tracer_, id(), obs::kSpanRoleLocal);
+    pool_->set_metrics_registry(obs_registry_);
+    return;
+  }
+  pool_->AddShardedGroups(groups);
+}
+
+void DesisLocalNode::FoldPoolStats() {
+  if (pool_ == nullptr) return;
+  const EngineStats& ps = pool_->stats();
+  const uint64_t now[4] = {
+      ps.operator_executions.load(), ps.slices_created.load(),
+      ps.selection_evals.load(), ps.merges.load()};
+  stats_.operator_executions += now[0] - pool_folded_[0];
+  stats_.slices_created += now[1] - pool_folded_[1];
+  stats_.selection_evals += now[2] - pool_folded_[2];
+  stats_.merges += now[3] - pool_folded_[3];
+  for (int i = 0; i < 4; ++i) pool_folded_[i] = now[i];
+}
+
 void DesisLocalNode::AddGroups(const std::vector<QueryGroup>& groups) {
+  std::vector<QueryGroup> pool_groups;
   for (const QueryGroup& group : groups) {
     if (group.root_only) {
       forward_groups_.push_back({group, {}});
+      continue;
+    }
+    if (engine_shards_ > 0 && GroupShardable(group)) {
+      pool_groups.push_back(group);
       continue;
     }
     SlicerOptions options;
@@ -39,6 +79,7 @@ void DesisLocalNode::AddGroups(const std::vector<QueryGroup>& groups) {
     }
     slicers_.emplace_back(gid, std::move(slicer));
   }
+  DeployToPool(pool_groups);
 }
 
 void DesisLocalNode::OnObsAttached() {
@@ -47,6 +88,10 @@ void DesisLocalNode::OnObsAttached() {
     if (gid < SlicingEngine::kMaxInstrumentedGroups) {
       slicer->set_metrics(obs_registry_);
     }
+  }
+  if (pool_ != nullptr) {
+    pool_->set_tracer(tracer_, id(), obs::kSpanRoleLocal);
+    pool_->set_metrics_registry(obs_registry_);
   }
 }
 
@@ -58,6 +103,7 @@ void DesisLocalNode::IngestBatch(const Event* events, size_t count) {
     // Pushed-down groups take the slicer's run-based fast path; groups with
     // dynamic or count-measure specs fall back per event inside the slicer.
     for (auto& [gid, slicer] : slicers_) slicer->IngestBatch(events, count);
+    if (pool_ != nullptr) pool_->IngestBatch(events, count);
     for (ForwardGroup& fg : forward_groups_) {
       for (size_t i = 0; i < count; ++i) {
         for (const SelectionLane& lane : fg.group.lanes) {
@@ -110,6 +156,14 @@ void DesisLocalNode::Advance(Timestamp watermark) {
       // unsealed slice (e.g. a running session) are not upstream yet.
       const Timestamp slicer_safe = slicer->SafeWatermark();
       if (slicer_safe != kNoTimestamp) safe = std::min(safe, slicer_safe);
+    }
+    if (pool_ != nullptr) {
+      // Barriers on the shard watermarks, merges shard slices per range,
+      // and ships them through ShipSlice before the watermark goes out.
+      pool_->AdvanceTo(watermark);
+      const Timestamp pool_safe = pool_->SafeWatermark();
+      if (pool_safe != kNoTimestamp) safe = std::min(safe, pool_safe);
+      FoldPoolStats();
     }
     for (ForwardGroup& fg : forward_groups_) FlushForwardBatch(fg.group.id);
     SendToParent({MessageType::kWatermark, 0, EncodeWatermark(safe)});
@@ -164,7 +218,7 @@ void DesisIntermediateNode::ForwardEntry(uint32_t group_id,
 }
 
 void DesisIntermediateNode::FlushUpTo(Timestamp watermark) {
-  if (watermark == kNoTimestamp || watermark <= sent_wm_) return;
+  if (watermark == kNoTimestamp) return;
   // Forward intermediate slices that can no longer grow (children's
   // watermarks passed their end), even if not every child contributed —
   // dynamic windows punctuate at different times on different children.
@@ -177,8 +231,20 @@ void DesisIntermediateNode::FlushUpTo(Timestamp watermark) {
       ++it;
     }
   }
-  sent_wm_ = watermark;
-  SendToParent({MessageType::kWatermark, 0, EncodeWatermark(watermark)});
+  // Pin the forwarded watermark to the earliest still-held slice: the
+  // parent must not sweep past activity that is in flight here, or a slice
+  // flushed later (its end punctuates later than a shorter, later-starting
+  // sibling's) would land behind the root's session scan and its events
+  // would silently vanish from session tracking. The flush above still
+  // uses the raw child watermark, so nothing is forwarded any later than
+  // before — the parent just cannot consume ahead of the in-flight data.
+  Timestamp send = watermark;
+  for (const auto& [key, value] : entries_) {
+    send = std::min(send, std::get<1>(key));
+  }
+  if (send <= sent_wm_) return;
+  sent_wm_ = send;
+  SendToParent({MessageType::kWatermark, 0, EncodeWatermark(send)});
 }
 
 void DesisIntermediateNode::HandleMessage(const Message& message,
@@ -376,7 +442,9 @@ void DesisRootNode::HandleMessage(const Message& message, int child_index) {
                         obs::kSpanRoleRoot, msg.end);
       }
       auto it = assemblers_.find(message.group_id);
-      if (it != assemblers_.end()) it->second->AddPartial(msg);
+      if (it != assemblers_.end()) {
+        it->second->AddPartial(std::move(msg).ToRecord());
+      }
       break;
     }
     case MessageType::kEventBatch: {

@@ -7,10 +7,11 @@
 #include <vector>
 
 #include "core/query_analyzer.h"
+#include "core/root_assembler.h"
+#include "core/sharded_engine.h"
 #include "core/slicer.h"
 #include "core/stats.h"
 #include "net/node.h"
-#include "net/root_assembler.h"
 
 namespace desis {
 
@@ -18,10 +19,16 @@ namespace desis {
 /// mode. Every sealed slice's partial results are shipped to the parent
 /// instead of raw events; for root-only query-groups (count-based measures)
 /// matching raw events are batched and forwarded.
+///
+/// With `engine_shards` > 0 the shardable pushed-down groups run on a
+/// key-sharded engine pool (core/sharded_engine.h): events fan out to
+/// shard threads, and at each Advance() the per-shard slices are merged
+/// intra-node before shipping, so the wire traffic and the shipped
+/// partials match the single-threaded node. 0 keeps the seed path.
 class DesisLocalNode : public Node, public LocalIngest {
  public:
   DesisLocalNode(uint32_t id, const std::vector<QueryGroup>& groups,
-                 size_t forward_batch_size = 512);
+                 size_t forward_batch_size = 512, int engine_shards = 0);
 
   /// Feeds a batch of events (non-decreasing ts); CPU time is metered.
   /// Pushed-down groups run the slicer's batched fast path — punctuation
@@ -46,6 +53,11 @@ class DesisLocalNode : public Node, public LocalIngest {
  private:
   void ShipSlice(uint32_t group_id, const SliceRecord& rec);
   void FlushForwardBatch(uint32_t group_id);
+  /// Hands shardable groups to the shard pool (creating it on first use).
+  void DeployToPool(const std::vector<QueryGroup>& groups);
+  /// Folds the pool's slicer-side counter deltas into stats_ (its events
+  /// counter is skipped — IngestBatch already counts the stream once).
+  void FoldPoolStats();
 
   EngineStats stats_;
   // Pushed-down groups: group id -> slicer.
@@ -57,6 +69,10 @@ class DesisLocalNode : public Node, public LocalIngest {
   };
   std::vector<ForwardGroup> forward_groups_;
   size_t forward_batch_size_;
+  int engine_shards_;
+  std::unique_ptr<ShardedEngine> pool_;
+  // Pool counters already folded into stats_.
+  uint64_t pool_folded_[4] = {0, 0, 0, 0};
   Timestamp last_ts_ = kNoTimestamp;
 };
 

@@ -69,6 +69,21 @@ struct SlicePartialMsg {
 
   static SlicePartialMsg FromRecord(const SliceRecord& rec,
                                     Timestamp watermark);
+  /// Inverse of FromRecord (the shipped watermark is transport metadata and
+  /// is dropped): the root hands plain SliceRecords to the core-side
+  /// RootAssembler. Rvalue-qualified — moves the lane payload out.
+  SliceRecord ToRecord() && {
+    SliceRecord rec;
+    rec.id = slice_id;
+    rec.start = start;
+    rec.end = end;
+    rec.last_event_ts = last_event_ts;
+    rec.lanes = std::move(lanes);
+    rec.lane_events = std::move(lane_events);
+    rec.lane_last_ts = std::move(lane_last_ts);
+    rec.eps = std::move(eps);
+    return rec;
+  }
   void SerializeTo(ByteWriter& out) const;
   static SlicePartialMsg DeserializeFrom(ByteReader& in);
 };

@@ -175,6 +175,23 @@ TEST(InspectDiff, DifferentBenchesAreNotComparable) {
   EXPECT_FALSE(r.comparable);
 }
 
+TEST(InspectDiff, DifferentEngineShardsAreNotComparable) {
+  // A 2-shard run and the serial seed run measure different code paths;
+  // the meta.engine_shards lists must match for a diff to be meaningful.
+  JsonValue a = Parse(SidecarJson(100000, 4096));
+  JsonValue b = Parse(SidecarJson(100000, 4096));
+  a.object["meta"] = Parse(R"({"engine_shards":[0],"hw_threads":8})");
+  b.object["meta"] = Parse(R"({"engine_shards":[0,2],"hw_threads":8})");
+  EXPECT_FALSE(DiffSidecars(a, b, DiffOptions{}).comparable);
+  // Identical shard configs stay comparable; hardware thread counts are
+  // recorded for provenance but never gate the diff.
+  b.object["meta"] = Parse(R"({"engine_shards":[0],"hw_threads":128})");
+  EXPECT_TRUE(DiffSidecars(a, b, DiffOptions{}).comparable);
+  // Pre-sharding sidecars (no engine_shards list at all) keep diffing.
+  const JsonValue legacy = Parse(SidecarJson(100000, 4096));
+  EXPECT_TRUE(DiffSidecars(legacy, legacy, DiffOptions{}).comparable);
+}
+
 TEST(InspectDiff, DuplicateRunLabelsPairByOccurrence) {
   // Sweeps record the same label repeatedly (Fig 6b: "Desis" at each n);
   // keys must pair first-with-first, second-with-second.

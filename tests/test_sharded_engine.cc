@@ -1,0 +1,490 @@
+// Key-sharded engine: SPSC ring unit tests plus shard/single-thread
+// equivalence — the ShardedEngine must produce the same window results as
+// the seed DesisEngine for every shardable workload, and the cluster's
+// engine_shards knob must not change what crosses the wire.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "core/sharded_engine.h"
+#include "core/spsc_ring.h"
+#include "net/cluster.h"
+
+namespace desis {
+namespace {
+
+// ------------------------------------------------------------ SPSC ring --
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  SpscRing<int> exact(16);
+  EXPECT_EQ(exact.capacity(), 16u);
+}
+
+TEST(SpscRing, FullAndEmptyBoundaries) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.TryPop(&out));  // empty
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  EXPECT_EQ(ring.SizeApprox(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&out));  // empty again
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(SpscRing, BatchPushPopArePartialOnBoundaries) {
+  SpscRing<int> ring(8);
+  int items[12];
+  for (int i = 0; i < 12; ++i) items[i] = i;
+  // Only 8 fit.
+  EXPECT_EQ(ring.TryPushN(items, 12), 8u);
+  int out[12] = {};
+  // Pop fewer than available, then drain.
+  EXPECT_EQ(ring.TryPopN(out, 3), 3u);
+  EXPECT_EQ(ring.TryPopN(out + 3, 12), 5u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(ring.TryPopN(out, 12), 0u);
+}
+
+TEST(SpscRing, WraparoundPreservesFifoOrder) {
+  SpscRing<uint64_t> ring(8);
+  uint64_t next_push = 0, next_pop = 0;
+  uint64_t buf[5];
+  // Interleaved partial batches force head/tail to wrap many times.
+  for (int round = 0; round < 1000; ++round) {
+    uint64_t vals[5];
+    for (int i = 0; i < 5; ++i) vals[i] = next_push + static_cast<uint64_t>(i);
+    next_push += ring.TryPushN(vals, 5);
+    const size_t got = ring.TryPopN(buf, (round % 4) + 1);
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(buf[i], next_pop);
+      ++next_pop;
+    }
+  }
+  while (true) {
+    const size_t got = ring.TryPopN(buf, 5);
+    if (got == 0) break;
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(buf[i], next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+// The cross-thread handoff test the CI TSan job exists for: a producer
+// pushing batched sequence numbers, a consumer asserting global order.
+TEST(SpscRing, ThreadedProducerConsumerKeepsOrder) {
+  SpscRing<uint64_t> ring(64);
+  constexpr uint64_t kTotal = 200'000;
+  std::thread producer([&] {
+    uint64_t next = 0;
+    uint64_t batch[17];
+    while (next < kTotal) {
+      size_t n = 0;
+      while (n < 17 && next + n < kTotal) {
+        batch[n] = next + n;
+        ++n;
+      }
+      size_t pushed = 0;
+      while (pushed < n) {
+        pushed += ring.TryPushN(batch + pushed, n - pushed);
+      }
+      next += n;
+    }
+  });
+  uint64_t expect = 0;
+  uint64_t buf[32];
+  while (expect < kTotal) {
+    const size_t got = ring.TryPopN(buf, 32);
+    for (size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(buf[i], expect);
+      ++expect;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.Empty());
+}
+
+// -------------------------------------------------- equivalence harness --
+
+struct ResultRow {
+  QueryId query_id;
+  Timestamp start;
+  Timestamp end;
+  double value;
+  uint64_t events;
+
+  friend bool operator==(const ResultRow&, const ResultRow&) = default;
+  friend bool operator<(const ResultRow& a, const ResultRow& b) {
+    return std::tie(a.query_id, a.start, a.end, a.value, a.events) <
+           std::tie(b.query_id, b.start, b.end, b.value, b.events);
+  }
+};
+
+/// Drives `engine` with `events` in batches of `batch`, advancing the
+/// watermark every `advance_every` batches, and returns the sorted results.
+std::vector<ResultRow> RunEngine(StreamEngine* engine,
+                                 const std::vector<Event>& events,
+                                 size_t batch, int advance_every,
+                                 Timestamp advance_slack) {
+  std::vector<ResultRow> rows;
+  engine->set_sink([&rows](const WindowResult& r) {
+    rows.push_back(
+        {r.query_id, r.window_start, r.window_end, r.value, r.event_count});
+  });
+  int batches = 0;
+  for (size_t i = 0; i < events.size(); i += batch) {
+    const size_t n = std::min(batch, events.size() - i);
+    engine->IngestBatch(events.data() + i, n);
+    if (advance_every > 0 && ++batches % advance_every == 0) {
+      engine->AdvanceTo(events[i + n - 1].ts - advance_slack);
+    }
+  }
+  if (!events.empty()) {
+    engine->AdvanceTo(events.back().ts + 1'000'000);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Integer event values keep every sum/count/avg/min/max exactly
+/// representable, so cross-shard re-association cannot perturb results and
+/// the equivalence check can demand bit-identical values.
+std::vector<Event> MakeWorkload(uint64_t seed, int count, int num_keys,
+                                bool skewed, double marker_p = 0.0) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(count));
+  Timestamp ts = 0;
+  for (int i = 0; i < count; ++i) {
+    ts += rng.NextBool(0.01) ? rng.NextInRange(200, 400)  // session gaps
+                             : rng.NextInRange(0, 4);
+    uint32_t key;
+    if (skewed) {
+      // 90% of the stream on one hot key, the rest uniform.
+      key = rng.NextBool(0.9)
+                ? 0u
+                : static_cast<uint32_t>(1 + rng.NextBounded(
+                      static_cast<uint64_t>(num_keys - 1)));
+    } else {
+      key = static_cast<uint32_t>(
+          rng.NextBounded(static_cast<uint64_t>(num_keys)));
+    }
+    const uint32_t marker =
+        marker_p > 0 && rng.NextBool(marker_p) ? kWindowEnd : kNoMarker;
+    events.push_back(
+        {ts, key, static_cast<double>(rng.NextBounded(1000)), marker});
+  }
+  return events;
+}
+
+std::vector<Query> MixedQueries() {
+  std::vector<Query> queries;
+  Query q;
+  q.id = 1;
+  q.window = WindowSpec::Tumbling(500);
+  q.agg = {AggregationFunction::kSum, 0};
+  queries.push_back(q);
+  q.id = 2;
+  q.window = WindowSpec::Sliding(900, 300);
+  q.agg = {AggregationFunction::kAverage, 0};
+  queries.push_back(q);
+  q.id = 3;
+  q.window = WindowSpec::Session(150);
+  q.agg = {AggregationFunction::kMax, 0};
+  queries.push_back(q);
+  q.id = 4;
+  q.window = WindowSpec::Tumbling(700);
+  q.agg = {AggregationFunction::kCount, 0};
+  q.predicate = Predicate::KeyEquals(3);
+  queries.push_back(q);
+  q.id = 5;
+  q.window = WindowSpec::Sliding(1200, 400);
+  q.agg = {AggregationFunction::kMin, 0};
+  q.predicate = Predicate::ValueRange(100, 800);
+  queries.push_back(q);
+  return queries;
+}
+
+void ExpectSameResults(const std::vector<ResultRow>& seed,
+                       const std::vector<ResultRow>& sharded,
+                       const std::string& label) {
+  ASSERT_FALSE(seed.empty()) << label;
+  ASSERT_EQ(seed.size(), sharded.size()) << label;
+  for (size_t i = 0; i < seed.size(); ++i) {
+    EXPECT_EQ(seed[i], sharded[i])
+        << label << " row " << i << ": want q" << seed[i].query_id << " ["
+        << seed[i].start << "," << seed[i].end << ") = " << seed[i].value
+        << " (" << seed[i].events << " events), got q"
+        << sharded[i].query_id << " [" << sharded[i].start << ","
+        << sharded[i].end << ") = " << sharded[i].value << " ("
+        << sharded[i].events << " events)";
+  }
+}
+
+class ShardedEngineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedEngineEquivalence, MatchesSeedEngineOnMixedWindows) {
+  const int shards = GetParam();
+  const auto queries = MixedQueries();
+  const auto events = MakeWorkload(/*seed=*/7, /*count=*/20'000,
+                                   /*num_keys=*/64, /*skewed=*/false);
+
+  DesisEngine seed;
+  ASSERT_TRUE(seed.Configure(queries).ok());
+  const auto want = RunEngine(&seed, events, 256, 8, 2'000);
+  seed.Finish();
+
+  ShardedEngineOptions opts;
+  opts.shards = shards;
+  ShardedEngine engine(opts);
+  ASSERT_TRUE(engine.Configure(queries).ok());
+  const auto got = RunEngine(&engine, events, 256, 8, 2'000);
+
+  ExpectSameResults(want, got, "uniform/" + std::to_string(shards));
+}
+
+TEST_P(ShardedEngineEquivalence, MatchesSeedEngineOnSkewedKeys) {
+  const int shards = GetParam();
+  const auto queries = MixedQueries();
+  const auto events = MakeWorkload(/*seed=*/11, /*count=*/20'000,
+                                   /*num_keys=*/16, /*skewed=*/true);
+
+  DesisEngine seed;
+  ASSERT_TRUE(seed.Configure(queries).ok());
+  const auto want = RunEngine(&seed, events, 256, 16, 1'000);
+
+  ShardedEngineOptions opts;
+  opts.shards = shards;
+  ShardedEngine engine(opts);
+  ASSERT_TRUE(engine.Configure(queries).ok());
+  const auto got = RunEngine(&engine, events, 256, 16, 1'000);
+
+  ExpectSameResults(want, got, "skewed/" + std::to_string(shards));
+}
+
+TEST_P(ShardedEngineEquivalence, MatchesSeedEngineOnOutOfOrderInput) {
+  const int shards = GetParam();
+  const auto queries = MixedQueries();
+  auto events = MakeWorkload(/*seed=*/13, /*count=*/20'000,
+                             /*num_keys=*/32, /*skewed=*/false);
+  // Perturb timestamps within a bounded window, then add a few events so
+  // late they must be dropped by both engines.
+  Rng rng(99);
+  for (Event& e : events) {
+    if (rng.NextBool(0.3)) e.ts += rng.NextInRange(-40, 40);
+    if (e.ts < 0) e.ts = 0;
+  }
+  const Timestamp lateness = 60;
+
+  DesisEngine seed;
+  ASSERT_TRUE(seed.Configure(queries).ok());
+  seed.EnableOutOfOrderIngest(lateness);
+  const auto want = RunEngine(&seed, events, 256, 8, 2'000);
+
+  ShardedEngineOptions opts;
+  opts.shards = shards;
+  ShardedEngine engine(opts);
+  ASSERT_TRUE(engine.Configure(queries).ok());
+  engine.EnableOutOfOrderIngest(lateness);
+  const auto got = RunEngine(&engine, events, 256, 8, 2'000);
+
+  ExpectSameResults(want, got, "ooo/" + std::to_string(shards));
+  // The partitioner's shadow reorder buffer must replicate the seed
+  // engine's drop rule exactly.
+  EXPECT_EQ(engine.dropped_events(), seed.dropped_events());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardedEngineEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+// Unshardable queries (count measures, dedup, user-defined windows) must
+// transparently fall back to the serial path — same results as the seed.
+TEST(ShardedEngineSerialFallback, UnshardableQueriesMatchSeed) {
+  std::vector<Query> queries;
+  Query q;
+  q.id = 1;
+  q.window = WindowSpec::CountTumbling(100);
+  q.agg = {AggregationFunction::kSum, 0};
+  queries.push_back(q);
+  q.id = 2;
+  q.window = WindowSpec::UserDefined();
+  q.agg = {AggregationFunction::kCount, 0};
+  queries.push_back(q);
+  q.id = 3;  // shardable, rides the shard pool next to the serial groups
+  q.window = WindowSpec::Tumbling(500);
+  q.agg = {AggregationFunction::kSum, 0};
+  queries.push_back(q);
+  q = Query{};
+  q.id = 4;
+  q.window = WindowSpec::Tumbling(500);
+  q.agg = {AggregationFunction::kCount, 0};
+  q.deduplicate = true;
+  queries.push_back(q);
+
+  const auto events = MakeWorkload(/*seed=*/21, /*count=*/10'000,
+                                   /*num_keys=*/8, /*skewed=*/false,
+                                   /*marker_p=*/0.01);
+
+  DesisEngine seed;
+  ASSERT_TRUE(seed.Configure(queries).ok());
+  const auto want = RunEngine(&seed, events, 256, 8, 2'000);
+
+  ShardedEngineOptions opts;
+  opts.shards = 4;
+  ShardedEngine engine(opts);
+  ASSERT_TRUE(engine.Configure(queries).ok());
+  const auto got = RunEngine(&engine, events, 256, 8, 2'000);
+
+  ExpectSameResults(want, got, "serial-fallback");
+}
+
+TEST(ShardedEngineSerialFallback, GroupShardablePredicate) {
+  Query count_measure;
+  count_measure.window = WindowSpec::CountTumbling(10);
+  count_measure.agg = {AggregationFunction::kSum, 0};
+  QueryAnalyzer analyzer(DeploymentMode::kDecentralized,
+                         SharingPolicy::kCrossFunction);
+  auto groups = analyzer.Analyze({count_measure});
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups.value().size(), 1u);
+  EXPECT_FALSE(GroupShardable(groups.value()[0]));  // root-only
+
+  Query plain;
+  plain.window = WindowSpec::Tumbling(100);
+  plain.agg = {AggregationFunction::kSum, 0};
+  groups = analyzer.Analyze({plain});
+  ASSERT_TRUE(groups.ok());
+  EXPECT_TRUE(GroupShardable(groups.value()[0]));
+
+  Query dedup = plain;
+  dedup.deduplicate = true;
+  groups = analyzer.Analyze({dedup});
+  ASSERT_TRUE(groups.ok());
+  EXPECT_FALSE(GroupShardable(groups.value()[0]));
+}
+
+TEST(ShardedEngineObs, ExportsShardSeries) {
+  obs::MetricsRegistry registry;
+  ShardedEngineOptions opts;
+  opts.shards = 2;
+  ShardedEngine engine(opts);
+  engine.set_metrics_registry(&registry);
+  Query q;
+  q.id = 1;
+  q.window = WindowSpec::Tumbling(100);
+  q.agg = {AggregationFunction::kSum, 0};
+  ASSERT_TRUE(engine.Configure({q}).ok());
+
+  const auto events = MakeWorkload(/*seed=*/5, /*count=*/5'000,
+                                   /*num_keys=*/32, /*skewed=*/false);
+  engine.IngestBatch(events.data(), events.size());
+  engine.Finish();
+
+#if DESIS_OBS_ENABLED
+  uint64_t shard_events = 0;
+  for (int s = 0; s < 2; ++s) {
+    shard_events += registry
+                        .GetCounter("engine.shard_events",
+                                    {{"shard", std::to_string(s)}})
+                        ->value();
+  }
+  EXPECT_EQ(shard_events, events.size());
+  EXPECT_GT(registry.GetHistogram("engine.merge_ns")->count(), 0u);
+#endif
+}
+
+// ------------------------------------------------------- cluster wiring --
+
+std::vector<ResultRow> RunCluster(int engine_shards, uint64_t* results_seen) {
+  ClusterTopology topo;
+  topo.num_locals = 3;
+  topo.num_intermediates = 1;
+  ClusterOptions options;
+  options.engine_shards = engine_shards;
+  Cluster cluster(ClusterSystem::kDesis, topo, options);
+
+  std::vector<ResultRow> rows;
+  cluster.set_sink([&rows](const WindowResult& r) {
+    rows.push_back(
+        {r.query_id, r.window_start, r.window_end, r.value, r.event_count});
+  });
+  EXPECT_TRUE(cluster.Configure(MixedQueries()).ok());
+
+  // Per-local substreams (each non-decreasing).
+  std::vector<std::vector<Event>> streams;
+  for (int l = 0; l < topo.num_locals; ++l) {
+    streams.push_back(MakeWorkload(/*seed=*/100 + static_cast<uint64_t>(l),
+                                   /*count=*/6'000, /*num_keys=*/32,
+                                   /*skewed=*/l == 1));
+  }
+  size_t pos = 0;
+  bool any = true;
+  Timestamp max_ts = 0;
+  std::vector<Timestamp> last_ts(static_cast<size_t>(topo.num_locals), 0);
+  while (any) {
+    any = false;
+    for (int l = 0; l < topo.num_locals; ++l) {
+      const auto& s = streams[static_cast<size_t>(l)];
+      if (pos >= s.size()) continue;
+      const size_t n = std::min<size_t>(256, s.size() - pos);
+      cluster.IngestAt(l, s.data() + pos, n);
+      last_ts[static_cast<size_t>(l)] = s[pos + n - 1].ts;
+      max_ts = std::max(max_ts, s[pos + n - 1].ts);
+      any = true;
+    }
+    pos += 256;
+    // A local's ingest must stay non-decreasing relative to its own
+    // watermark, so advance only to the slowest unfinished local's
+    // position: every local's next event is at or past that point.
+    Timestamp min_pending = kMaxTimestamp;
+    for (int l = 0; l < topo.num_locals; ++l) {
+      if (pos < streams[static_cast<size_t>(l)].size()) {
+        min_pending = std::min(min_pending, last_ts[static_cast<size_t>(l)]);
+      }
+    }
+    if (any && min_pending != kMaxTimestamp) {
+      cluster.Advance(min_pending - 1'000);
+    }
+  }
+  cluster.Advance(max_ts + 1'000'000);
+  cluster.Drain();
+  if (results_seen != nullptr) *results_seen = cluster.results();
+  // The sharded path must be visible in the report; the seed path must
+  // advertise 0.
+  EXPECT_NE(cluster.StatsReport().find(
+                "\"engine_shards\":" + std::to_string(engine_shards)),
+            std::string::npos);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(ShardedCluster, EngineShardsKnobDoesNotChangeResults) {
+  uint64_t seed_count = 0, sharded_count = 0;
+  const auto want = RunCluster(/*engine_shards=*/0, &seed_count);
+  const auto got = RunCluster(/*engine_shards=*/2, &sharded_count);
+  ExpectSameResults(want, got, "cluster shards=2");
+  EXPECT_EQ(seed_count, sharded_count);
+
+  const auto got4 = RunCluster(/*engine_shards=*/4, nullptr);
+  ExpectSameResults(want, got4, "cluster shards=4");
+}
+
+}  // namespace
+}  // namespace desis

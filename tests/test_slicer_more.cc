@@ -7,7 +7,7 @@
 #include "common/rng.h"
 #include "core/engine.h"
 #include "net/cluster.h"
-#include "net/root_assembler.h"
+#include "core/root_assembler.h"
 
 namespace desis {
 namespace {
@@ -156,9 +156,9 @@ class RootAssemblerTest : public ::testing::Test {
         [this](const WindowResult& r) { results_.push_back(r); });
   }
 
-  SlicePartialMsg Partial(Timestamp start, Timestamp end, double sum,
-                          uint64_t events) {
-    SlicePartialMsg msg;
+  SliceRecord Partial(Timestamp start, Timestamp end, double sum,
+                      uint64_t events) {
+    SliceRecord msg;
     msg.start = start;
     msg.end = end;
     msg.last_event_ts = events > 0 ? end - 1 : kNoTimestamp;

@@ -80,7 +80,7 @@ int RunDiff(int argc, char** argv) {
   if (!result.comparable) {
     std::fprintf(stderr,
                  "desis_inspect: sidecars are not comparable "
-                 "(different bench or obs_enabled)\n");
+                 "(different bench, obs_enabled, or engine_shards)\n");
     return 2;
   }
   std::fputs(desis::tools::FormatDiff(result, options).c_str(), stdout);

@@ -183,7 +183,19 @@ inline std::string Summarize(const JsonValue& sidecar) {
     for (size_t i = 0; i < transports.array.size(); ++i) {
       out += (i == 0 ? "" : ",") + transports.array[i].AsString();
     }
-    out += "]\n";
+    out += "]";
+    const JsonValue& shards = meta["engine_shards"];
+    if (shards.is_array()) {
+      out += " engine_shards=[";
+      for (size_t i = 0; i < shards.array.size(); ++i) {
+        out += (i == 0 ? "" : ",") + FormatDouble(shards.array[i].AsNumber());
+      }
+      out += "]";
+    }
+    if (meta["hw_threads"].is_number()) {
+      out += " hw_threads=" + FormatDouble(meta["hw_threads"].AsNumber());
+    }
+    out += "\n";
   }
   for (const JsonValue& run : sidecar["runs"].array) {
     out += "\nrun: " + run["run"].AsString("?") + "\n";
@@ -251,20 +263,26 @@ struct DiffResult {
 };
 
 /// Wall-clock-derived metric names: real on a quiet machine, noise in CI.
+/// The shard speedup/efficiency ratios are quotients of wall-clock rates,
+/// so they inherit the noise.
 inline bool IsNoisyMetric(const std::string& name) {
   return name.find("events_per_sec") != std::string::npos ||
          name.find("busy_ns") != std::string::npos ||
          name.find("_ns") != std::string::npos ||
          name.find("us_per_result") != std::string::npos ||
          name.find("latency") != std::string::npos ||
-         name.find("watermark_lag") != std::string::npos;
+         name.find("watermark_lag") != std::string::npos ||
+         name.find("speedup") != std::string::npos ||
+         name.find("scaling_efficiency") != std::string::npos;
 }
 
 /// Direction of badness: for these, only a *decrease* is a regression; for
 /// everything else any drift beyond the band is flagged.
 inline bool HigherIsBetter(const std::string& name) {
   return name.find("events_per_sec") != std::string::npos ||
-         name.find("sharing_ratio") != std::string::npos;
+         name.find("sharing_ratio") != std::string::npos ||
+         name.find("speedup") != std::string::npos ||
+         name.find("scaling_efficiency") != std::string::npos;
 }
 
 /// Flattens the numeric leaves of a report subtree into dotted paths
@@ -317,11 +335,25 @@ inline std::vector<std::pair<std::string, const JsonValue*>> KeyedRuns(
   return out;
 }
 
+/// The distinct engine-shard counts recorded in a sidecar's meta header.
+/// Sidecars written before the sharded engine existed have no such list.
+inline std::vector<double> MetaEngineShards(const JsonValue& sidecar) {
+  std::vector<double> out;
+  for (const JsonValue& v : sidecar["meta"]["engine_shards"].array) {
+    out.push_back(v.AsNumber());
+  }
+  return out;
+}
+
 inline DiffResult DiffSidecars(const JsonValue& before, const JsonValue& after,
                                const DiffOptions& options) {
   DiffResult result;
   if (before["bench"].AsString() != after["bench"].AsString() ||
-      before["obs_enabled"].boolean != after["obs_enabled"].boolean) {
+      before["obs_enabled"].boolean != after["obs_enabled"].boolean ||
+      // Runs with different parallelism configurations measure different
+      // code paths — never silently compare, say, a 4-shard run against
+      // the serial seed.
+      MetaEngineShards(before) != MetaEngineShards(after)) {
     result.comparable = false;
     return result;
   }
