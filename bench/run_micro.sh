@@ -10,6 +10,14 @@
 # the BM_IngestSharded shard sweep (events/sec, speedup and scaling
 # efficiency vs 1 shard, deterministic engine counters); its headline
 # numbers are appended to BENCH_history.jsonl when desis_inspect is built.
+#
+# The optimizer suites ride along: bench_correlated (10k-query factor
+# rewriting, sidecar BENCH_correlated.json) and bench_query_churn (runtime
+# add/remove latency, sidecar BENCH_query_churn.json). Both self-check
+# their acceptance contracts (byte-identical results, >= 2x operator-eval
+# reduction, full churn histograms) and fail this script on violation;
+# their sidecars are appended to BENCH_history.jsonl too. DESIS_BENCH_SCALE
+# scales every suite.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -37,3 +45,18 @@ if [[ -x "$inspect" && -s "$sharded_json" ]]; then
   "$inspect" summary "$sharded_json"
   "$inspect" history "$sharded_json" --append="$repo_root/BENCH_history.jsonl"
 fi
+
+# Optimizer suites: each exits non-zero when its acceptance contract fails
+# (set -e propagates that), then lands in the shared history file.
+for suite in correlated query_churn; do
+  suite_bin="$build_dir/bench/bench_${suite}"
+  suite_json="$repo_root/BENCH_${suite}.json"
+  if [[ -x "$suite_bin" ]]; then
+    DESIS_METRICS_OUT="$suite_json" "$suite_bin"
+    echo "Wrote $suite_json"
+    if [[ -x "$inspect" && -s "$suite_json" ]]; then
+      "$inspect" summary "$suite_json"
+      "$inspect" history "$suite_json" --append="$repo_root/BENCH_history.jsonl"
+    fi
+  fi
+done

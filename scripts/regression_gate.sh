@@ -12,14 +12,25 @@
 # evaluations, bytes on the wire, slice/result counts) so it is meaningful
 # on noisy shared CI machines; wall-clock throughput — and the shard
 # speedup/efficiency ratios derived from it — is recorded in the history
-# file but never gated on. Regenerate the baselines after an intentional
-# behaviour change with:
+# file but never gated on. The optimizer suites (bench_correlated,
+# bench_query_churn) run after: both self-check their acceptance contracts
+# (byte-identical optimized results, >= 2x operator-eval reduction, full
+# churn histograms) and exit non-zero on violation, then their stable
+# series (group events/evals, results, group counts) are diffed like the
+# rest — the opt.group_churn_ns timings are `_ns` series and auto-skipped.
+# Regenerate the baselines after an intentional behaviour change with:
 #   DESIS_BENCH_SCALE=0.01 \
 #   DESIS_METRICS_OUT=bench/baselines/fig6_smoke_baseline.json \
 #     <build-dir>/bench/bench_fig6
 #   DESIS_METRICS_OUT=bench/baselines/micro_sharded_baseline.json \
 #     <build-dir>/bench/bench_micro \
 #       --benchmark_filter='BM_IngestSharded' --benchmark_min_time=0.05
+#   DESIS_BENCH_SCALE=0.01 \
+#   DESIS_METRICS_OUT=bench/baselines/correlated_baseline.json \
+#     <build-dir>/bench/bench_correlated
+#   DESIS_BENCH_SCALE=0.01 \
+#   DESIS_METRICS_OUT=bench/baselines/query_churn_baseline.json \
+#     <build-dir>/bench/bench_query_churn
 set -euo pipefail
 
 BUILD_DIR=${1:?usage: regression_gate.sh <build-dir> [threshold]}
@@ -51,3 +62,20 @@ DESIS_METRICS_OUT="$SHARDED_OUT" "$BUILD_DIR/bench/bench_micro" \
   --append="$REPO_ROOT/BENCH_history.jsonl"
 "$BUILD_DIR/tools/desis_inspect" diff "$SHARDED_BASELINE" "$SHARDED_OUT" \
   --threshold="$THRESHOLD" --stable-only
+
+# Optimizer suites: the binaries fail on any acceptance-contract violation
+# (set -e propagates), then the deterministic series are diffed as usual.
+for suite in correlated query_churn; do
+  SUITE_BASELINE="$REPO_ROOT/bench/baselines/${suite}_baseline.json"
+  SUITE_OUT=$(mktemp -t "${suite}_XXXXXX.json")
+  trap 'rm -f "$OUT" "$SHARDED_OUT" "$SUITE_OUT"' EXIT
+  DESIS_BENCH_SCALE=0.01 DESIS_METRICS_OUT="$SUITE_OUT" \
+    "$BUILD_DIR/bench/bench_${suite}" >/dev/null
+
+  "$BUILD_DIR/tools/desis_inspect" summary "$SUITE_OUT"
+  "$BUILD_DIR/tools/desis_inspect" history "$SUITE_OUT" \
+    --append="$REPO_ROOT/BENCH_history.jsonl"
+  "$BUILD_DIR/tools/desis_inspect" diff "$SUITE_BASELINE" "$SUITE_OUT" \
+    --threshold="$THRESHOLD" --stable-only
+  rm -f "$SUITE_OUT"
+done

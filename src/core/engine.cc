@@ -63,6 +63,17 @@ Status SlicingEngine::Configure(const std::vector<Query>& queries) {
   return Status::OK();
 }
 
+Status SlicingEngine::ConfigureGroups(std::vector<QueryGroup> groups) {
+  slicers_.clear();
+  size_t queries = 0;
+  for (QueryGroup& group : groups) {
+    queries += group.queries.size();
+    slicers_.push_back(MakeSlicer(std::move(group)));
+  }
+  next_query_seq_ = queries;
+  return Status::OK();
+}
+
 void SlicingEngine::IngestOrdered(const Event& event) {
   ++stats_.events;
   last_ts_ = event.ts;

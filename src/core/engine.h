@@ -25,6 +25,12 @@ class SlicingEngine : public StreamEngine {
                 DeploymentMode mode = DeploymentMode::kCentralized);
 
   Status Configure(const std::vector<Query>& queries) override;
+
+  /// Configures from pre-analyzed (and possibly optimizer-planned) groups
+  /// instead of raw queries: the caller runs QueryAnalyzer — and optionally
+  /// opt::PlanGroups — itself and hands the result over. Group plans ride
+  /// along into the slicers; core stays independent of the optimizer.
+  Status ConfigureGroups(std::vector<QueryGroup> groups);
   void Ingest(const Event& event) override;
   /// Batched ingestion fast path: runs of events inside the current slice
   /// are folded with one boundary check and one bulk operator fold per lane

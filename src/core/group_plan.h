@@ -1,0 +1,54 @@
+#ifndef DESIS_CORE_GROUP_PLAN_H_
+#define DESIS_CORE_GROUP_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aggregation.h"
+
+namespace desis {
+
+/// Per-group execution plan emitted by the cost-based optimizer
+/// (src/opt/factor_planner.h) and executed by StreamSlicer/RootAssembler.
+/// A default-constructed plan (optimized == false) reproduces the static
+/// analyzer behaviour exactly: every lane folds the full group mask and
+/// every window merges base slices.
+struct GroupPlan {
+  bool optimized = false;
+
+  /// Per-lane reduced operator mask: the union of OperatorsFor() over the
+  /// queries bound to that lane, after ReduceMask(). Folding a lane pays
+  /// only its own operators instead of the whole group mask. Empty (or a
+  /// missing index) means "use the group mask".
+  std::vector<OperatorMask> lane_masks;
+
+  /// Factor-window DAG, indexed by spec-layout position (core/spec_layout.h;
+  /// identical to StreamSlicer/RootAssembler spec indices): feeder[i] == j
+  /// means spec i's windows are assembled from spec j's sealed window
+  /// composites instead of base slices; -1 (or empty) means no feeder.
+  /// Invariants (enforced by the planner): the feeder is a tumbling time
+  /// window, both specs are lane-unscoped (lane_filter == -1), and the
+  /// dependent's slide and length are multiples of the feeder length, so
+  /// every dependent window tiles exactly into feeder windows.
+  std::vector<int32_t> feeder;
+
+  /// DAG depth per spec (0 = leaf/no feeder); used to order same-timestamp
+  /// punctuations so feeder composites exist before dependents consume them.
+  std::vector<uint8_t> depth;
+
+  /// Number of factor edges installed (opt.rewrites gauge).
+  uint32_t rewrites = 0;
+  /// Longest feeder chain + 1 (opt.dag_depth gauge); 1 when unoptimized.
+  uint32_t dag_depth = 1;
+
+  int32_t FeederOf(uint32_t spec_idx) const {
+    return spec_idx < feeder.size() ? feeder[spec_idx] : -1;
+  }
+  uint8_t DepthOf(uint32_t spec_idx) const {
+    return spec_idx < depth.size() ? depth[spec_idx] : 0;
+  }
+};
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_GROUP_PLAN_H_

@@ -1,0 +1,78 @@
+#ifndef DESIS_CORE_GROUPING_H_
+#define DESIS_CORE_GROUPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "core/query_analyzer.h"
+
+namespace desis {
+namespace grouping {
+
+/// True if `q` may join a group with the given lanes: its predicate must be
+/// identical to some lane's or disjoint from every lane's (§4.2.3). Returns
+/// the lane index to use via `lane_out` (== lanes.size() for a new lane).
+/// Shared verbatim between the static QueryAnalyzer and the incremental
+/// opt::GroupIndex so both place a query identically by construction.
+inline bool FindLane(const std::vector<SelectionLane>& lanes, const Query& q,
+                     uint32_t* lane_out) {
+  uint32_t new_lane = static_cast<uint32_t>(lanes.size());
+  for (uint32_t i = 0; i < lanes.size(); ++i) {
+    switch (lanes[i].predicate.RelationTo(q.predicate)) {
+      case PredicateRelation::kIdentical:
+        if (lanes[i].deduplicate == q.deduplicate) {
+          *lane_out = i;
+          return true;
+        }
+        // Same predicate but different dedup semantics: needs its own lane;
+        // identical lanes are allowed to coexist (the event is simply folded
+        // into both).
+        break;
+      case PredicateRelation::kDisjoint:
+        break;
+      case PredicateRelation::kOverlapping:
+        return false;  // partially overlapping selections cannot share.
+    }
+  }
+  *lane_out = new_lane;
+  return true;
+}
+
+/// Key that splits queries into sharing classes under the given policy.
+/// Cross-function sharing maps everything to one class; per-function sharing
+/// (Scotty/DeSW) splits by function, quantile and measure; per-query sharing
+/// gives every query its own class. `index` is the query's arrival position
+/// (only the per-query policy consumes it).
+inline uint64_t SharingClass(SharingPolicy policy, const Query& q,
+                             size_t index) {
+  switch (policy) {
+    case SharingPolicy::kCrossFunction:
+      return 0;
+    case SharingPolicy::kPerFunction: {
+      const uint64_t fn = static_cast<uint64_t>(q.agg.fn);
+      const uint64_t measure = static_cast<uint64_t>(q.window.measure);
+      // Distinct quantile parameters are distinct functions for sharing.
+      const uint64_t qmille =
+          q.agg.fn == AggregationFunction::kQuantile
+              ? static_cast<uint64_t>(q.agg.quantile * 100000.0)
+              : 0;
+      return (fn << 40) | (measure << 32) | qmille;
+    }
+    case SharingPolicy::kPerQuery:
+      return static_cast<uint64_t>(index) + 1;
+  }
+  return 0;
+}
+
+/// Whether a query must run root-only under the given deployment mode
+/// (count-based measures cannot be terminated locally, §5.2).
+inline bool RootOnly(DeploymentMode mode, const Query& q) {
+  return mode == DeploymentMode::kDecentralized &&
+         q.window.measure == WindowMeasure::kCount;
+}
+
+}  // namespace grouping
+}  // namespace desis
+
+#endif  // DESIS_CORE_GROUPING_H_

@@ -169,6 +169,25 @@ class PartialAggregate {
   void SerializeTo(ByteWriter& out) const;
   static PartialAggregate DeserializeFrom(ByteReader& in);
 
+  /// Merges `src` into `dst` when the two masks may differ (runtime mask
+  /// widening, §3.2 incremental maintenance): the normal Merge when dst's
+  /// mask fits inside src's, otherwise the result is narrowed to src's
+  /// mask. Narrowing is safe because a slice sealed under the old mask can
+  /// only feed windows whose needed mask fits it — queries that forced the
+  /// widening are activation-gated (active_from) past every such window.
+  /// Runtime widening always grows masks (plain union, never ReduceMask),
+  /// so the two masks are guaranteed comparable.
+  static void MergeCompatible(PartialAggregate& dst,
+                              const PartialAggregate& src) {
+    if ((dst.mask_ & ~src.mask_) == 0) {
+      dst.Merge(src);
+      return;
+    }
+    PartialAggregate narrowed = src;
+    narrowed.Merge(dst);
+    dst = std::move(narrowed);
+  }
+
  private:
   OperatorMask mask_ = 0;
   SumState sum_;

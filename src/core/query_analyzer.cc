@@ -4,61 +4,9 @@
 #include <map>
 #include <tuple>
 
+#include "core/grouping.h"
+
 namespace desis {
-namespace {
-
-// True if `q` may join a group with the given lanes: its predicate must be
-// identical to some lane's or disjoint from every lane's (§4.2.3). Returns
-// the lane index to use via `lane_out` (== lanes.size() for a new lane).
-bool FindLane(const std::vector<SelectionLane>& lanes, const Query& q,
-              uint32_t* lane_out) {
-  uint32_t new_lane = static_cast<uint32_t>(lanes.size());
-  for (uint32_t i = 0; i < lanes.size(); ++i) {
-    switch (lanes[i].predicate.RelationTo(q.predicate)) {
-      case PredicateRelation::kIdentical:
-        if (lanes[i].deduplicate == q.deduplicate) {
-          *lane_out = i;
-          return true;
-        }
-        // Same predicate but different dedup semantics: needs its own lane;
-        // identical lanes are allowed to coexist (the event is simply folded
-        // into both).
-        break;
-      case PredicateRelation::kDisjoint:
-        break;
-      case PredicateRelation::kOverlapping:
-        return false;  // partially overlapping selections cannot share.
-    }
-  }
-  *lane_out = new_lane;
-  return true;
-}
-
-// Key that splits queries into sharing classes under the given policy.
-// Cross-function sharing maps everything to one class; per-function sharing
-// (Scotty/DeSW) splits by function, quantile and measure; per-query sharing
-// gives every query its own class.
-uint64_t SharingClass(SharingPolicy policy, const Query& q, size_t index) {
-  switch (policy) {
-    case SharingPolicy::kCrossFunction:
-      return 0;
-    case SharingPolicy::kPerFunction: {
-      const uint64_t fn = static_cast<uint64_t>(q.agg.fn);
-      const uint64_t measure = static_cast<uint64_t>(q.window.measure);
-      // Distinct quantile parameters are distinct functions for sharing.
-      const uint64_t qmille =
-          q.agg.fn == AggregationFunction::kQuantile
-              ? static_cast<uint64_t>(q.agg.quantile * 100000.0)
-              : 0;
-      return (fn << 40) | (measure << 32) | qmille;
-    }
-    case SharingPolicy::kPerQuery:
-      return static_cast<uint64_t>(index) + 1;
-  }
-  return 0;
-}
-
-}  // namespace
 
 Result<std::vector<QueryGroup>> QueryAnalyzer::Analyze(
     const std::vector<Query>& queries) const {
@@ -73,20 +21,20 @@ Result<std::vector<QueryGroup>> QueryAnalyzer::Analyze(
   std::vector<QueryGroup> groups;
   // (root_only, sharing class) -> indices of candidate groups, probed in
   // order; a query opens a new group only if no compatible group exists.
+  // The incremental opt::GroupIndex replays exactly this probe order, so a
+  // runtime-added query lands in the same group a cold-start analyze would
+  // pick.
   std::map<std::pair<bool, uint64_t>, std::vector<size_t>> buckets;
 
   for (size_t qi = 0; qi < queries.size(); ++qi) {
     const Query& q = queries[qi];
-    // Count-based windows cannot be terminated locally: only the root sees
-    // the global event count (§5.2). In centralized mode everything shares.
-    const bool root_only = mode_ == DeploymentMode::kDecentralized &&
-                           q.window.measure == WindowMeasure::kCount;
-    const uint64_t cls = SharingClass(policy_, q, qi);
+    const bool root_only = grouping::RootOnly(mode_, q);
+    const uint64_t cls = grouping::SharingClass(policy_, q, qi);
 
     bool placed = false;
     for (size_t gi : buckets[{root_only, cls}]) {
       uint32_t lane = 0;
-      if (!FindLane(groups[gi].lanes, q, &lane)) continue;
+      if (!grouping::FindLane(groups[gi].lanes, q, &lane)) continue;
       if (lane == groups[gi].lanes.size()) {
         groups[gi].lanes.push_back({q.predicate, q.deduplicate});
       }
@@ -122,6 +70,11 @@ void RegisterGroupMetrics(const QueryGroup& group,
   set("group.operators", "operators", OperatorCount(group.mask));
   set("group.lanes", "lanes", static_cast<int64_t>(group.lanes.size()));
   set("group.root_only", "bool", group.root_only ? 1 : 0);
+  if (group.plan.optimized) {
+    set("opt.rewrites", "edges", static_cast<int64_t>(group.plan.rewrites));
+    set("opt.dag_depth", "levels",
+        static_cast<int64_t>(group.plan.dag_depth));
+  }
 }
 
 }  // namespace desis

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/group_plan.h"
 #include "core/query.h"
 #include "obs/metrics.h"
 
@@ -38,6 +39,10 @@ struct QueryGroup {
   /// (count-based measures cannot be terminated locally, §5.2); local nodes
   /// forward matching raw events instead of slice partials.
   bool root_only = false;
+  /// Cost-based execution plan (src/opt/). Default-constructed (disabled)
+  /// unless the optimizer ran over this group; the slicer and assembler
+  /// fall back to the static behaviour whenever it is disabled.
+  GroupPlan plan;
 };
 
 /// Deployment mode; affects which groups must be evaluated at the root.

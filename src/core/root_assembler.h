@@ -38,6 +38,13 @@ class RootAssembler {
   const QueryGroup& group() const { return group_; }
   size_t pending_entries() const { return entries_.size(); }
 
+  /// Registers one query at runtime (incremental group maintenance, §3.2);
+  /// mirrors StreamSlicer::ApplyQueryAdd. `active_from` additionally gets
+  /// raised past the last advanced watermark so the new query never sees a
+  /// window whose entries were already (partially) garbage collected.
+  void ApplyQueryAdd(const Query& q, uint32_t lane,
+                     const SelectionLane& lane_def, Timestamp active_from);
+
   /// Stops emitting results for `id` (runtime query removal, §3.2).
   bool SuppressQuery(QueryId id);
 
@@ -81,18 +88,46 @@ class RootAssembler {
   void ScanSessionsUpTo(Timestamp watermark);
   void CollectGarbage(Timestamp watermark);
 
+  /// Effective lane mask under the group plan (group mask when static).
+  OperatorMask LaneMask(uint32_t lane) const {
+    const auto& lm = group_.plan.lane_masks;
+    return (group_.plan.optimized && lane < lm.size() && lm[lane] != 0)
+               ? lm[lane]
+               : group_.mask;
+  }
+  bool ActiveFor(uint32_t qi, Timestamp ws) const {
+    const Timestamp af =
+        qi < active_from_.size() ? active_from_[qi] : kNoTimestamp;
+    return af == kNoTimestamp || ws >= af;
+  }
+
   QueryGroup group_;
   EngineStats* stats_;
   WindowSink sink_;
   std::vector<SpecState> specs_;
   std::vector<uint32_t> session_specs_;
   std::vector<uint32_t> ud_specs_;
+  /// Fixed-spec firing order: DAG depth first (factor feeders assemble
+  /// before dependents at each watermark), spec index second. Identical to
+  /// plain index order when no plan is active.
+  std::vector<uint32_t> fixed_order_;
   std::map<EntryKey, Entry> entries_;
   EntryKey session_cursor_{kNoTimestamp, kNoTimestamp};
   bool initialized_ = false;
   bool any_closed_ = false;
   Timestamp first_start_ = kMaxTimestamp;
+  Timestamp last_advanced_ = kNoTimestamp;
   std::unordered_set<QueryId> suppressed_;
+  std::vector<Timestamp> active_from_;
+  /// Factor-window execution at the root: closed feeder windows' per-lane
+  /// states (under the lane masks), keyed by (start, end); dependents merge
+  /// one composite per covered feeder range instead of every entry in it.
+  struct FactorComposite {
+    std::vector<PartialAggregate> lanes;
+    std::vector<uint64_t> lane_events;
+  };
+  std::map<EntryKey, FactorComposite> composites_;
+  std::vector<bool> spec_is_feeder_;
 };
 
 }  // namespace desis

@@ -17,14 +17,24 @@ namespace {
 /// matching the assembler's accounting.
 void MergeSliceInto(SliceRecord* dst, const SliceRecord& src,
                     EngineStats* stats) {
-  for (size_t i = 0; i < dst->lanes.size(); ++i) {
+  // Shards racing a runtime query add can seal the same range with
+  // different lane counts / operator masks for one barrier round: merge
+  // the shared prefix mask-compatibly and append the wider record's extra
+  // lanes.
+  const size_t shared = std::min(dst->lanes.size(), src.lanes.size());
+  for (size_t i = 0; i < shared; ++i) {
     if (src.lane_events[i] == 0) continue;
-    dst->lanes[i].Merge(src.lanes[i]);
+    PartialAggregate::MergeCompatible(dst->lanes[i], src.lanes[i]);
     dst->lane_events[i] += src.lane_events[i];
     if (src.lane_last_ts[i] > dst->lane_last_ts[i]) {
       dst->lane_last_ts[i] = src.lane_last_ts[i];
     }
     ++stats->merges;
+  }
+  for (size_t i = shared; i < src.lanes.size(); ++i) {
+    dst->lanes.push_back(src.lanes[i]);
+    dst->lane_events.push_back(src.lane_events[i]);
+    dst->lane_last_ts.push_back(src.lane_last_ts[i]);
   }
   if (src.last_event_ts > dst->last_event_ts) {
     dst->last_event_ts = src.last_event_ts;
@@ -155,6 +165,87 @@ void ShardedEngine::AddShardedGroups(const std::vector<QueryGroup>& groups) {
   for (auto& s : shards_) {
     std::lock_guard<std::mutex> lk(s->mu);
   }
+}
+
+bool ShardedEngine::ApplyQueryAdd(uint32_t group_id, const Query& q,
+                                  uint32_t lane, const SelectionLane& lane_def,
+                                  Timestamp active_from) {
+  bool found = false;
+  Quiesce();
+  for (auto& s : shards_) {
+    for (size_t i = 0; i < s->slicers.size(); ++i) {
+      if (s->slicer_gids[i] != group_id) continue;
+      // May seal the shard's current slice; the sink parks it in s->sealed
+      // under s->mu, picked up at the next barrier like any other seal.
+      s->slicers[i]->ApplyQueryAdd(q, lane, lane_def, active_from);
+      found = true;
+    }
+  }
+  for (auto& sl : serial_slicers_) {
+    if (sl->group().id != group_id) continue;
+    sl->ApplyQueryAdd(q, lane, lane_def, active_from);
+    found = true;
+  }
+  for (auto& [gid, assembler] : assemblers_) {
+    if (gid != group_id) continue;
+    assembler->ApplyQueryAdd(q, lane, lane_def, active_from);
+    found = true;
+  }
+  // Publish the consumer-side mutation to the shard threads through their
+  // parking lots (same release/acquire chain as AddShardedGroups).
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lk(s->mu);
+  }
+  return found;
+}
+
+bool ShardedEngine::RemoveShardedGroup(uint32_t group_id) {
+  bool found = false;
+  Quiesce();
+  const auto drop_gid = [group_id](std::pair<uint32_t, SliceRecord>& p) {
+    return p.first == group_id;
+  };
+  for (auto& s : shards_) {
+    for (size_t i = 0; i < s->slicers.size();) {
+      if (s->slicer_gids[i] != group_id) {
+        ++i;
+        continue;
+      }
+      s->slicers.erase(s->slicers.begin() + static_cast<int64_t>(i));
+      s->slicer_gids.erase(s->slicer_gids.begin() + static_cast<int64_t>(i));
+      found = true;
+    }
+    std::lock_guard<std::mutex> lk(s->mu);
+    s->sealed.erase(std::remove_if(s->sealed.begin(), s->sealed.end(), drop_gid),
+                    s->sealed.end());
+  }
+  for (size_t i = 0; i < serial_slicers_.size();) {
+    if (serial_slicers_[i]->group().id != group_id) {
+      ++i;
+      continue;
+    }
+    serial_slicers_.erase(serial_slicers_.begin() + static_cast<int64_t>(i));
+    found = true;
+  }
+  for (auto it = assemblers_.begin(); it != assemblers_.end();) {
+    if (it->first == group_id) {
+      it = assemblers_.erase(it);
+      found = true;
+    } else {
+      ++it;
+    }
+  }
+  for (auto& vec : drained_) {
+    vec.erase(std::remove_if(vec.begin(), vec.end(), drop_gid), vec.end());
+  }
+  for (auto it = pending_ship_.begin(); it != pending_ship_.end();) {
+    if (std::get<0>(it->first) == group_id) {
+      it = pending_ship_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return found;
 }
 
 void ShardedEngine::SetupShards(const std::vector<QueryGroup>& groups) {

@@ -113,6 +113,17 @@ class ShardedEngine : public StreamEngine {
   /// mode): quiesces the shard pool, installs the slicers, resumes.
   void AddShardedGroups(const std::vector<QueryGroup>& groups);
 
+  /// Joins one query into an already-deployed group (incremental group
+  /// maintenance): quiesces the pool, applies the add to the group's
+  /// slicer replica on every shard, resumes. Returns false when no shard
+  /// (or serial slicer / assembler) hosts `group_id`.
+  bool ApplyQueryAdd(uint32_t group_id, const Query& q, uint32_t lane,
+                     const SelectionLane& lane_def, Timestamp active_from);
+
+  /// Tears down one group across every shard (last member query removed).
+  /// Sealed-but-unshipped fragments of the group are discarded.
+  bool RemoveShardedGroup(uint32_t group_id);
+
  protected:
   void OnTracerAttached() override;
   void OnRegistryAttached() override;

@@ -7,6 +7,8 @@
 #include <string>
 #include <tuple>
 
+#include "core/spec_layout.h"
+
 namespace desis {
 namespace {
 
@@ -37,43 +39,34 @@ StreamSlicer::StreamSlicer(QueryGroup group, SlicerOptions options,
     : group_(std::move(group)), options_(options), stats_(stats) {
   assert(stats_ != nullptr);
   // Deduplicate window specs: queries with identical specs share
-  // punctuations, open-window bookkeeping, and window assembly. Dynamic
-  // (session/user-defined) and count-based windows are additionally scoped
-  // to their query's selection lane, since their boundaries depend on which
-  // events match.
-  using SpecKey = std::tuple<WindowType, WindowMeasure, int64_t, int64_t,
-                             Timestamp, int>;
-  std::map<SpecKey, uint32_t> spec_lookup;  // groups can hold 100k+ queries
-  for (uint32_t qi = 0; qi < group_.queries.size(); ++qi) {
-    const WindowSpec& spec = group_.queries[qi].query.window;
-    const bool lane_scoped = spec.measure == WindowMeasure::kCount ||
-                             spec.type == WindowType::kSession ||
-                             spec.type == WindowType::kUserDefined;
-    const int lane_filter =
-        lane_scoped ? static_cast<int>(group_.queries[qi].lane) : -1;
-    const SpecKey key{spec.type, spec.measure, spec.length, spec.slide,
-                      spec.gap, lane_filter};
-    uint32_t si;
-    auto found = spec_lookup.find(key);
-    if (found != spec_lookup.end()) {
-      si = found->second;
-    } else {
-      si = static_cast<uint32_t>(specs_.size());
-      spec_lookup.emplace(key, si);
+  // punctuations, open-window bookkeeping, and window assembly. The layout
+  // (core/spec_layout.h) is the canonical spec numbering shared with the
+  // RootAssembler and the factor-window planner.
+  for (SpecLayoutEntry& entry : DeriveSpecLayout(group_)) {
+    const uint32_t si = static_cast<uint32_t>(specs_.size());
+    SpecState state;
+    state.spec = entry.spec;
+    state.lane_filter = entry.lane_filter;
+    state.query_idxs = std::move(entry.query_idxs);
+    specs_.push_back(std::move(state));
+    if (entry.spec.measure == WindowMeasure::kCount) {
+      count_specs_.push_back(si);
+    } else if (entry.spec.type == WindowType::kUserDefined) {
+      ud_specs_.push_back(si);
     }
-    if (si == specs_.size()) {
-      SpecState state;
-      state.spec = spec;
-      state.lane_filter = lane_filter;
-      specs_.push_back(std::move(state));
-      if (spec.measure == WindowMeasure::kCount) {
-        count_specs_.push_back(si);
-      } else if (spec.type == WindowType::kUserDefined) {
-        ud_specs_.push_back(si);
+  }
+  spec_rank_.assign(specs_.size(), 0);
+  spec_is_feeder_.assign(specs_.size(), false);
+  if (group_.plan.optimized) {
+    for (uint32_t si = 0; si < specs_.size(); ++si) {
+      spec_rank_[si] = group_.plan.DepthOf(si);
+      const int32_t f = group_.plan.FeederOf(si);
+      if (f >= 0 && static_cast<size_t>(f) < specs_.size()) {
+        spec_is_feeder_[static_cast<size_t>(f)] = true;
       }
     }
-    specs_[si].query_idxs.push_back(qi);
   }
+  active_from_.assign(group_.queries.size(), kNoTimestamp);
 
   // Group session specs by lane, sorted ascending by gap (see SessionLane).
   lane_session_idx_.assign(group_.lanes.size(), -1);
@@ -101,9 +94,9 @@ StreamSlicer::StreamSlicer(QueryGroup group, SlicerOptions options,
   count_heaps_.resize(group_.lanes.size());
 
   current_lanes_.reserve(group_.lanes.size());
-  for (const SelectionLane& lane : group_.lanes) {
-    current_lanes_.emplace_back(group_.mask);
-    any_dedup_ = any_dedup_ || lane.deduplicate;
+  for (uint32_t lane = 0; lane < group_.lanes.size(); ++lane) {
+    current_lanes_.emplace_back(LaneMask(lane));
+    any_dedup_ = any_dedup_ || group_.lanes[lane].deduplicate;
   }
   current_lane_events_.assign(group_.lanes.size(), 0);
   current_lane_last_ts_.assign(group_.lanes.size(), kNoTimestamp);
@@ -143,8 +136,158 @@ bool StreamSlicer::SuppressQuery(QueryId id) {
   return false;
 }
 
+void StreamSlicer::ApplyQueryAdd(const Query& q, uint32_t lane,
+                                 const SelectionLane& lane_def,
+                                 Timestamp active_from) {
+  const OperatorMask q_ops = OperatorsFor(q.agg.fn);
+  const bool new_lane = lane >= group_.lanes.size();
+
+  // Effective-mask snapshot: a structural change is anything that alters
+  // the shape or width of the fold state.
+  std::vector<OperatorMask> before;
+  before.reserve(group_.lanes.size());
+  for (uint32_t i = 0; i < group_.lanes.size(); ++i) {
+    before.push_back(LaneMask(i));
+  }
+
+  // Runtime widening uses the plain union (never ReduceMask): dropping the
+  // decomposable-sort bit when a non-decomposable query joins would orphan
+  // the min/max state already sealed into earlier slices. Cold slicers
+  // (no slices yet) reduce, matching a cold-start configuration exactly.
+  const bool cold = !initialized_;
+  auto widen = [&](OperatorMask m) {
+    const auto u = static_cast<OperatorMask>(m | q_ops);
+    return cold ? ReduceMask(u) : u;
+  };
+  group_.mask = widen(group_.mask);
+  if (group_.plan.optimized) {
+    auto& lm = group_.plan.lane_masks;
+    if (lm.size() < group_.lanes.size()) lm.resize(group_.lanes.size(), 0);
+    if (new_lane) {
+      lm.push_back(ReduceMask(q_ops));
+    } else if (lm[lane] != 0) {
+      lm[lane] = widen(lm[lane]);
+    }  // a zero entry falls through to the group mask, already widened
+  }
+
+  bool structural = new_lane;
+  for (uint32_t i = 0; i < before.size(); ++i) {
+    structural = structural || LaneMask(i) != before[i];
+  }
+
+  // Find or register the window spec (same keying as DeriveSpecLayout).
+  const int lane_filter =
+      SpecLaneScoped(q.window) ? static_cast<int>(lane) : -1;
+  uint32_t si = 0;
+  for (; si < specs_.size(); ++si) {
+    if (specs_[si].spec == q.window && specs_[si].lane_filter == lane_filter) {
+      break;
+    }
+  }
+  const bool new_spec = si == specs_.size();
+  structural = structural || new_spec;
+
+  if (initialized_ && structural && current_slice_events_ > 0) {
+    // Cut the stream here: earlier slices keep their shape, the new shape
+    // starts with the next slice. Sealing also ships the slice, so
+    // downstream nodes never see a mixed-width slice.
+    SealCurrentSlice(last_seen_ts_);
+    FlushShippableSlice();
+  }
+
+  if (new_lane) {
+    group_.lanes.push_back(lane_def);
+    current_lane_events_.push_back(0);
+    current_lane_last_ts_.push_back(kNoTimestamp);
+    lane_total_events_.push_back(0);
+    lane_session_idx_.push_back(-1);
+    count_heaps_.emplace_back();
+    any_dedup_ = any_dedup_ || lane_def.deduplicate;
+    if (any_dedup_) dedup_sets_.resize(group_.lanes.size());
+  }
+  if (structural) {
+    // The fold state is empty here (freshly sealed or never written);
+    // rebuild it at the new shape/masks.
+    assert(current_slice_events_ == 0);
+    current_lanes_.clear();
+    for (uint32_t i = 0; i < group_.lanes.size(); ++i) {
+      current_lanes_.emplace_back(LaneMask(i));
+    }
+  }
+
+  const auto qi = static_cast<uint32_t>(group_.queries.size());
+  group_.queries.push_back({q, lane});
+  active_from_.resize(group_.queries.size(), kNoTimestamp);
+  active_from_.back() = active_from;
+
+  if (new_spec) {
+    SpecState state;
+    state.spec = q.window;
+    state.lane_filter = lane_filter;
+    specs_.push_back(std::move(state));
+    spec_rank_.push_back(0);  // runtime-added specs join the DAG unfactored
+    spec_is_feeder_.push_back(false);
+    SpecState& st = specs_[si];
+    if (st.spec.measure == WindowMeasure::kCount) {
+      count_specs_.push_back(si);
+      if (initialized_) {
+        // The first runtime count window opens now, at the lane's current
+        // event count.
+        st.open.push_back({last_seen_ts_, current_slice_id_});
+        auto& heap = count_heaps_[lane];
+        const uint64_t base_count = lane_total_events_[lane];
+        heap.push(
+            {base_count + static_cast<uint64_t>(st.spec.length), 0, si});
+        heap.push({base_count + static_cast<uint64_t>(st.spec.slide), 1, si});
+      }
+    } else if (st.spec.type == WindowType::kUserDefined) {
+      ud_specs_.push_back(si);
+    } else if (st.spec.type == WindowType::kSession &&
+               st.spec.measure == WindowMeasure::kTime) {
+      if (lane_session_idx_[lane] < 0) {
+        lane_session_idx_[lane] = static_cast<int>(session_lanes_.size());
+        session_lanes_.push_back({lane, {}, 0, kNoTimestamp});
+      }
+      SessionLane& sl =
+          session_lanes_[static_cast<size_t>(lane_session_idx_[lane])];
+      // Insert in gap order. The sorted-prefix invariant (inactive specs
+      // first) holds because closed specs always have the smaller gaps.
+      auto pos = std::lower_bound(sl.specs_by_gap.begin(),
+                                  sl.specs_by_gap.end(), si,
+                                  [&](uint32_t a, uint32_t b) {
+                                    return specs_[a].spec.gap <
+                                           specs_[b].spec.gap;
+                                  });
+      const auto idx = static_cast<size_t>(pos - sl.specs_by_gap.begin());
+      sl.specs_by_gap.insert(pos, si);
+      if (idx < sl.num_inactive ||
+          sl.num_inactive == sl.specs_by_gap.size() - 1) {
+        // Joins the inactive prefix (lane idle, or gap below the boundary).
+        ++sl.num_inactive;
+      } else {
+        // The lane has an ongoing session under a smaller gap, so this
+        // spec's session is live too: open it at the current slice
+        // (emission before active_from is gated anyway).
+        st.active = true;
+        st.open.push_back({last_seen_ts_ == kNoTimestamp ? 0 : last_seen_ts_,
+                           current_slice_id_});
+      }
+    } else if (initialized_) {
+      ScheduleInitial(si, last_seen_ts_, current_slice_id_);
+    }
+  }
+  specs_[si].query_idxs.push_back(qi);
+
+  batch_fast_path_ = !any_dedup_ && session_lanes_.empty() &&
+                     ud_specs_.empty() && count_specs_.empty();
+
+  // Re-register metrics: the mask/lane/spec shape may have changed.
+  if (registry_ != nullptr) set_metrics(registry_);
+}
+
 void StreamSlicer::set_metrics(obs::MetricsRegistry* registry) {
   FlushEventsInCounter();  // do not lose events counted for an old registry
+  registry_ = registry;
   events_in_counter_ = nullptr;
   queries_gauge_ = nullptr;
   for (int k = 0; k < kNumOperatorKinds; ++k) op_eval_counters_[k] = nullptr;
@@ -186,7 +329,8 @@ void StreamSlicer::Initialize(Timestamp first_ts) {
   initialized_ = true;
 }
 
-void StreamSlicer::ScheduleInitial(uint32_t spec_idx, Timestamp first_ts) {
+void StreamSlicer::ScheduleInitial(uint32_t spec_idx, Timestamp first_ts,
+                                   uint64_t first_slice_id) {
   SpecState& st = specs_[spec_idx];
   const int64_t l = st.spec.length;
   const int64_t s = st.spec.slide;
@@ -194,13 +338,13 @@ void StreamSlicer::ScheduleInitial(uint32_t spec_idx, Timestamp first_ts) {
   // every window that already contains first_ts.
   const Timestamp ws_min = (FloorDiv(first_ts - l, s) + 1) * s;
   for (Timestamp ws = ws_min; ws <= first_ts; ws += s) {
-    st.open.push_back({ws, 0});
+    st.open.push_back({ws, first_slice_id});
   }
   st.next_ep = ws_min + l;
   st.next_sp = (FloorDiv(first_ts, s) + 1) * s;
   if (options_.punctuation == PunctuationStrategy::kPrecomputed) {
-    boundary_heap_.push({st.next_ep, 0, spec_idx});
-    boundary_heap_.push({st.next_sp, 1, spec_idx});
+    boundary_heap_.push({st.next_ep, 0, spec_idx, spec_rank_[spec_idx]});
+    boundary_heap_.push({st.next_sp, 1, spec_idx, spec_rank_[spec_idx]});
   }
 }
 
@@ -288,7 +432,7 @@ void StreamSlicer::ProcessEp(uint32_t spec_idx, Timestamp ts) {
   }
   st.next_ep = ts + st.spec.slide;
   if (options_.punctuation == PunctuationStrategy::kPrecomputed) {
-    boundary_heap_.push({st.next_ep, 0, spec_idx});
+    boundary_heap_.push({st.next_ep, 0, spec_idx, spec_rank_[spec_idx]});
   }
 }
 
@@ -298,7 +442,7 @@ void StreamSlicer::ProcessSp(uint32_t spec_idx, Timestamp ts) {
   st.open.push_back({ts, current_slice_id_});
   st.next_sp = ts + st.spec.slide;
   if (options_.punctuation == PunctuationStrategy::kPrecomputed) {
-    boundary_heap_.push({st.next_sp, 1, spec_idx});
+    boundary_heap_.push({st.next_sp, 1, spec_idx, spec_rank_[spec_idx]});
   }
 }
 
@@ -362,11 +506,27 @@ uint64_t StreamSlicer::SealCurrentSlice(Timestamp end_ts) {
   ++stats_->slices_created;
   if (events_in_counter_ != nullptr) {
     // Per-slice cost-attribution flush: every fold in the sealed slice paid
-    // each operator in the group mask exactly once (the sharing invariant),
-    // so each active op series advances by the slice's fold count.
+    // each operator in its lane's mask exactly once (the sharing
+    // invariant). Without a plan every lane folds the full group mask and
+    // each active op series advances by the slice's whole fold count — the
+    // original accounting; under per-lane mask narrowing each series only
+    // advances by the folds on lanes that carry that operator.
     FlushEventsInCounter();
-    for (obs::Counter* op : op_eval_counters_) {
-      if (op != nullptr) op->Add(current_slice_events_);
+    if (!group_.plan.optimized) {
+      for (obs::Counter* op : op_eval_counters_) {
+        if (op != nullptr) op->Add(current_slice_events_);
+      }
+    } else {
+      const std::vector<uint64_t>& lane_events = records_.back().lane_events;
+      for (int k = 0; k < kNumOperatorKinds; ++k) {
+        if (op_eval_counters_[k] == nullptr) continue;
+        const auto kind = static_cast<OperatorKind>(k);
+        uint64_t evals = 0;
+        for (uint32_t lane = 0; lane < lane_events.size(); ++lane) {
+          if (MaskHas(LaneMask(lane), kind)) evals += lane_events[lane];
+        }
+        if (evals != 0) op_eval_counters_[k]->Add(evals);
+      }
     }
   }
   if (tracer_ != nullptr) {
@@ -376,8 +536,8 @@ uint64_t StreamSlicer::SealCurrentSlice(Timestamp end_ts) {
   }
 
   current_lanes_.clear();
-  for (size_t i = 0; i < group_.lanes.size(); ++i) {
-    current_lanes_.emplace_back(group_.mask);
+  for (uint32_t lane = 0; lane < group_.lanes.size(); ++lane) {
+    current_lanes_.emplace_back(LaneMask(lane));
   }
   current_lane_events_.assign(group_.lanes.size(), 0);
   current_lane_last_ts_.assign(group_.lanes.size(), kNoTimestamp);
@@ -409,34 +569,116 @@ void StreamSlicer::CloseWindow(uint32_t spec_idx,
   const uint64_t lo = std::max(window.first_slice_id, base);
   const uint64_t hi = std::min(last_slice_id, records_.back().id);
 
+  // Factor-window execution (§ optimizer): a feeder window's merged
+  // per-lane states are kept (under the lane masks, so any dependent's
+  // needed mask fits) and each dependent window merges one composite per
+  // covered feeder range instead of every base slice in it.
+  const bool is_feeder =
+      spec_idx < spec_is_feeder_.size() && spec_is_feeder_[spec_idx];
+  const FactorComposite* own_composite = nullptr;
+  if (is_feeder) {
+    FactorComposite composite;
+    composite.lanes.reserve(group_.lanes.size());
+    composite.lane_events.assign(group_.lanes.size(), 0);
+    for (uint32_t lane = 0; lane < group_.lanes.size(); ++lane) {
+      PartialAggregate acc(LaneMask(lane));
+      acc.Seal();
+      for (uint64_t id = lo; id <= hi && hi >= lo; ++id) {
+        const SliceRecord& rec = records_[id - base];
+        if (lane >= rec.lane_events.size() || rec.lane_events[lane] == 0) {
+          continue;
+        }
+        PartialAggregate::MergeCompatible(acc, rec.lanes[lane]);
+        composite.lane_events[lane] += rec.lane_events[lane];
+        ++stats_->merges;
+      }
+      composite.lanes.push_back(std::move(acc));
+    }
+    own_composite =
+        &(composites_[{window.start_ts, end_ts}] = std::move(composite));
+  }
+  const int32_t feeder = group_.plan.optimized
+                             ? group_.plan.FeederOf(spec_idx)
+                             : -1;
+  const Timestamp feeder_len =
+      feeder >= 0 && static_cast<size_t>(feeder) < specs_.size()
+          ? specs_[static_cast<size_t>(feeder)].spec.length
+          : 0;
+
   // Assemble once per selection lane, then finalize once per query; queries
   // sharing a lane share the merged operator states (§4.3).
   for (uint32_t lane = 0; lane < group_.lanes.size(); ++lane) {
     OperatorMask needed = 0;
     for (uint32_t qi : st.query_idxs) {
       const GroupedQuery& gq = group_.queries[qi];
-      if (gq.lane == lane && !suppressed_.contains(gq.query.id)) {
+      if (gq.lane == lane && !suppressed_.contains(gq.query.id) &&
+          ActiveFor(qi, window.start_ts)) {
         needed |= OperatorsFor(gq.query.agg.fn);
       }
     }
     if (needed == 0) continue;
-    needed = ResolveNeeded(needed, group_.mask);
+    needed = ResolveNeeded(needed, LaneMask(lane));
 
     PartialAggregate acc(needed);
     acc.Seal();
     uint64_t events = 0;
-    for (uint64_t id = lo; id <= hi && hi >= lo; ++id) {
-      const SliceRecord& rec = records_[id - base];
-      if (rec.lane_events[lane] == 0) continue;
-      acc.Merge(rec.lanes[lane]);
-      events += rec.lane_events[lane];
-      ++stats_->merges;
+    if (own_composite != nullptr) {
+      // This window IS the composite: one merge of the lane-mask state.
+      if (own_composite->lane_events[lane] != 0) {
+        acc.Merge(own_composite->lanes[lane]);
+        events = own_composite->lane_events[lane];
+        ++stats_->merges;
+      }
+    } else if (feeder_len > 0) {
+      uint64_t id = lo;
+      for (Timestamp sub = window.start_ts; sub < end_ts; sub += feeder_len) {
+        const Timestamp sub_end = std::min(sub + feeder_len, end_ts);
+        auto cit = composites_.find({sub, sub_end});
+        if (cit != composites_.end()) {
+          const FactorComposite& c = cit->second;
+          if (lane < c.lanes.size() && c.lane_events[lane] != 0) {
+            PartialAggregate::MergeCompatible(acc, c.lanes[lane]);
+            events += c.lane_events[lane];
+            ++stats_->merges;
+          }
+          while (id <= hi && hi >= lo && records_[id - base].start < sub_end) {
+            ++id;  // base slices covered by the composite
+          }
+        } else {
+          // No composite for this range (stream head, tail, or a
+          // runtime-added feeder): fall back to base slices.
+          for (; id <= hi && hi >= lo && records_[id - base].start < sub_end;
+               ++id) {
+            const SliceRecord& rec = records_[id - base];
+            if (lane >= rec.lane_events.size() ||
+                rec.lane_events[lane] == 0) {
+              continue;
+            }
+            PartialAggregate::MergeCompatible(acc, rec.lanes[lane]);
+            events += rec.lane_events[lane];
+            ++stats_->merges;
+          }
+        }
+      }
+    } else {
+      for (uint64_t id = lo; id <= hi && hi >= lo; ++id) {
+        const SliceRecord& rec = records_[id - base];
+        if (lane >= rec.lane_events.size() || rec.lane_events[lane] == 0) {
+          continue;
+        }
+        PartialAggregate::MergeCompatible(acc, rec.lanes[lane]);
+        events += rec.lane_events[lane];
+        ++stats_->merges;
+      }
     }
     if (events == 0) continue;
 
     for (uint32_t qi : st.query_idxs) {
       const GroupedQuery& gq = group_.queries[qi];
-      if (gq.lane != lane || suppressed_.contains(gq.query.id)) continue;
+      if (gq.lane != lane || suppressed_.contains(gq.query.id) ||
+          !ActiveFor(qi, window.start_ts)) {
+        continue;
+      }
       if (window_partial_sink_) {
         window_partial_sink_(gq.query.id, window.start_ts, end_ts, acc,
                              events);
@@ -466,6 +708,28 @@ void StreamSlicer::CollectGarbage() {
   }
   while (!records_.empty() && records_.front().id < min_first) {
     records_.pop_front();
+  }
+  if (!composites_.empty()) {
+    // A composite is dead once every dependent spec's earliest still-open
+    // window starts past its end.
+    Timestamp keep_from = kMaxTimestamp;
+    bool any_dependent = false;
+    for (uint32_t si = 0; si < specs_.size(); ++si) {
+      if (!group_.plan.optimized || group_.plan.FeederOf(si) < 0) continue;
+      any_dependent = true;
+      const SpecState& st = specs_[si];
+      if (st.next_ep != kNoTimestamp) {
+        keep_from = std::min(keep_from, st.next_ep - st.spec.length);
+      }
+    }
+    if (!any_dependent) {
+      composites_.clear();
+    } else {
+      while (!composites_.empty() &&
+             composites_.begin()->first.second <= keep_from) {
+        composites_.erase(composites_.begin());
+      }
+    }
   }
 }
 

@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <queue>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/event.h"
@@ -134,6 +136,18 @@ class StreamSlicer {
 
   const QueryGroup& group() const { return group_; }
 
+  /// Registers one query into the running slicer (incremental group
+  /// maintenance, §3.2): `lane` is the lane the query binds to (==
+  /// group().lanes.size() to open the new lane `lane_def`). Structural
+  /// changes (new lane, widened operator mask, new window spec) seal the
+  /// open slice first, so earlier slices keep their shape and downstream
+  /// nodes never see a mixed-width slice. Windows starting before
+  /// `active_from` are not emitted for the new query (kNoTimestamp =
+  /// active from the beginning; pre-ingest adds then match a cold-start
+  /// configuration exactly).
+  void ApplyQueryAdd(const Query& q, uint32_t lane,
+                     const SelectionLane& lane_def, Timestamp active_from);
+
   /// Marks a query's results as suppressed (runtime query removal, §3.2).
   /// Returns false if the id is not in this group.
   bool SuppressQuery(QueryId id);
@@ -200,14 +214,41 @@ class StreamSlicer {
     Timestamp ts;
     uint8_t kind;  // 0 = ep, 1 = sp (eps processed first at equal ts)
     uint32_t spec_idx;
+    // Factor-window DAG depth: at equal (ts, kind), feeder specs fire
+    // before dependents so their window composites exist when consumed.
+    // 0 for every spec when no plan is active (ordering unchanged).
+    uint8_t rank = 0;
     bool operator>(const Boundary& other) const {
       if (ts != other.ts) return ts > other.ts;
-      return kind > other.kind;
+      if (kind != other.kind) return kind > other.kind;
+      return rank > other.rank;
     }
   };
 
+  /// Sealed per-lane states of one closed feeder window, kept under the
+  /// group plan's lane masks so any dependent query's needed mask fits.
+  struct FactorComposite {
+    std::vector<PartialAggregate> lanes;
+    std::vector<uint64_t> lane_events;
+  };
+
   void Initialize(Timestamp first_ts);
-  void ScheduleInitial(uint32_t spec_idx, Timestamp first_ts);
+  void ScheduleInitial(uint32_t spec_idx, Timestamp first_ts,
+                       uint64_t first_slice_id = 0);
+  /// Effective fold mask for a lane: the plan's reduced per-lane mask when
+  /// a plan is active, else the group mask (static behaviour).
+  OperatorMask LaneMask(uint32_t lane) const {
+    const auto& lm = group_.plan.lane_masks;
+    return (group_.plan.optimized && lane < lm.size() && lm[lane] != 0)
+               ? lm[lane]
+               : group_.mask;
+  }
+  /// False while windows starting at `ws` predate the query's activation.
+  bool ActiveFor(uint32_t qi, Timestamp ws) const {
+    const Timestamp af =
+        qi < active_from_.size() ? active_from_[qi] : kNoTimestamp;
+    return af == kNoTimestamp || ws >= af;
+  }
   // Fires all time-based punctuations (incl. session deadlines) <= limit.
   void ProcessBoundariesUpTo(Timestamp limit);
   // Earliest pending time punctuation (kMaxTimestamp when none). Only valid
@@ -249,6 +290,7 @@ class StreamSlicer {
   obs::Counter* events_in_counter_ = nullptr;
   obs::Counter* op_eval_counters_[kNumOperatorKinds] = {};
   obs::Gauge* queries_gauge_ = nullptr;
+  obs::MetricsRegistry* registry_ = nullptr;
   uint64_t pending_events_in_ = 0;
   WindowSink window_sink_;
   SliceSink slice_sink_;
@@ -294,6 +336,16 @@ class StreamSlicer {
   std::vector<Timestamp> current_lane_last_ts_;
   Timestamp last_seen_ts_ = kNoTimestamp;
   std::unordered_set<QueryId> suppressed_;
+  /// Per-query activation watermark (parallel to group_.queries):
+  /// kNoTimestamp = active since the beginning. See ApplyQueryAdd.
+  std::vector<Timestamp> active_from_;
+  /// Factor-window execution (plan.feeder): closed feeder windows keyed by
+  /// (start, end); dependents merge one composite per covered sub-range
+  /// instead of every base slice, falling back to base slices for ranges
+  /// without a composite (stream head, runtime-added specs).
+  std::map<std::pair<Timestamp, Timestamp>, FactorComposite> composites_;
+  std::vector<uint8_t> spec_rank_;      // plan DAG depth per spec
+  std::vector<bool> spec_is_feeder_;    // spec feeds at least one dependent
   std::vector<uint32_t> matched_lanes_scratch_;
   std::vector<double> run_values_scratch_;
 };

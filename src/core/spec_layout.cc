@@ -1,0 +1,29 @@
+#include "core/spec_layout.h"
+
+#include <map>
+#include <tuple>
+
+namespace desis {
+
+std::vector<SpecLayoutEntry> DeriveSpecLayout(const QueryGroup& group) {
+  std::vector<SpecLayoutEntry> layout;
+  using SpecKey = std::tuple<WindowType, WindowMeasure, int64_t, int64_t,
+                             Timestamp, int>;
+  std::map<SpecKey, uint32_t> lookup;  // groups can hold 100k+ queries
+  for (uint32_t qi = 0; qi < group.queries.size(); ++qi) {
+    const WindowSpec& spec = group.queries[qi].query.window;
+    const int lane_filter =
+        SpecLaneScoped(spec) ? static_cast<int>(group.queries[qi].lane) : -1;
+    const SpecKey key{spec.type, spec.measure, spec.length, spec.slide,
+                      spec.gap, lane_filter};
+    auto [it, inserted] =
+        lookup.try_emplace(key, static_cast<uint32_t>(layout.size()));
+    if (inserted) {
+      layout.push_back({spec, lane_filter, {}});
+    }
+    layout[it->second].query_idxs.push_back(qi);
+  }
+  return layout;
+}
+
+}  // namespace desis

@@ -1,0 +1,38 @@
+#ifndef DESIS_CORE_SPEC_LAYOUT_H_
+#define DESIS_CORE_SPEC_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query_analyzer.h"
+
+namespace desis {
+
+/// One distinct window spec inside a query-group, in canonical order.
+struct SpecLayoutEntry {
+  WindowSpec spec;
+  /// Session, user-defined and count windows are scoped to one selection
+  /// lane (their boundaries depend on which events match); fixed time
+  /// windows are lane-independent (-1).
+  int lane_filter = -1;
+  /// Indices into group.queries sharing this spec, in query order.
+  std::vector<uint32_t> query_idxs;
+};
+
+/// True when a query's window spec must be scoped to its selection lane.
+inline bool SpecLaneScoped(const WindowSpec& spec) {
+  return spec.measure == WindowMeasure::kCount ||
+         spec.type == WindowType::kSession ||
+         spec.type == WindowType::kUserDefined;
+}
+
+/// Deduplicates a group's window specs in first-encounter order. This is
+/// THE canonical spec numbering for a group: StreamSlicer, RootAssembler
+/// and the factor-window planner (GroupPlan::feeder) all index specs by
+/// position in this vector, so EpInfo::spec_idx and plan edges agree
+/// across nodes.
+std::vector<SpecLayoutEntry> DeriveSpecLayout(const QueryGroup& group);
+
+}  // namespace desis
+
+#endif  // DESIS_CORE_SPEC_LAYOUT_H_

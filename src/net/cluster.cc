@@ -11,6 +11,7 @@
 #include "net/desis_nodes.h"
 #include "net/disco_nodes.h"
 #include "net/forward_nodes.h"
+#include "opt/factor_planner.h"
 #include "transport/transport.h"
 
 namespace desis {
@@ -57,12 +58,18 @@ void Cluster::AttachObs(obs::MetricsRegistry* registry,
   obs_tracer_ = tracer;
   results_counter_ = nullptr;
   ingest_batch_hist_ = nullptr;
+  churn_add_hist_ = nullptr;
+  churn_remove_hist_ = nullptr;
   if (registry != nullptr) {
     const obs::Labels labels = {{"system", ToString(system_)}};
     results_counter_ = registry->GetCounter("cluster.results", labels,
                                             "windows");
     ingest_batch_hist_ =
         registry->GetHistogram("cluster.ingest_batch_ns", labels, "ns");
+    churn_add_hist_ =
+        registry->GetHistogram("opt.group_churn_ns", {{"op", "add"}}, "ns");
+    churn_remove_hist_ =
+        registry->GetHistogram("opt.group_churn_ns", {{"op", "remove"}}, "ns");
   }
   if (tracer != nullptr) {
     // Ring overwrites surface as a counter so span loss is visible in every
@@ -120,7 +127,9 @@ Status Cluster::Configure(const std::vector<Query>& queries) {
                              SharingPolicy::kCrossFunction);
       auto groups = analyzer.Analyze(queries);
       if (!groups.ok()) return groups.status();
+      if (options_.optimize_plans) opt::PlanGroups(groups.value());
       desis_groups_ = groups.value();
+      group_index_.Seed(desis_groups_);
       auto root = std::make_unique<DesisRootNode>(next_id++, desis_groups_);
       root->set_sink(sink);
       root_raw_ = root.get();
@@ -259,8 +268,10 @@ Result<int> Cluster::AddLocalNode() {
     return Status::Unsupported("runtime membership requires the Desis system");
   }
   std::unique_lock<std::shared_mutex> lock(membership_mu_);
+  // Deploy the *live* group set (runtime joins/retires included), not the
+  // cold-start snapshot: the index is the source of truth after Configure.
   auto node = std::make_unique<DesisLocalNode>(
-      next_node_id_++, desis_groups_, /*forward_batch_size=*/512,
+      next_node_id_++, group_index_.Snapshot(), /*forward_batch_size=*/512,
       options_.engine_shards);
   const int local_idx = static_cast<int>(locals_.size());
   locals_.push_back(node.get());
@@ -329,31 +340,71 @@ Status Cluster::AddQuery(const Query& query) {
   }
   if (auto s = query.Validate(); !s.ok()) return s;
   std::unique_lock<std::shared_mutex> lock(membership_mu_);
-  for (const QueryGroup& g : desis_groups_) {
-    for (const GroupedQuery& gq : g.queries) {
-      if (gq.query.id == query.id) {
-        return Status::AlreadyExists("query id already registered");
-      }
-    }
+  const auto t0 = std::chrono::steady_clock::now();
+  if (group_index_.ContainsQuery(query.id)) {
+    return Status::AlreadyExists("query id already registered");
   }
-  QueryAnalyzer analyzer(DeploymentMode::kDecentralized,
-                         SharingPolicy::kCrossFunction);
-  auto groups = analyzer.Analyze({query});
-  if (!groups.ok()) return groups.status();
-  for (QueryGroup& g : groups.value()) g.id = next_group_id_++;
-  // Distribute the new window attributes to every node (§3.2): on the
-  // root's delivery thread, and under each live local's driver lock.
+
+  // Shard-pool carve-out: a dedup query or user-defined window joining a
+  // pool-hosted group would make it unshardable mid-flight; isolate those
+  // into their own (serially deployed) group instead. Root-only groups
+  // never live in the pool, so count-measure queries are unaffected.
+  const bool pool_breaker =
+      options_.engine_shards > 0 && system_ == ClusterSystem::kDesis &&
+      (query.deduplicate || query.window.type == WindowType::kUserDefined) &&
+      query.window.measure != WindowMeasure::kCount;
+  const opt::QueryPlacement placement =
+      pool_breaker ? group_index_.AddQueryIsolated(query)
+                   : group_index_.AddQuery(query);
+  QueryGroup* group = group_index_.MutableFind(placement.gid);
+
   auto* root = static_cast<DesisRootNode*>(root_raw_);
-  const std::vector<QueryGroup>& new_groups = groups.value();
-  transport_->ExecuteSync(root_raw_,
-                          [root, &new_groups] { root->AddGroups(new_groups); });
-  for (size_t i = 0; i < locals_raw_.size(); ++i) {
-    if (local_removed_[i]) continue;
-    std::lock_guard<std::mutex> local_lock(*local_mu_[i]);
-    static_cast<DesisLocalNode*>(locals_raw_[i])->AddGroups(new_groups);
+  if (placement.new_group) {
+    if (options_.optimize_plans) group->plan = opt::BuildGroupPlan(*group);
+    // Fresh group: the classic full-deploy path (§3.2) — root first so the
+    // assembler exists before the first shipped slice can reach it.
+    const std::vector<QueryGroup> new_groups = {*group};
+    transport_->ExecuteSync(
+        root_raw_, [root, &new_groups] { root->AddGroups(new_groups); });
+    for (size_t i = 0; i < locals_raw_.size(); ++i) {
+      if (local_removed_[i]) continue;
+      std::lock_guard<std::mutex> local_lock(*local_mu_[i]);
+      static_cast<DesisLocalNode*>(locals_raw_[i])->AddGroups(new_groups);
+    }
+  } else {
+    // Join an existing group, touching only that group on each node.
+    // Locals first, collecting the maximum event timestamp any of them has
+    // seen: per-local streams are non-decreasing and membership_mu_ is held
+    // exclusively (no ingest runs concurrently), so every event at or
+    // before `seen` sits in pre-add slices. The root then activation-gates
+    // the new query past them (and past its own advanced watermark), so
+    // the first emitted window covers only post-deploy folds.
+    const uint32_t gid = placement.gid;
+    const SelectionLane lane_def = group->lanes[placement.lane];
+    Timestamp seen = kNoTimestamp;
+    for (size_t i = 0; i < locals_raw_.size(); ++i) {
+      if (local_removed_[i]) continue;
+      std::lock_guard<std::mutex> local_lock(*local_mu_[i]);
+      auto* local = static_cast<DesisLocalNode*>(locals_raw_[i]);
+      local->AddQueryToGroup(gid, query, placement.lane, lane_def,
+                             kNoTimestamp);
+      seen = std::max(seen, local->last_event_ts());
+    }
+    const Timestamp active_from = seen == kNoTimestamp ? kNoTimestamp
+                                                       : seen + 1;
+    const Query& q = query;
+    const uint32_t lane = placement.lane;
+    transport_->ExecuteSync(root_raw_,
+                            [root, gid, &q, lane, &lane_def, active_from] {
+                              root->AddQueryToGroup(gid, q, lane, lane_def,
+                                                    active_from);
+                            });
   }
-  for (QueryGroup& g : groups.value()) {
-    desis_groups_.push_back(std::move(g));
+  if (churn_add_hist_ != nullptr) {
+    churn_add_hist_->Record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
   }
   return Status::OK();
 }
@@ -362,10 +413,34 @@ Status Cluster::RemoveQuery(QueryId id) {
   if (system_ != ClusterSystem::kDesis) {
     return Status::Unsupported("runtime queries require the Desis system");
   }
+  std::unique_lock<std::shared_mutex> lock(membership_mu_);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto removal = group_index_.RemoveQuery(id);
+  if (!removal.ok()) return removal.status();
+  const uint32_t gid = removal.value().gid;
   auto* root = static_cast<DesisRootNode*>(root_raw_);
   Status status = Status::OK();
-  transport_->ExecuteSync(root_raw_,
-                          [root, id, &status] { status = root->SuppressQuery(id); });
+  transport_->ExecuteSync(root_raw_, [root, gid, id, &status] {
+    status = root->SuppressQueryInGroup(gid, id);
+  });
+  if (removal.value().group_empty) {
+    // Last member gone: tear the group down everywhere. Locals first (the
+    // slice flow stops), then the root; partials still in flight for the
+    // group are dropped by the root's group lookup.
+    for (size_t i = 0; i < locals_raw_.size(); ++i) {
+      if (local_removed_[i]) continue;
+      std::lock_guard<std::mutex> local_lock(*local_mu_[i]);
+      static_cast<DesisLocalNode*>(locals_raw_[i])->RemoveGroup(gid);
+    }
+    transport_->ExecuteSync(root_raw_,
+                            [root, gid] { root->RemoveGroup(gid); });
+  }
+  if (churn_remove_hist_ != nullptr) {
+    churn_remove_hist_->Record(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
   return status;
 }
 

@@ -11,6 +11,7 @@
 #include "core/engine_iface.h"
 #include "core/query.h"
 #include "net/node.h"
+#include "opt/group_index.h"
 
 namespace desis {
 
@@ -47,6 +48,12 @@ struct ClusterOptions {
   /// the seed single-threaded path byte-identical; ignored by the other
   /// systems.
   int engine_shards = 0;
+  /// Runs the cost-based optimizer (src/opt/) over the analyzed query-
+  /// groups at Configure: per-lane operator masks and factor-window
+  /// rewriting (coarse windows assemble from finer tumbling feeders'
+  /// composites). Off by default — the static plan is the seed baseline.
+  /// Desis system only; ignored by the baselines.
+  bool optimize_plans = false;
 };
 
 /// An in-process decentralized cluster: builds the topology, deploys the
@@ -113,11 +120,30 @@ class Cluster {
   /// local indices so callers can inform users.
   std::vector<int> RemoveSilentLocals(Timestamp min_watermark);
 
-  /// Registers a new query on every node at runtime.
+  /// Registers a new query on every node at runtime. Incremental group
+  /// maintenance (§3.2 at scale): the query joins a compatible existing
+  /// group when one exists — landing in the exact group a cold start would
+  /// have chosen (opt::GroupIndex replays the analyzer's probe order) — and
+  /// only the affected group is touched on each node; every other group's
+  /// slices and results are byte-identical to an undisturbed run. Cost is
+  /// O(affected group), independent of the resident query count.
   Status AddQuery(const Query& query);
 
-  /// Stops a running query's result emission.
+  /// Stops a running query's result emission; when its group loses the
+  /// last member the group is torn down on every node. O(affected group).
   Status RemoveQuery(QueryId id);
+
+  /// Live query-group count (Desis system; 0 before Configure).
+  size_t num_query_groups() const {
+    std::shared_lock<std::shared_mutex> lock(membership_mu_);
+    return group_index_.num_groups();
+  }
+
+  /// Snapshot of the live groups, id-ordered (tests/inspection).
+  std::vector<QueryGroup> QueryGroupsSnapshot() const {
+    std::shared_lock<std::shared_mutex> lock(membership_mu_);
+    return group_index_.Snapshot();
+  }
 
   bool local_active(int local_idx) const {
     std::shared_lock<std::shared_mutex> lock(membership_mu_);
@@ -211,6 +237,12 @@ class Cluster {
   obs::Histogram* ingest_batch_hist_ = nullptr;  // cluster.ingest_batch_ns
   // Desis runtime state (for AddLocalNode / AddQuery).
   std::vector<QueryGroup> desis_groups_;
+  /// Incrementally maintained group membership (source of truth after
+  /// Configure); guarded by membership_mu_.
+  opt::GroupIndex group_index_{DeploymentMode::kDecentralized,
+                               SharingPolicy::kCrossFunction};
+  obs::Histogram* churn_add_hist_ = nullptr;     // opt.group_churn_ns{op=add}
+  obs::Histogram* churn_remove_hist_ = nullptr;  // opt.group_churn_ns{op=remove}
   uint32_t next_node_id_ = 0;
   uint32_t next_group_id_ = 0;
 };

@@ -82,6 +82,45 @@ void DesisLocalNode::AddGroups(const std::vector<QueryGroup>& groups) {
   DeployToPool(pool_groups);
 }
 
+bool DesisLocalNode::AddQueryToGroup(uint32_t group_id, const Query& q,
+                                     uint32_t lane,
+                                     const SelectionLane& lane_def,
+                                     Timestamp active_from) {
+  for (auto& [gid, slicer] : slicers_) {
+    if (gid != group_id) continue;
+    slicer->ApplyQueryAdd(q, lane, lane_def, active_from);
+    return true;
+  }
+  for (ForwardGroup& fg : forward_groups_) {
+    if (fg.group.id != group_id) continue;
+    // Root-only groups only filter and forward raw events here; joining a
+    // query just has to make the lane list cover its predicate. The root's
+    // slicer applies the activation gate.
+    if (lane >= fg.group.lanes.size()) fg.group.lanes.push_back(lane_def);
+    fg.group.queries.push_back({q, lane});
+    return true;
+  }
+  if (pool_ != nullptr &&
+      pool_->ApplyQueryAdd(group_id, q, lane, lane_def, active_from)) {
+    return true;
+  }
+  return false;
+}
+
+bool DesisLocalNode::RemoveGroup(uint32_t group_id) {
+  for (auto it = slicers_.begin(); it != slicers_.end(); ++it) {
+    if (it->first != group_id) continue;
+    slicers_.erase(it);
+    return true;
+  }
+  for (auto it = forward_groups_.begin(); it != forward_groups_.end(); ++it) {
+    if (it->group.id != group_id) continue;
+    forward_groups_.erase(it);
+    return true;
+  }
+  return pool_ != nullptr && pool_->RemoveShardedGroup(group_id);
+}
+
 void DesisLocalNode::OnObsAttached() {
   for (auto& [gid, slicer] : slicers_) {
     slicer->set_obs(tracer_, id(), obs::kSpanRoleLocal);
@@ -261,13 +300,23 @@ void DesisIntermediateNode::HandleMessage(const Message& message,
         it = entries_.emplace(key, std::make_pair(std::move(msg), 1)).first;
       } else {
         SlicePartialMsg& entry = it->second.first;
-        for (size_t i = 0; i < entry.lanes.size(); ++i) {
+        // Children racing a runtime query add may report the same slice
+        // range with different lane counts / operator masks for one
+        // watermark round: merge the shared prefix mask-compatibly and
+        // append the wider child's extra lanes.
+        const size_t shared = std::min(entry.lanes.size(), msg.lanes.size());
+        for (size_t i = 0; i < shared; ++i) {
           if (msg.lane_events[i] == 0) continue;
-          entry.lanes[i].Merge(msg.lanes[i]);
+          PartialAggregate::MergeCompatible(entry.lanes[i], msg.lanes[i]);
           entry.lane_events[i] += msg.lane_events[i];
           entry.lane_last_ts[i] =
               std::max(entry.lane_last_ts[i], msg.lane_last_ts[i]);
           ++stats_.merges;
+        }
+        for (size_t i = shared; i < msg.lanes.size(); ++i) {
+          entry.lanes.push_back(msg.lanes[i]);
+          entry.lane_events.push_back(msg.lane_events[i]);
+          entry.lane_last_ts.push_back(msg.lane_last_ts[i]);
         }
         entry.last_event_ts = std::max(entry.last_event_ts, msg.last_event_ts);
         entry.watermark = std::min(entry.watermark, msg.watermark);
@@ -326,6 +375,39 @@ Status DesisRootNode::SuppressQuery(QueryId id) {
     if (rg.slicer->SuppressQuery(id)) return Status::OK();
   }
   return Status::NotFound("no running query with this id");
+}
+
+Status DesisRootNode::SuppressQueryInGroup(uint32_t group_id, QueryId id) {
+  auto it = assemblers_.find(group_id);
+  if (it != assemblers_.end() && it->second->SuppressQuery(id)) {
+    return Status::OK();
+  }
+  auto rit = root_only_.find(group_id);
+  if (rit != root_only_.end() && rit->second.slicer->SuppressQuery(id)) {
+    return Status::OK();
+  }
+  return Status::NotFound("no running query with this id in this group");
+}
+
+bool DesisRootNode::AddQueryToGroup(uint32_t group_id, const Query& q,
+                                    uint32_t lane,
+                                    const SelectionLane& lane_def,
+                                    Timestamp active_from) {
+  auto it = assemblers_.find(group_id);
+  if (it != assemblers_.end()) {
+    it->second->ApplyQueryAdd(q, lane, lane_def, active_from);
+    return true;
+  }
+  auto rit = root_only_.find(group_id);
+  if (rit != root_only_.end()) {
+    rit->second.slicer->ApplyQueryAdd(q, lane, lane_def, active_from);
+    return true;
+  }
+  return false;
+}
+
+bool DesisRootNode::RemoveGroup(uint32_t group_id) {
+  return assemblers_.erase(group_id) > 0 || root_only_.erase(group_id) > 0;
 }
 
 void DesisRootNode::OnObsAttached() {

@@ -43,6 +43,22 @@ class DesisLocalNode : public Node, public LocalIngest {
   /// with the next event.
   void AddGroups(const std::vector<QueryGroup>& groups);
 
+  /// Joins one query into an already-deployed group (incremental group
+  /// maintenance): dispatches to the plain slicer, the shard pool, or the
+  /// forward-group lane list, whichever hosts `group_id`. Returns false if
+  /// the group is not deployed here.
+  bool AddQueryToGroup(uint32_t group_id, const Query& q, uint32_t lane,
+                       const SelectionLane& lane_def, Timestamp active_from);
+
+  /// Tears down one deployed group (last member query removed). Slices
+  /// already shipped stay valid at the root until it drops the group too.
+  bool RemoveGroup(uint32_t group_id);
+
+  /// Timestamp of the last ingested event (kNoTimestamp before any event);
+  /// the cluster reads this under its ingest lock to derive the activation
+  /// watermark for runtime-added queries.
+  Timestamp last_event_ts() const { return last_ts_; }
+
   const EngineStats& engine_stats() const { return stats_; }
 
  protected:
@@ -119,6 +135,15 @@ class DesisRootNode : public Node {
   void AddGroups(const std::vector<QueryGroup>& groups);
   /// Stops emitting results for a query (§3.2).
   Status SuppressQuery(QueryId id);
+  /// Like SuppressQuery but with the owning group known: O(log groups)
+  /// instead of a scan over every assembler (10k-query churn path).
+  Status SuppressQueryInGroup(uint32_t group_id, QueryId id);
+  /// Joins one query into an already-deployed group; `active_from` is
+  /// raised past the root's advanced watermark inside the assembler.
+  bool AddQueryToGroup(uint32_t group_id, const Query& q, uint32_t lane,
+                       const SelectionLane& lane_def, Timestamp active_from);
+  /// Tears down one group (last member query removed).
+  bool RemoveGroup(uint32_t group_id);
 
  protected:
   void HandleMessage(const Message& message, int child_index) override;

@@ -1,0 +1,89 @@
+#include "opt/cost_model.h"
+
+#include <numeric>
+
+#include "core/spec_layout.h"
+
+namespace desis {
+namespace opt {
+
+namespace {
+
+constexpr double kMicrosPerSec = 1e6;
+
+/// Effective operator mask of one lane under the group's plan.
+OperatorMask LaneMaskOf(const QueryGroup& group, uint32_t lane) {
+  const auto& lm = group.plan.lane_masks;
+  return (group.plan.optimized && lane < lm.size() && lm[lane] != 0)
+             ? lm[lane]
+             : group.mask;
+}
+
+}  // namespace
+
+int64_t SlicePeriod(const QueryGroup& group) {
+  int64_t period = 0;
+  for (const GroupedQuery& gq : group.queries) {
+    const WindowSpec& w = gq.query.window;
+    if (!w.IsFixedSize() || w.measure != WindowMeasure::kTime) continue;
+    period = std::gcd(period, w.length);
+    period = std::gcd(period, w.slide);
+  }
+  return period;
+}
+
+GroupCost EstimateGroupCost(const QueryGroup& group, double events_per_sec) {
+  GroupCost cost;
+
+  const int64_t period = SlicePeriod(group);
+  if (period > 0) cost.slices_per_sec = kMicrosPerSec / period;
+
+  // Fold term: each event is folded once per lane it matches; without
+  // selectivity statistics the model assumes every event matches exactly
+  // one lane when lanes partition by key, otherwise all lanes (the
+  // conservative bound used for planning is the *relative* cost between
+  // plans, which the assumption cancels out of).
+  double lane_ops = 0.0;
+  for (uint32_t lane = 0; lane < group.lanes.size(); ++lane) {
+    lane_ops += OperatorCount(LaneMaskOf(group, lane));
+  }
+  if (!group.lanes.empty()) {
+    const bool partitioned = group.lanes.front().predicate.has_key;
+    if (partitioned) lane_ops /= static_cast<double>(group.lanes.size());
+  }
+  cost.fold_evals_per_sec = events_per_sec * lane_ops;
+
+  // Merge term per fixed time spec, honouring installed factor edges.
+  const auto layout = DeriveSpecLayout(group);
+  for (uint32_t si = 0; si < layout.size(); ++si) {
+    const WindowSpec& w = layout[si].spec;
+    if (!w.IsFixedSize() || w.measure != WindowMeasure::kTime) continue;
+    if (period <= 0 || w.slide <= 0) continue;
+    const double windows_per_sec = kMicrosPerSec / w.slide;
+    const int32_t feeder = group.plan.FeederOf(si);
+    const int64_t unit =
+        feeder >= 0 ? layout[static_cast<size_t>(feeder)].spec.length : period;
+    cost.merges_per_sec +=
+        windows_per_sec * (static_cast<double>(w.length) / unit);
+  }
+  return cost;
+}
+
+double FactorGain(int64_t length, int64_t slide, int64_t feeder_len,
+                  int64_t slice_period) {
+  if (slice_period <= 0 || slide <= 0 || feeder_len <= slice_period) {
+    return 0.0;
+  }
+  const double windows_per_sec = kMicrosPerSec / slide;
+  const double base_merges = static_cast<double>(length) / slice_period;
+  const double factored_merges = static_cast<double>(length) / feeder_len;
+  // The feeder is an existing tumbling spec whose windows the group
+  // assembles anyway; sealing each as a composite costs one extra merge
+  // per feeder window, not a rebuild from base slices.
+  const double feeder_seal_per_sec = kMicrosPerSec / feeder_len;
+  return windows_per_sec * (base_merges - factored_merges) -
+         feeder_seal_per_sec;
+}
+
+}  // namespace opt
+}  // namespace desis

@@ -1,0 +1,55 @@
+#ifndef DESIS_OPT_COST_MODEL_H_
+#define DESIS_OPT_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "core/query_analyzer.h"
+
+namespace desis {
+namespace opt {
+
+/// Per-group cost estimate (the model behind the factor-window planner).
+/// All rates are per simulated second of stream time at `events_per_sec`;
+/// they mirror the observable group.* series (group.events_in feeds the
+/// fold term, group.slices the slice term, engine merges the merge term),
+/// so estimates can be validated against a live sidecar.
+struct GroupCost {
+  /// Base slice seal rate: fixed-window edges per second (1 / the group's
+  /// slice period). 0 when the group has no fixed time windows.
+  double slices_per_sec = 0.0;
+  /// Operator folds per second: events/sec summed over lanes weighted by
+  /// the lane's (planned or group) operator count.
+  double fold_evals_per_sec = 0.0;
+  /// Window-assembly merges per second: for every fixed time spec, windows
+  /// per second x partials merged per window (base slices, or feeder
+  /// composites when the plan installed a factor edge).
+  double merges_per_sec = 0.0;
+
+  double total() const {
+    return slices_per_sec + fold_evals_per_sec + merges_per_sec;
+  }
+};
+
+/// Slice period of the group's fixed time windows: the gcd over every
+/// fixed time spec's length and slide (stream slicing cuts at every window
+/// edge, and edges repeat with this period). 0 when the group has no fixed
+/// time windows.
+int64_t SlicePeriod(const QueryGroup& group);
+
+/// Evaluates the cost model for `group` under its current plan (use a
+/// default-constructed / disabled plan on a copy to price the unoptimized
+/// execution). `events_per_sec` scales the fold term only.
+GroupCost EstimateGroupCost(const QueryGroup& group, double events_per_sec);
+
+/// Merges saved per second by assembling a window of `length`/`slide` from
+/// feeder composites of length `feeder_len` instead of base slices of
+/// `slice_period`. Positive iff the factor edge is worth installing; the
+/// feeder's own composite build (one merge per base slice per feeder
+/// window) is charged against the gain.
+double FactorGain(int64_t length, int64_t slide, int64_t feeder_len,
+                  int64_t slice_period);
+
+}  // namespace opt
+}  // namespace desis
+
+#endif  // DESIS_OPT_COST_MODEL_H_

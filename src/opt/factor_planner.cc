@@ -1,0 +1,100 @@
+#include "opt/factor_planner.h"
+
+#include <algorithm>
+
+#include "core/spec_layout.h"
+#include "opt/cost_model.h"
+
+namespace desis {
+namespace opt {
+
+GroupPlan BuildGroupPlan(const QueryGroup& group) {
+  GroupPlan plan;
+  const auto layout = DeriveSpecLayout(group);
+
+  // Per-lane reduced masks: the union of OperatorsFor() over the lane's
+  // queries. A lane whose queries need fewer operators than the group
+  // union stops paying for the difference on every event.
+  plan.lane_masks.assign(group.lanes.size(), 0);
+  for (const GroupedQuery& gq : group.queries) {
+    if (gq.lane < plan.lane_masks.size()) {
+      plan.lane_masks[gq.lane] |= OperatorsFor(gq.query.agg.fn);
+    }
+  }
+  bool narrowed = false;
+  for (OperatorMask& m : plan.lane_masks) {
+    m = ReduceMask(m);
+    narrowed = narrowed || (m != 0 && m != group.mask);
+  }
+
+  // Factor-window DAG over the fixed time, lane-unscoped specs.
+  plan.feeder.assign(layout.size(), -1);
+  plan.depth.assign(layout.size(), 0);
+  const bool factorable = !MaskHas(group.mask, OperatorKind::kNonDecomposableSort);
+  const int64_t period = SlicePeriod(group);
+  if (factorable && period > 0) {
+    for (uint32_t si = 0; si < layout.size(); ++si) {
+      const WindowSpec& w = layout[si].spec;
+      if (!w.IsFixedSize() || w.measure != WindowMeasure::kTime) continue;
+      if (layout[si].lane_filter != -1) continue;
+      // Largest eligible feeder wins: fewest composite merges per window.
+      int32_t best = -1;
+      int64_t best_len = 0;
+      for (uint32_t fj = 0; fj < layout.size(); ++fj) {
+        if (fj == si) continue;
+        const WindowSpec& f = layout[fj].spec;
+        if (f.type != WindowType::kTumbling ||
+            f.measure != WindowMeasure::kTime) {
+          continue;
+        }
+        if (layout[fj].lane_filter != -1) continue;
+        if (f.length >= w.length) continue;
+        if (w.slide % f.length != 0 || w.length % f.length != 0) continue;
+        if (FactorGain(w.length, w.slide, f.length, period) <= 0.0) continue;
+        if (f.length > best_len) {
+          best = static_cast<int32_t>(fj);
+          best_len = f.length;
+        }
+      }
+      if (best >= 0) {
+        plan.feeder[si] = best;
+        ++plan.rewrites;
+      }
+    }
+    // Depths: feeders are tumbling specs and only shorter specs feed
+    // longer ones, so the DAG is acyclic; iterate to a fixed point (the
+    // chain length is bounded by the spec count).
+    for (size_t round = 0; round < layout.size(); ++round) {
+      bool changed = false;
+      for (uint32_t si = 0; si < layout.size(); ++si) {
+        const int32_t f = plan.feeder[si];
+        if (f < 0) continue;
+        const uint8_t want =
+            static_cast<uint8_t>(plan.depth[static_cast<size_t>(f)] + 1);
+        if (plan.depth[si] != want) {
+          plan.depth[si] = want;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    for (uint8_t d : plan.depth) {
+      plan.dag_depth = std::max<uint32_t>(plan.dag_depth, 1u + d);
+    }
+  }
+
+  plan.optimized = narrowed || plan.rewrites > 0;
+  return plan;
+}
+
+size_t PlanGroups(std::vector<QueryGroup>& groups) {
+  size_t optimized = 0;
+  for (QueryGroup& group : groups) {
+    group.plan = BuildGroupPlan(group);
+    if (group.plan.optimized) ++optimized;
+  }
+  return optimized;
+}
+
+}  // namespace opt
+}  // namespace desis

@@ -81,6 +81,81 @@ TEST(InspectCosts, SharingRatioFromGroupSeries) {
   EXPECT_DOUBLE_EQ(gc.SharingRatio(), 5.0);
 }
 
+TEST(InspectCosts, OptSeriesRideOnGroupRows) {
+  const char* json = R"([
+    {"name":"group.queries","type":"gauge","unit":"queries",
+     "labels":{"group":"0"},"value":4},
+    {"name":"group.events_in","type":"counter","unit":"events",
+     "labels":{"group":"0"},"value":100},
+    {"name":"group.operator_evals","type":"counter","unit":"evals",
+     "labels":{"group":"0","op":"sum"},"value":100},
+    {"name":"opt.rewrites","type":"gauge","unit":"edges",
+     "labels":{"group":"0"},"value":2},
+    {"name":"opt.dag_depth","type":"gauge","unit":"levels",
+     "labels":{"group":"0"},"value":3},
+    {"name":"group.queries","type":"gauge","unit":"queries",
+     "labels":{"group":"1"},"value":1},
+    {"name":"group.events_in","type":"counter","unit":"events",
+     "labels":{"group":"1"},"value":100},
+    {"name":"group.operator_evals","type":"counter","unit":"evals",
+     "labels":{"group":"1","op":"max"},"value":100}
+  ])";
+  const std::vector<GroupCost> costs = ExtractGroupCosts(Parse(json));
+  ASSERT_EQ(costs.size(), 2u);
+  EXPECT_DOUBLE_EQ(costs[0].opt_rewrites, 2);
+  EXPECT_DOUBLE_EQ(costs[0].opt_dag_depth, 3);
+  EXPECT_DOUBLE_EQ(costs[1].opt_rewrites, 0);  // static plan: no opt.* series
+  // Aggregate: (4*100 + 1*100) / (100 + 100) = 2.5.
+  EXPECT_DOUBLE_EQ(AggregateSharingRatio(costs), 2.5);
+  EXPECT_DOUBLE_EQ(AggregateSharingRatio({}), 0);
+}
+
+TEST(InspectCosts, ChurnHistogramsSurfaceCountAndPercentiles) {
+  const char* json = R"([
+    {"name":"opt.group_churn_ns","type":"histogram","unit":"ns",
+     "labels":{"op":"remove"},"count":3,"sum":900,"min":100,"max":500,
+     "p50":300,"p95":500,"p99":500},
+    {"name":"opt.group_churn_ns","type":"histogram","unit":"ns",
+     "labels":{"op":"add"},"count":10,"sum":5000,"min":200,"max":900,
+     "p50":450,"p95":880,"p99":900}
+  ])";
+  const std::vector<ChurnStat> churn = ExtractChurn(Parse(json));
+  ASSERT_EQ(churn.size(), 2u);  // sorted by op: add before remove
+  EXPECT_EQ(churn[0].op, "add");
+  EXPECT_DOUBLE_EQ(churn[0].count, 10);
+  EXPECT_DOUBLE_EQ(churn[0].p50_ns, 450);
+  EXPECT_DOUBLE_EQ(churn[0].p95_ns, 880);
+  EXPECT_EQ(churn[1].op, "remove");
+  EXPECT_DOUBLE_EQ(churn[1].p95_ns, 500);
+  EXPECT_TRUE(ExtractChurn(Parse(kMetricsJson)).empty());
+}
+
+TEST(InspectSummary, ShowsOptPlanShapeAndChurn) {
+  const char* sidecar = R"({"bench":"churn","obs_enabled":true,"runs":[
+    {"run":"Desis","report":{"obs":{"metrics":{"metrics":[
+      {"name":"group.queries","type":"gauge","unit":"queries",
+       "labels":{"group":"0"},"value":4},
+      {"name":"group.events_in","type":"counter","unit":"events",
+       "labels":{"group":"0"},"value":100},
+      {"name":"group.operator_evals","type":"counter","unit":"evals",
+       "labels":{"group":"0","op":"sum"},"value":100},
+      {"name":"opt.rewrites","type":"gauge","unit":"edges",
+       "labels":{"group":"0"},"value":1},
+      {"name":"opt.dag_depth","type":"gauge","unit":"levels",
+       "labels":{"group":"0"},"value":2},
+      {"name":"opt.group_churn_ns","type":"histogram","unit":"ns",
+       "labels":{"op":"add"},"count":7,"sum":700,"min":50,"max":200,
+       "p50":90,"p95":180,"p99":200}
+    ]}}}}]})";
+  const std::string text = Summarize(Parse(sidecar));
+  EXPECT_NE(text.find("rewrites=1"), std::string::npos);
+  EXPECT_NE(text.find("dag_depth=2"), std::string::npos);
+  EXPECT_NE(text.find("churn add: count=7 p50_ns=90 p95_ns=180"),
+            std::string::npos);
+  // A single group needs no aggregate line (it equals the group's own).
+  EXPECT_EQ(text.find("sharing_ratio (all groups)"), std::string::npos);
+}
+
 TEST(InspectHealth, RowsSortedByNodeWithRoles) {
   const std::vector<NodeHealthRow> rows = ExtractHealth(Parse(kMetricsJson));
   ASSERT_EQ(rows.size(), 2u);
@@ -220,6 +295,13 @@ TEST(InspectHistory, LineCarriesProvenanceAndHeadlines) {
   EXPECT_EQ(parsed["git_sha"].AsString(), "abc1234");
   EXPECT_EQ(parsed["written_utc"].AsString(), "2026-01-01T00:00:00Z");
   EXPECT_NEAR(parsed["runs"]["Desis"].AsNumber(), 123456, 1);
+  // Runs carrying group.* series also record the aggregate sharing ratio
+  // (here one group: 10 queries x 500 events over 500 evals = 10).
+  EXPECT_NEAR(parsed["sharing_ratio"]["Desis"].AsNumber(), 10, 1e-9);
+  // Sidecars without group series (baseline-only runs) omit the object.
+  const JsonValue bare =
+      Parse(R"({"bench":"b","runs":[{"run":"X","report":{"results":7}}]})");
+  EXPECT_TRUE(Parse(HistoryLine(bare))["sharing_ratio"].is_null());
 }
 
 // ------------------------------------------------------------ trace merge --

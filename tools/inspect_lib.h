@@ -58,6 +58,10 @@ struct GroupCost {
   double operators = 0;
   double events_in = 0;
   double operator_evals = 0;
+  // Optimizer plan shape (opt.* series; 0 when the group runs the static
+  // plan): factor edges installed and factor-DAG depth.
+  double opt_rewrites = 0;
+  double opt_dag_depth = 0;
 
   /// queries*events / operator_evals: how many per-query operator
   /// evaluations one shared evaluation replaced (the paper's sharing win,
@@ -72,7 +76,7 @@ inline std::vector<GroupCost> ExtractGroupCosts(const JsonValue& metrics) {
   std::map<std::string, GroupCost> by_group;
   for (const JsonValue& m : metrics.array) {
     const std::string name = m["name"].AsString();
-    if (name.rfind("group.", 0) != 0) continue;
+    if (name.rfind("group.", 0) != 0 && name.rfind("opt.", 0) != 0) continue;
     const std::string group = m["labels"]["group"].AsString();
     if (group.empty()) continue;
     GroupCost& gc = by_group[group];
@@ -82,9 +86,48 @@ inline std::vector<GroupCost> ExtractGroupCosts(const JsonValue& metrics) {
     if (name == "group.operators") gc.operators = value;
     if (name == "group.events_in") gc.events_in = value;
     if (name == "group.operator_evals") gc.operator_evals += value;
+    if (name == "opt.rewrites") gc.opt_rewrites = value;
+    if (name == "opt.dag_depth") gc.opt_dag_depth = value;
   }
   std::vector<GroupCost> out;
   for (auto& [key, gc] : by_group) out.push_back(gc);
+  return out;
+}
+
+/// Fleet-wide sharing win: total per-query operator evaluations the shared
+/// plans replaced, over the evaluations actually performed. The headline
+/// number of the 10k-query experiments (EXPERIMENTS.md).
+inline double AggregateSharingRatio(const std::vector<GroupCost>& groups) {
+  double work = 0, evals = 0;
+  for (const GroupCost& gc : groups) {
+    work += gc.queries * gc.events_in;
+    evals += gc.operator_evals;
+  }
+  return evals > 0 ? work / evals : 0;
+}
+
+/// Group membership churn latency, reassembled from the opt.group_churn_ns
+/// histograms the cluster records around AddQuery / RemoveQuery.
+struct ChurnStat {
+  std::string op;  // "add" | "remove"
+  double count = 0;
+  double p50_ns = 0;
+  double p95_ns = 0;
+};
+
+inline std::vector<ChurnStat> ExtractChurn(const JsonValue& metrics) {
+  std::vector<ChurnStat> out;
+  for (const JsonValue& m : metrics.array) {
+    if (m["name"].AsString() != "opt.group_churn_ns") continue;
+    ChurnStat cs;
+    cs.op = m["labels"]["op"].AsString("?");
+    cs.count = m["count"].AsNumber();
+    cs.p50_ns = m["p50"].AsNumber();
+    cs.p95_ns = m["p95"].AsNumber();
+    out.push_back(cs);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ChurnStat& a, const ChurnStat& b) { return a.op < b.op; });
   return out;
 }
 
@@ -205,12 +248,27 @@ inline std::string Summarize(const JsonValue& sidecar) {
              FormatDouble(report["events_per_sec"].AsNumber()) + "\n";
     }
     const JsonValue& metrics = MetricsOf(run);
-    for (const GroupCost& gc : ExtractGroupCosts(metrics)) {
+    const std::vector<GroupCost> groups = ExtractGroupCosts(metrics);
+    for (const GroupCost& gc : groups) {
       out += "  group " + gc.group + ": queries=" + FormatDouble(gc.queries) +
              " operators=" + FormatDouble(gc.operators) +
              " events_in=" + FormatDouble(gc.events_in) +
              " operator_evals=" + FormatDouble(gc.operator_evals) +
-             " sharing_ratio=" + FormatDouble(gc.SharingRatio()) + "\n";
+             " sharing_ratio=" + FormatDouble(gc.SharingRatio());
+      if (gc.opt_rewrites > 0 || gc.opt_dag_depth > 0) {
+        out += " rewrites=" + FormatDouble(gc.opt_rewrites) +
+               " dag_depth=" + FormatDouble(gc.opt_dag_depth);
+      }
+      out += "\n";
+    }
+    if (groups.size() > 1) {
+      out += "  sharing_ratio (all groups): " +
+             FormatDouble(AggregateSharingRatio(groups)) + "\n";
+    }
+    for (const ChurnStat& cs : ExtractChurn(metrics)) {
+      out += "  churn " + cs.op + ": count=" + FormatDouble(cs.count) +
+             " p50_ns=" + FormatDouble(cs.p50_ns) +
+             " p95_ns=" + FormatDouble(cs.p95_ns) + "\n";
     }
     for (const NodeHealthRow& row : ExtractHealth(metrics)) {
       out += "  node " + row.node + " (" + row.role +
@@ -418,6 +476,7 @@ inline std::string HistoryLine(const JsonValue& sidecar) {
   out += ",\"written_utc\":\"" + meta["written_utc"].AsString("unknown") + "\"";
   out += ",\"runs\":{";
   bool first = true;
+  std::string sharing;  // runs that carry group.* series, label -> ratio
   for (const auto& [key, run_ptr] : KeyedRuns(sidecar)) {
     const JsonValue& report = (*run_ptr)["report"];
     double headline = 0;
@@ -431,8 +490,16 @@ inline std::string HistoryLine(const JsonValue& sidecar) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", headline);
     out += "\"" + obs::JsonEscape(key) + "\":" + buf;
+    const std::vector<GroupCost> groups = ExtractGroupCosts(MetricsOf(*run_ptr));
+    if (!groups.empty()) {
+      std::snprintf(buf, sizeof(buf), "%.6g", AggregateSharingRatio(groups));
+      sharing += (sharing.empty() ? "" : ",") + std::string("\"") +
+                 obs::JsonEscape(key) + "\":" + buf;
+    }
   }
-  out += "}}";
+  out += "}";
+  if (!sharing.empty()) out += ",\"sharing_ratio\":{" + sharing + "}";
+  out += "}";
   return out;
 }
 
