@@ -7,6 +7,11 @@ Scans every tracked *.md file for
   2. unbalanced ``` code fences,
   3. trailing whitespace (lint; reported but non-fatal unless --strict).
 
+Repo-level checks:
+  4. every docs/*.md file is linked from the README documentation index,
+  5. every `recovery.*` metric name registered in src/ has a schema row
+     in docs/METRICS.md.
+
 Exit code 0 when clean, 1 when any fatal finding exists. No external
 dependencies — stdlib only.
 """
@@ -81,6 +86,48 @@ def check_file(path: Path, root: Path, strict: bool) -> tuple[int, int]:
     return fatal, warnings
 
 
+METRIC_RE = re.compile(r"\"(recovery\.[a-z_.]+)\"")
+
+
+def check_readme_index(root: Path, files: list[Path]) -> int:
+    """Every docs/*.md must be reachable from the README (the docs index)."""
+    readme = root / "README.md"
+    if not readme.exists():
+        print("README.md missing — cannot check the docs index")
+        return 1
+    text = strip_fenced_code(readme.read_text(encoding="utf-8"))
+    linked = {m.group(1).split("#", 1)[0] for m in LINK_RE.finditer(text)}
+    fatal = 0
+    for f in files:
+        rel = f.relative_to(root)
+        if rel.parts[0] != "docs":
+            continue
+        if str(rel) not in linked:
+            print(f"README.md: docs index is missing a link to {rel}")
+            fatal += 1
+    return fatal
+
+
+def check_metric_schema(root: Path) -> int:
+    """Every recovery.* series registered in src/ needs a METRICS.md row."""
+    metrics_md = root / "docs" / "METRICS.md"
+    if not metrics_md.exists():
+        print("docs/METRICS.md missing — cannot check the metric schema")
+        return 1
+    documented = metrics_md.read_text(encoding="utf-8")
+    registered = set()
+    for src in sorted((root / "src").rglob("*.cc")) + sorted(
+            (root / "src").rglob("*.h")):
+        registered.update(METRIC_RE.findall(src.read_text(encoding="utf-8")))
+    fatal = 0
+    for name in sorted(registered):
+        if f"`{name}`" not in documented:
+            print(f"docs/METRICS.md: no schema row for registered metric "
+                  f"{name}")
+            fatal += 1
+    return fatal
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", type=Path,
@@ -100,6 +147,8 @@ def main() -> int:
         ff, ww = check_file(f, root, args.strict)
         fatal += ff
         warnings += ww
+    fatal += check_readme_index(root, files)
+    fatal += check_metric_schema(root)
 
     print(f"checked {len(files)} markdown files: "
           f"{fatal} errors, {warnings} lint warnings")

@@ -22,6 +22,7 @@ class ByteWriter {
   }
 
   void WriteU8(uint8_t v) { WritePod(v); }
+  void WriteU16(uint16_t v) { WritePod(v); }
   void WriteU32(uint32_t v) { WritePod(v); }
   void WriteU64(uint64_t v) { WritePod(v); }
   void WriteI64(int64_t v) { WritePod(v); }
@@ -70,6 +71,7 @@ class ByteReader {
   }
 
   uint8_t ReadU8() { return ReadPod<uint8_t>(); }
+  uint16_t ReadU16() { return ReadPod<uint16_t>(); }
   uint32_t ReadU32() { return ReadPod<uint32_t>(); }
   uint64_t ReadU64() { return ReadPod<uint64_t>(); }
   int64_t ReadI64() { return ReadPod<int64_t>(); }

@@ -1,0 +1,129 @@
+#ifndef DESIS_NET_CHAOS_H_
+#define DESIS_NET_CHAOS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "net/cluster.h"
+
+namespace desis {
+
+/// One fault-injection step of a chaos schedule (docs/FAULT_TOLERANCE.md).
+/// Actions fire in virtual stream time: an action with `at_watermark` W
+/// fires during the ingest round whose advance reaches W — mid-round, after
+/// half the locals have ingested, so the struck subtree holds genuinely
+/// in-flight (partially merged, unacked) data. Identical schedules replay
+/// identically regardless of wall-clock speed.
+struct ChaosAction {
+  enum class Kind : uint8_t {
+    /// Cluster-coordinated crash: Cluster::CrashIntermediate(index).
+    kCrashIntermediate,
+    /// Transport-only failure: Cluster::InjectIntermediateFailure(index).
+    /// The cluster finds out via a later kSweepRecover.
+    kSilentKillIntermediate,
+    /// Cluster::RecoverSilentIntermediates with a two-round grace window.
+    kSweepRecover,
+    /// Cluster::DeclareLocalDead(index) — uplink dark, ingest continues.
+    kDeclareLocalDead,
+    /// Cluster::ReattachLocal(index) — re-elect, replay, re-advertise.
+    kReattachLocal,
+    /// Cluster::PartitionLocalUplink(index, down=true). Transient loss the
+    /// link-level retransmission absorbs without any app-level recovery.
+    kPartitionLocal,
+    /// Cluster::PartitionLocalUplink(index, down=false).
+    kHealLocal,
+  };
+
+  Kind kind = Kind::kCrashIntermediate;
+  Timestamp at_watermark = 0;
+  int index = 0;  // intermediate or local index; unused for kSweepRecover
+};
+
+/// A deterministic fault plan: actions sorted by `at_watermark` (Run sorts
+/// defensively). The empty schedule is the undisturbed baseline.
+struct ChaosSchedule {
+  std::vector<ChaosAction> actions;
+};
+
+/// Deterministic synthetic workload shape shared by the disturbed and the
+/// baseline run: per-local event streams derive only from (seed, local,
+/// round), never from the fault plan, so two runs over the same config see
+/// byte-identical input.
+struct ChaosStreamConfig {
+  Timestamp start = 0;
+  Timestamp end = 20'000;
+  /// Watermark round cadence: each round ingests [wm - period, wm) on every
+  /// local and then advances every local to wm.
+  Timestamp advance_period = 500;
+  int events_per_local_per_round = 32;
+  uint32_t num_keys = 8;
+  /// Values are drawn as small integers: exactly representable in a double,
+  /// so replay-induced merge reordering cannot perturb sums and final
+  /// windows compare byte-identical (same caveat as the threaded engine).
+  int64_t max_value = 100;
+  /// How far the advertised watermark trails the newest ingested event.
+  /// With a lag of two rounds, sealed slices stay unacked (in the resend
+  /// buffers, and partially merged at intermediates) for two rounds — the
+  /// in-flight data a mid-round crash actually destroys. A zero-lag stream
+  /// quiesces at every round boundary and faults would find nothing to
+  /// replay.
+  Timestamp watermark_lag = 1'000;
+  uint64_t seed = 7;
+  /// Watermark of the final flush advance; kNoTimestamp derives end +
+  /// 4 * advance_period (raise it past the largest window size in play).
+  Timestamp final_watermark = kNoTimestamp;
+};
+
+/// Collects emitted windows and canonicalizes them for byte-identical
+/// comparison between a chaos run and its undisturbed baseline.
+class ChaosResultLog {
+ public:
+  WindowSink Sink() {
+    return [this](const WindowResult& r) { results_.push_back(r); };
+  }
+
+  const std::vector<WindowResult>& results() const { return results_; }
+
+  /// Emission-order-independent serialization: one line per window, sorted.
+  /// Equal strings == identical window sets (zero lost, zero duplicated).
+  std::string Canonical() const;
+
+ private:
+  std::vector<WindowResult> results_;
+};
+
+/// Drives a configured cluster through the deterministic workload, applying
+/// a fault schedule in virtual stream time. The cluster must be built on
+/// seed-stable transports (inline or SimLinkTransport) for byte-identical
+/// assertions; the runner itself never reads clocks or unseeded RNGs.
+class ChaosRunner {
+ public:
+  ChaosRunner(Cluster* cluster, ChaosStreamConfig config)
+      : cluster_(cluster), config_(config) {}
+
+  /// Runs the whole stream. Returns the number of ingest rounds executed.
+  /// Any schedule actions still pending after the last round (late heals or
+  /// reattaches) are applied before the final flush advance, so buffered
+  /// data always lands and the zero-lost-windows comparison is meaningful.
+  int Run(const ChaosSchedule& schedule);
+
+ private:
+  void Apply(const ChaosAction& action, Timestamp wm);
+
+  Cluster* cluster_;
+  ChaosStreamConfig config_;
+};
+
+/// Seeded schedule generator used by the CI smoke job and fuzz-style tests:
+/// one intermediate crash, one local dead/reattach pair, and one transient
+/// partition, at seed-chosen rounds and indices within the given topology.
+ChaosSchedule MakeSeededSchedule(uint64_t seed, int num_intermediates,
+                                 int num_locals,
+                                 const ChaosStreamConfig& config);
+
+}  // namespace desis
+
+#endif  // DESIS_NET_CHAOS_H_

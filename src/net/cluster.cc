@@ -60,6 +60,8 @@ void Cluster::AttachObs(obs::MetricsRegistry* registry,
   ingest_batch_hist_ = nullptr;
   churn_add_hist_ = nullptr;
   churn_remove_hist_ = nullptr;
+  reattach_counter_ = nullptr;
+  reattach_latency_hist_ = nullptr;
   if (registry != nullptr) {
     const obs::Labels labels = {{"system", ToString(system_)}};
     results_counter_ = registry->GetCounter("cluster.results", labels,
@@ -70,6 +72,12 @@ void Cluster::AttachObs(obs::MetricsRegistry* registry,
         registry->GetHistogram("opt.group_churn_ns", {{"op", "add"}}, "ns");
     churn_remove_hist_ =
         registry->GetHistogram("opt.group_churn_ns", {{"op", "remove"}}, "ns");
+    if (options_.recovery.enabled) {
+      reattach_counter_ =
+          registry->GetCounter("recovery.reattaches", labels, "reattaches");
+      reattach_latency_hist_ =
+          registry->GetHistogram("recovery.reattach_latency_us", labels, "us");
+    }
   }
   if (tracer != nullptr) {
     // Ring overwrites surface as a counter so span loss is visible in every
@@ -97,6 +105,9 @@ Status Cluster::Configure(const std::vector<Query>& queries) {
   }
   if (topology_.intermediate_layers < 1) {
     return Status::InvalidArgument("need at least one intermediate layer");
+  }
+  if (options_.recovery.enabled && system_ != ClusterSystem::kDesis) {
+    return Status::Unsupported("crash recovery requires the Desis system");
   }
   for (const Query& q : queries) {
     if (auto s = q.Validate(); !s.ok()) return s;
@@ -207,13 +218,20 @@ Status Cluster::Configure(const std::vector<Query>& queries) {
   }
 
   local_removed_.assign(locals_.size(), false);
+  local_orphaned_.assign(locals_.size(), false);
+  intermediate_dead_.assign(intermediates_raw_.size(), false);
   local_last_advance_.assign(locals_.size(), kNoTimestamp);
   local_mu_.clear();
   for (size_t i = 0; i < locals_.size(); ++i) {
     local_mu_.push_back(std::make_unique<std::mutex>());
   }
   // Route every node through the transport (workers spin up here for
-  // queue-based transports; setup above never sends).
+  // queue-based transports; setup above never sends). Recovery is enabled
+  // first: node-level recovery metrics and the root's stale counter
+  // register during the AttachObs inside WireNode.
+  if (options_.recovery.enabled) {
+    for (const auto& node : nodes_) node->EnableRecovery(options_.recovery);
+  }
   for (const auto& node : nodes_) WireNode(node.get());
   next_node_id_ = next_id;
   next_group_id_ = 0;
@@ -226,10 +244,15 @@ Status Cluster::Configure(const std::vector<Query>& queries) {
 
 Node* Cluster::ParentForLocal(size_t ordinal) const {
   if (intermediates_raw_.empty()) return root_raw_;
-  // The bottom layer holds the last num_intermediates entries.
+  // The bottom layer holds the last num_intermediates entries. Crashed
+  // intermediates are skipped (probe forward from the round-robin slot).
   const size_t n = static_cast<size_t>(topology_.num_intermediates);
   const size_t bottom_begin = intermediates_raw_.size() - n;
-  return intermediates_raw_[bottom_begin + ordinal % n];
+  for (size_t probe = 0; probe < n; ++probe) {
+    const size_t i = bottom_begin + (ordinal + probe) % n;
+    if (!intermediate_dead_[i]) return intermediates_raw_[i];
+  }
+  return root_raw_;
 }
 
 void Cluster::AdvanceAt(int local_idx, Timestamp watermark) {
@@ -277,8 +300,10 @@ Result<int> Cluster::AddLocalNode() {
   locals_.push_back(node.get());
   locals_raw_.push_back(node.get());
   local_removed_.push_back(false);
+  local_orphaned_.push_back(false);
   local_last_advance_.push_back(kNoTimestamp);
   local_mu_.push_back(std::make_unique<std::mutex>());
+  if (options_.recovery.enabled) node->EnableRecovery(options_.recovery);
   WireNode(node.get());
   // Attach on the parent's delivery thread so membership growth is ordered
   // with its in-flight messages.
@@ -332,6 +357,282 @@ std::vector<int> Cluster::RemoveSilentLocals(Timestamp min_watermark) {
     }
   }
   return removed;
+}
+
+// --- Crash recovery (docs/FAULT_TOLERANCE.md) ------------------------------
+
+Status Cluster::CheckRecoveryOp() const {
+  if (system_ != ClusterSystem::kDesis || !options_.recovery.enabled) {
+    return Status::Unsupported(
+        "crash recovery requires the Desis system with recovery enabled");
+  }
+  return Status::OK();
+}
+
+int64_t Cluster::RecoveryNowUs() const {
+  // Deterministic virtual time when the transport provides it (SimLink);
+  // wall-clock microseconds otherwise.
+  const int64_t virtual_us = transport_->VirtualNowUs();
+  if (virtual_us >= 0) return virtual_us;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Cluster::FinishRecoveryOp(int64_t t0_us) {
+  transport_->Flush();
+  if (reattach_latency_hist_ != nullptr) {
+    reattach_latency_hist_->Record(RecoveryNowUs() - t0_us);
+  }
+  // Refresh the health gauges directly — membership_mu_ is already held
+  // exclusively here, so SampleHealth()'s shared lock would self-deadlock.
+  if (obs_registry_ != nullptr) {
+    for (const auto& node : nodes_) node->PublishHealth();
+  }
+}
+
+bool Cluster::IsDeadIntermediate(const Node* node) const {
+  for (size_t i = 0; i < intermediates_raw_.size(); ++i) {
+    if (intermediates_raw_[i] == node) return intermediate_dead_[i];
+  }
+  return false;
+}
+
+void Cluster::ForceFlushChain(Node* from) {
+  // Bottom-up: each layer's forced forwards land (Flush) before the layer
+  // above flushes, so by the end the root has absorbed every unit that ever
+  // left this chain — the frontier snapshot that follows is authoritative.
+  for (Node* n = from; n != nullptr && n != root_raw_; n = n->parent()) {
+    if (n->role() != NodeRole::kIntermediate) break;
+    auto* inter = static_cast<DesisIntermediateNode*>(n);
+    transport_->ExecuteSync(n, [inter] { inter->ForceFlushHeld(); });
+    transport_->Flush();
+  }
+}
+
+Node::ReplayFrontiers Cluster::SnapshotFrontiers() {
+  Node::ReplayFrontiers frontiers;
+  auto* root = static_cast<DesisRootNode*>(root_raw_);
+  transport_->ExecuteSync(root_raw_, [root, &frontiers] {
+    frontiers = root->FrontierSnapshot();
+  });
+  return frontiers;
+}
+
+Node* Cluster::ElectParentInLayer(size_t layer, Node* dead) {
+  // Surviving same-layer intermediate with the fewest active children;
+  // ties break to the lowest node id (deterministic across runs).
+  const size_t n = static_cast<size_t>(topology_.num_intermediates);
+  Node* best = nullptr;
+  for (size_t i = layer * n;
+       i < (layer + 1) * n && i < intermediates_raw_.size(); ++i) {
+    if (intermediate_dead_[i]) continue;
+    Node* cand = intermediates_raw_[i];
+    if (cand == dead) continue;
+    if (best == nullptr ||
+        cand->num_active_children() < best->num_active_children() ||
+        (cand->num_active_children() == best->num_active_children() &&
+         cand->id() < best->id())) {
+      best = cand;
+    }
+  }
+  if (best != nullptr) return best;
+  // No survivor in the layer: adopt at the nearest alive ancestor.
+  Node* fallback = dead != nullptr ? dead->parent() : nullptr;
+  while (fallback != nullptr && fallback != root_raw_ &&
+         IsDeadIntermediate(fallback)) {
+    fallback = fallback->parent();
+  }
+  return fallback != nullptr ? fallback : root_raw_;
+}
+
+void Cluster::ReattachOrphan(Node* orphan, Node* new_parent,
+                             const Node::ReplayFrontiers& frontiers) {
+  transport_->ExecuteSync(new_parent, [new_parent, orphan] {
+    new_parent->AttachChild(orphan);
+  });
+  size_t replayed = 0;
+  if (orphan->role() == NodeRole::kLocal) {
+    // Serialize with the local's driver thread (ingest holds the same lock).
+    std::mutex* mu = nullptr;
+    for (size_t i = 0; i < locals_raw_.size(); ++i) {
+      if (locals_raw_[i] == orphan) {
+        mu = local_mu_[i].get();
+        break;
+      }
+    }
+    std::unique_lock<std::mutex> lock(*mu);
+    replayed = orphan->ReplayUnacked(frontiers);
+    orphan->ReAdvertiseWatermark();
+  } else {
+    transport_->ExecuteSync(orphan, [orphan, &frontiers, &replayed] {
+      replayed = orphan->ReplayUnacked(frontiers);
+      orphan->ReAdvertiseWatermark();
+    });
+  }
+  ++recovery_reattaches_;
+  recovery_replayed_ += replayed;
+  if (reattach_counter_ != nullptr) reattach_counter_->Add();
+  if (obs_tracer_ != nullptr) {
+    obs_tracer_->Record(obs::SlicePhase::kReattach, /*slice_id=*/0,
+                        /*group_id=*/0, /*query_id=*/0, orphan->id(),
+                        orphan->role() == NodeRole::kLocal
+                            ? obs::kSpanRoleLocal
+                            : obs::kSpanRoleIntermediate,
+                        orphan->health().watermark);
+  }
+}
+
+Status Cluster::CrashIntermediate(int intermediate_idx) {
+  std::unique_lock<std::shared_mutex> lock(membership_mu_);
+  return CrashIntermediateLocked(intermediate_idx);
+}
+
+Status Cluster::CrashIntermediateLocked(int intermediate_idx) {
+  if (auto s = CheckRecoveryOp(); !s.ok()) return s;
+  const size_t idx = static_cast<size_t>(intermediate_idx);
+  if (intermediate_idx < 0 || idx >= intermediates_raw_.size()) {
+    return Status::NotFound("no such intermediate node");
+  }
+  if (intermediate_dead_[idx]) {
+    return Status::NotFound("intermediate already crashed");
+  }
+  Node* dead = intermediates_raw_[idx];
+  const int64_t t0_us = RecoveryNowUs();
+  intermediate_dead_[idx] = true;
+  // 1. The crash itself: the transport discards everything in flight
+  //    to/from the node and ignores it from now on.
+  transport_->Disconnect(dead);
+  transport_->Flush();
+  // 2. Force-flush the dead node's ancestor chain so every unit that ever
+  //    made it past the dead node reaches the root, then snapshot the
+  //    root's provenance frontiers — replay below trims against them.
+  ForceFlushChain(dead->parent());
+  transport_->Flush();
+  const Node::ReplayFrontiers frontiers = SnapshotFrontiers();
+  // 3. Re-elect a parent for every orphan and replay its unacked data.
+  //    The dead node stays attached upstream through all of this: its
+  //    frozen (pinned) watermark holds the root's cursor back until the
+  //    replayed slices have landed (docs/FAULT_TOLERANCE.md, "Why the
+  //    stable watermark is a valid ack").
+  const size_t n = static_cast<size_t>(topology_.num_intermediates);
+  const size_t layer = idx / n;
+  for (size_t ci = 0; ci < dead->num_children(); ++ci) {
+    if (dead->child_detached(static_cast<int>(ci))) continue;
+    Node* orphan = dead->child_node(static_cast<int>(ci));
+    if (orphan == nullptr) continue;
+    ReattachOrphan(orphan, ElectParentInLayer(layer, dead), frontiers);
+  }
+  transport_->Flush();
+  // 4. Only now detach the dead node at its parent — the replayed data is
+  //    upstream of the orphans, protected by their new parents' pins.
+  Node* parent = dead->parent();
+  const int child_index = dead->child_index_at_parent();
+  transport_->ExecuteSync(parent, [parent, child_index] {
+    parent->DetachChild(child_index);
+  });
+  FinishRecoveryOp(t0_us);
+  return Status::OK();
+}
+
+Status Cluster::DeclareLocalDead(int local_idx) {
+  if (auto s = CheckRecoveryOp(); !s.ok()) return s;
+  std::unique_lock<std::shared_mutex> lock(membership_mu_);
+  const size_t i = static_cast<size_t>(local_idx);
+  if (local_idx < 0 || i >= locals_raw_.size()) {
+    return Status::NotFound("no such local node");
+  }
+  if (local_removed_[i]) return Status::NotFound("local node already removed");
+  if (local_orphaned_[i]) {
+    return Status::AlreadyExists("local already declared dead");
+  }
+  // The uplink goes dark but the membership is kept: the old parent still
+  // waits on the local's frozen watermark, which pins the root at the last
+  // advertised point — it cannot consume past the orphan's buffered data.
+  // Ingest may continue; sends accumulate in the resend buffer.
+  Node* node = locals_raw_[i];
+  transport_->SetLinkDown(node, node->parent(), true);
+  local_orphaned_[i] = true;
+  return Status::OK();
+}
+
+Status Cluster::ReattachLocal(int local_idx) {
+  if (auto s = CheckRecoveryOp(); !s.ok()) return s;
+  std::unique_lock<std::shared_mutex> lock(membership_mu_);
+  const size_t i = static_cast<size_t>(local_idx);
+  if (local_idx < 0 || i >= locals_raw_.size()) {
+    return Status::NotFound("no such local node");
+  }
+  if (!local_orphaned_[i]) {
+    return Status::NotFound("local was not declared dead");
+  }
+  Node* node = locals_raw_[i];
+  Node* old_parent = node->parent();
+  const int old_child_index = node->child_index_at_parent();
+  const int64_t t0_us = RecoveryNowUs();
+  // Drain, force-flush the old parent chain, snapshot frontiers — exactly
+  // the CrashIntermediate preamble, with the old uplink as the dead path.
+  transport_->Flush();
+  ForceFlushChain(old_parent);
+  transport_->Flush();
+  const Node::ReplayFrontiers frontiers = SnapshotFrontiers();
+  // Abandon the dark uplink's link state BEFORE replaying: from here the
+  // resend buffer owns recovery, and a link-level retransmission of parked
+  // frames would double-merge the same slices at the (possibly identical)
+  // new parent. This also clears the partition flag, so replay traffic to
+  // a re-elected same parent flows on a clean link.
+  transport_->ResetLink(node, old_parent);
+  ReattachOrphan(node, ParentForLocal(i), frontiers);
+  local_orphaned_[i] = false;
+  transport_->Flush();
+  // Detach the old uplink slot last (pinning protection, as above).
+  transport_->ExecuteSync(old_parent, [old_parent, old_child_index] {
+    old_parent->DetachChild(old_child_index);
+  });
+  FinishRecoveryOp(t0_us);
+  return Status::OK();
+}
+
+std::vector<int> Cluster::RecoverSilentIntermediates(Timestamp min_watermark) {
+  std::unique_lock<std::shared_mutex> lock(membership_mu_);
+  std::vector<int> crashed;
+  if (!CheckRecoveryOp().ok()) return crashed;
+  for (size_t i = 0; i < intermediates_raw_.size(); ++i) {
+    if (intermediate_dead_[i]) continue;
+    const Timestamp wm = intermediates_raw_[i]->health().watermark;
+    if (wm == kNoTimestamp || wm < min_watermark) {
+      if (CrashIntermediateLocked(static_cast<int>(i)).ok()) {
+        crashed.push_back(static_cast<int>(i));
+      }
+    }
+  }
+  return crashed;
+}
+
+Status Cluster::InjectIntermediateFailure(int intermediate_idx) {
+  if (auto s = CheckRecoveryOp(); !s.ok()) return s;
+  std::unique_lock<std::shared_mutex> lock(membership_mu_);
+  const size_t idx = static_cast<size_t>(intermediate_idx);
+  if (intermediate_idx < 0 || idx >= intermediates_raw_.size()) {
+    return Status::NotFound("no such intermediate node");
+  }
+  // Silent: the transport stops delivering but the cluster is not told —
+  // RecoverSilentIntermediates spots the frozen watermark later.
+  transport_->Disconnect(intermediates_raw_[idx]);
+  return Status::OK();
+}
+
+Status Cluster::PartitionLocalUplink(int local_idx, bool down) {
+  std::unique_lock<std::shared_mutex> lock(membership_mu_);
+  const size_t i = static_cast<size_t>(local_idx);
+  if (local_idx < 0 || i >= locals_raw_.size()) {
+    return Status::NotFound("no such local node");
+  }
+  Node* node = locals_raw_[i];
+  if (!transport_->SetLinkDown(node, node->parent(), down)) {
+    return Status::Unsupported("transport cannot model link partitions");
+  }
+  return Status::OK();
 }
 
 Status Cluster::AddQuery(const Query& query) {
@@ -577,6 +878,28 @@ std::string Cluster::StatsReport() const {
   AppendRole(out, "root", root);
   out += "},";
   AppendRole(out, "totals", total);
+  if (options_.recovery.enabled) {
+    uint64_t resend_bytes = 0;
+    uint64_t overflow_drops = 0;
+    for (const auto& node : nodes_) {
+      if (const ResendBuffer* rb = node->resend_buffer(); rb != nullptr) {
+        resend_bytes += rb->bytes();
+        overflow_drops += rb->overflow_drops();
+      }
+    }
+    const uint64_t stale =
+        root_raw_ != nullptr
+            ? static_cast<const DesisRootNode*>(root_raw_)->stale_dropped()
+            : 0;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"recovery\":{\"reattaches\":%" PRIu64
+                  ",\"replayed_slices\":%" PRIu64 ",\"stale_dropped\":%" PRIu64
+                  ",\"resend_buffer_bytes\":%" PRIu64
+                  ",\"resend_overflow_drops\":%" PRIu64 "}",
+                  recovery_reattaches_.load(), recovery_replayed_.load(), stale,
+                  resend_bytes, overflow_drops);
+    out += buf;
+  }
   if (obs_registry_ != nullptr || obs_tracer_ != nullptr) {
     // Registry snapshot and span *counters* only: both read relaxed
     // atomics, so polling mid-run is race-free. Span payloads (the actual

@@ -54,6 +54,12 @@ struct ClusterOptions {
   /// composites). Off by default — the static plan is the seed baseline.
   /// Desis system only; ignored by the baselines.
   bool optimize_plans = false;
+  /// Crash recovery (docs/FAULT_TOLERANCE.md): per-uplink resend buffers,
+  /// provenance-tagged messages, stable-watermark acks, and the
+  /// CrashIntermediate / DeclareLocalDead / ReattachLocal operations. Off
+  /// by default — wire traffic stays byte-identical to the seed. Desis
+  /// system only; Configure rejects it for the baselines.
+  RecoveryOptions recovery;
 };
 
 /// An in-process decentralized cluster: builds the topology, deploys the
@@ -119,6 +125,63 @@ class Cluster {
   /// `min_watermark` (the connection-timeout sweep); returns the removed
   /// local indices so callers can inform users.
   std::vector<int> RemoveSilentLocals(Timestamp min_watermark);
+
+  // --- Crash recovery & fault injection (docs/FAULT_TOLERANCE.md) --------
+  //
+  // All operations require `ClusterOptions::recovery.enabled` and the Desis
+  // system. They must not race ingestion on the affected locals: call them
+  // from the driver thread between ingest rounds (the chaos harness does).
+
+  /// Crashes intermediate `idx` (flat index, layers concatenated top to
+  /// bottom): severs its links, force-flushes held entries on its ancestor
+  /// chain, re-elects a parent for every orphaned child (surviving
+  /// same-layer intermediate with the fewest active children, ties to the
+  /// lowest node id, else the dead node's parent), replays unacked data
+  /// trimmed against the root's provenance frontiers, and only then
+  /// detaches the dead node upstream — its frozen pinned watermark holds
+  /// the root back until the replay has landed, so zero windows are lost.
+  Status CrashIntermediate(int intermediate_idx);
+
+  /// Declares local `idx` unreachable: its uplink goes dark (when the
+  /// transport models partitions) but the membership is kept, so the root
+  /// pins at the local's last advertised watermark instead of consuming
+  /// past its buffered data. Ingest may continue — sends accumulate in the
+  /// resend buffer until ReattachLocal replays them.
+  Status DeclareLocalDead(int local_idx);
+
+  /// Re-elects a parent for a dead-declared local, replays its unacked
+  /// data (frontier-trimmed), re-advertises its watermark, and detaches
+  /// the old uplink slot last.
+  Status ReattachLocal(int local_idx);
+
+  /// The silent-node timeout sweep applied one layer up: crashes every
+  /// alive intermediate whose advertised watermark is below
+  /// `min_watermark`. Returns the crashed intermediate indices.
+  std::vector<int> RecoverSilentIntermediates(Timestamp min_watermark);
+
+  /// Transport-level failure injection only: severs the intermediate's
+  /// links without informing the cluster — the realistic silent crash that
+  /// RecoverSilentIntermediates later detects. No-op on transports without
+  /// Disconnect support (inline/threaded).
+  Status InjectIntermediateFailure(int intermediate_idx);
+
+  /// Takes the uplink of local `idx` down or back up. Unsupported on
+  /// transports that cannot model partitions.
+  Status PartitionLocalUplink(int local_idx, bool down);
+
+  bool intermediate_dead(int idx) const {
+    std::shared_lock<std::shared_mutex> lock(membership_mu_);
+    return intermediate_dead_[static_cast<size_t>(idx)];
+  }
+  bool local_orphaned(int idx) const {
+    std::shared_lock<std::shared_mutex> lock(membership_mu_);
+    return local_orphaned_[static_cast<size_t>(idx)];
+  }
+
+  /// Recovery counters (deterministic under SimLink virtual time; also in
+  /// the StatsReport() "recovery" section).
+  uint64_t recovery_reattaches() const { return recovery_reattaches_; }
+  uint64_t recovery_replayed() const { return recovery_replayed_; }
 
   /// Registers a new query on every node at runtime. Incremental group
   /// maintenance (§3.2 at scale): the query joins a compatible existing
@@ -207,6 +270,25 @@ class Cluster {
   Status RemoveLocalNodeLocked(int local_idx);
   void WireNode(Node* node);
 
+  // Crash-recovery internals (membership_mu_ held exclusively).
+  Status CrashIntermediateLocked(int intermediate_idx);
+  Status CheckRecoveryOp() const;
+  /// Force-flushes held entries at every intermediate on the parent chain
+  /// starting at `from` (inclusive), bottom-up, flushing the transport
+  /// between layers so the root's frontiers become authoritative.
+  void ForceFlushChain(Node* from);
+  Node::ReplayFrontiers SnapshotFrontiers();
+  /// Surviving same-layer intermediate with the fewest active children
+  /// (ties: lowest node id); falls back to the nearest alive ancestor.
+  Node* ElectParentInLayer(size_t layer, Node* dead);
+  /// Attaches `orphan` to `new_parent`, replays its unacked data trimmed by
+  /// `frontiers`, re-advertises its watermark, and records the obs trail.
+  void ReattachOrphan(Node* orphan, Node* new_parent,
+                      const Node::ReplayFrontiers& frontiers);
+  bool IsDeadIntermediate(const Node* node) const;
+  int64_t RecoveryNowUs() const;
+  void FinishRecoveryOp(int64_t t0_us);
+
   ClusterSystem system_;
   ClusterTopology topology_;
   ClusterOptions options_;
@@ -224,6 +306,8 @@ class Cluster {
   std::vector<bool> local_removed_;
   std::vector<Timestamp> local_last_advance_;
   std::vector<Node*> intermediates_raw_;
+  std::vector<bool> intermediate_dead_;
+  std::vector<bool> local_orphaned_;
   Node* root_raw_ = nullptr;
   WindowSink sink_;
   /// Incremented from the root's delivery worker; read by monitors mid-run.
@@ -243,6 +327,11 @@ class Cluster {
                                SharingPolicy::kCrossFunction};
   obs::Histogram* churn_add_hist_ = nullptr;     // opt.group_churn_ns{op=add}
   obs::Histogram* churn_remove_hist_ = nullptr;  // opt.group_churn_ns{op=remove}
+  // Crash recovery: cluster-wide counters + obs handles.
+  obs::RelaxedU64 recovery_reattaches_;
+  obs::RelaxedU64 recovery_replayed_;
+  obs::Counter* reattach_counter_ = nullptr;       // recovery.reattaches
+  obs::Histogram* reattach_latency_hist_ = nullptr;  // recovery.reattach_latency_us
   uint32_t next_node_id_ = 0;
   uint32_t next_group_id_ = 0;
 };

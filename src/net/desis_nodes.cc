@@ -7,6 +7,24 @@
 
 namespace desis {
 
+namespace {
+
+// Event-time upper bound of an encoded event batch (payload layout: u32
+// count + 24B/event, ts first): the resend-buffer eviction key for
+// kEventBatch messages. kNoTimestamp for an empty batch.
+Timestamp EventBatchEndTs(const std::vector<uint8_t>& payload) {
+  constexpr size_t kPerEvent =
+      sizeof(int64_t) + sizeof(uint32_t) + sizeof(double) + sizeof(uint32_t);
+  ByteReader in(payload);
+  const uint32_t n = in.ReadU32();
+  if (n == 0) return kNoTimestamp;
+  ByteReader tail(payload.data() + sizeof(uint32_t) + (n - 1) * kPerEvent,
+                  sizeof(int64_t));
+  return tail.ReadI64();
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- local --
 
 DesisLocalNode::DesisLocalNode(uint32_t id,
@@ -170,7 +188,12 @@ void DesisLocalNode::ShipSlice(uint32_t group_id, const SliceRecord& rec) {
   SlicePartialMsg msg = SlicePartialMsg::FromRecord(rec, last_ts_);
   ByteWriter out;
   msg.SerializeTo(out);
-  SendToParent({MessageType::kSlicePartial, group_id, out.TakeBytes()});
+  Message wire{MessageType::kSlicePartial, group_id, out.TakeBytes()};
+  if (recovery_enabled()) {
+    // Slice ids are monotone per (local, group): the natural replay unit.
+    wire.origins = {{id(), rec.id}};
+  }
+  SendToParentBuffered(wire, rec.end);
   if (tracer_ != nullptr) {
     tracer_->Record(obs::SlicePhase::kPartialShipped, rec.id, group_id,
                     /*query_id=*/0, id(), obs::kSpanRoleLocal, rec.end);
@@ -180,10 +203,18 @@ void DesisLocalNode::ShipSlice(uint32_t group_id, const SliceRecord& rec) {
 void DesisLocalNode::FlushForwardBatch(uint32_t group_id) {
   for (ForwardGroup& fg : forward_groups_) {
     if (fg.group.id != group_id || fg.pending.empty()) continue;
-    SendToParent({MessageType::kEventBatch, group_id,
-                  EncodeEventBatch(fg.pending)});
+    Message wire{MessageType::kEventBatch, group_id,
+                 EncodeEventBatch(fg.pending)};
+    if (recovery_enabled()) wire.origins = {{id(), fg.next_chunk++}};
+    SendToParentBuffered(wire, fg.pending.back().ts);
     fg.pending.clear();
   }
+}
+
+void DesisLocalNode::ReAdvertiseWatermark() {
+  const Timestamp wm = health_.watermark;
+  if (wm == kNoTimestamp) return;
+  SendToParent({MessageType::kWatermark, 0, EncodeWatermark(wm)});
 }
 
 void DesisLocalNode::Advance(Timestamp watermark) {
@@ -245,15 +276,38 @@ void DesisIntermediateNode::OnChildDetached(int child_index) {
   FlushUpTo(MinChildWatermark());
 }
 
-void DesisIntermediateNode::ForwardEntry(uint32_t group_id,
-                                         SlicePartialMsg&& msg) {
+void DesisIntermediateNode::ForwardEntry(
+    uint32_t group_id, SlicePartialMsg&& msg,
+    std::vector<ProvenanceEntry>&& origins) {
   if (tracer_ != nullptr) {
     tracer_->Record(obs::SlicePhase::kMerged, msg.slice_id, group_id,
                     /*query_id=*/0, id(), obs::kSpanRoleIntermediate, msg.end);
   }
+  const Timestamp end = msg.end;
   ByteWriter out;
   msg.SerializeTo(out);
-  SendToParent({MessageType::kSlicePartial, group_id, out.TakeBytes()});
+  Message wire{MessageType::kSlicePartial, group_id, out.TakeBytes()};
+  if (recovery_enabled()) wire.origins = std::move(origins);
+  SendToParentBuffered(wire, end);
+}
+
+void DesisIntermediateNode::ForceFlushHeld() {
+  // Early data is safe — the parent's assembler holds partials until its
+  // own watermark passes — so everything held here can go upstream now.
+  // sent_wm_ stays put: the pinning invariant keeps protecting in-flight
+  // data on the wire above us.
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    auto& [key, value] = *it;
+    ForwardEntry(std::get<0>(key), std::move(value.msg),
+                 std::move(value.origins));
+    it = entries_.erase(it);
+  }
+  health_.backlog = 0;
+}
+
+void DesisIntermediateNode::ReAdvertiseWatermark() {
+  if (sent_wm_ == kNoTimestamp) return;
+  SendToParent({MessageType::kWatermark, 0, EncodeWatermark(sent_wm_)});
 }
 
 void DesisIntermediateNode::FlushUpTo(Timestamp watermark) {
@@ -264,7 +318,8 @@ void DesisIntermediateNode::FlushUpTo(Timestamp watermark) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     auto& [key, value] = *it;
     if (std::get<2>(key) <= watermark) {
-      ForwardEntry(std::get<0>(key), std::move(value.first));
+      ForwardEntry(std::get<0>(key), std::move(value.msg),
+                   std::move(value.origins));
       it = entries_.erase(it);
     } else {
       ++it;
@@ -297,9 +352,13 @@ void DesisIntermediateNode::HandleMessage(const Message& message,
       auto it = entries_.find(key);
       if (it == entries_.end()) {
         ++stats_.slices_created;  // a new intermediate slice
-        it = entries_.emplace(key, std::make_pair(std::move(msg), 1)).first;
+        it = entries_.emplace(key, Entry{std::move(msg), 1, message.origins})
+                 .first;
       } else {
-        SlicePartialMsg& entry = it->second.first;
+        it->second.origins.insert(it->second.origins.end(),
+                                  message.origins.begin(),
+                                  message.origins.end());
+        SlicePartialMsg& entry = it->second.msg;
         // Children racing a runtime query add may report the same slice
         // range with different lane counts / operator masks for one
         // watermark round: merge the shared prefix mask-compatibly and
@@ -328,21 +387,24 @@ void DesisIntermediateNode::HandleMessage(const Message& message,
           }
           if (!known) entry.eps.push_back(ep);
         }
-        ++it->second.second;
+        ++it->second.reports;
       }
       // An intermediate slice is complete when every child reported (its
       // "length" equals the number of children, §5.1.1).
-      if (it->second.second >= static_cast<int>(num_active_children())) {
-        SlicePartialMsg complete = std::move(it->second.first);
+      if (it->second.reports >= static_cast<int>(num_active_children())) {
+        SlicePartialMsg complete = std::move(it->second.msg);
+        std::vector<ProvenanceEntry> origins = std::move(it->second.origins);
         entries_.erase(it);
-        ForwardEntry(message.group_id, std::move(complete));
+        ForwardEntry(message.group_id, std::move(complete),
+                     std::move(origins));
       }
       FlushUpTo(MinChildWatermark());
       break;
     }
     case MessageType::kEventBatch:
-      // Root-only groups: pass raw batches through unchanged.
-      SendToParent(message);
+      // Root-only groups: pass raw batches through unchanged (provenance
+      // included — the copy keeps `origins`); buffered for replay.
+      SendToParentBuffered(message, EventBatchEndTs(message.payload));
       break;
     case MessageType::kWatermark: {
       const Timestamp wm = DecodeWatermark(message.payload);
@@ -417,6 +479,13 @@ void DesisRootNode::OnObsAttached() {
       rg.slicer->set_metrics(obs_registry_);
     }
   }
+  if (recovery_enabled() && stale_counter_ == nullptr &&
+      obs_registry_ != nullptr) {
+    stale_counter_ = obs_registry_->GetCounter(
+        "recovery.stale_dropped",
+        {{"node", std::to_string(id())}, {"role", ToString(role())}},
+        "messages");
+  }
 }
 
 void DesisRootNode::AddGroups(const std::vector<QueryGroup>& groups) {
@@ -477,6 +546,10 @@ void DesisRootNode::OnChildDetached(int child_index) {
 void DesisRootNode::AdvanceAll(Timestamp watermark) {
   if (watermark == kNoTimestamp || watermark <= advanced_wm_) return;
   advanced_wm_ = watermark;
+  // Everything at or below the new watermark is consumed (the pinning
+  // invariant guarantees no partial for it is still in flight), so the
+  // advance doubles as the cumulative ack cascaded toward the leaves.
+  if (recovery_enabled()) SendAckToChildren(advanced_wm_);
   for (auto& [gid, assembler] : assemblers_) assembler->AdvanceTo(watermark);
   for (auto& [gid, rg] : root_only_) {
     // Release reordered events up to the watermark into the root slicer as
@@ -512,7 +585,44 @@ void DesisRootNode::UpdateHealthCells() {
   health_.watermark = advanced_wm_;
 }
 
+Node::ReplayFrontiers DesisRootNode::FrontierSnapshot() const {
+  // Export the lowest-unapplied unit per (group, origin). Applied units
+  // above a hole are deliberately omitted: they make replay conservative
+  // (re-sent, then dropped whole by the exact Applied() check) rather
+  // than risk trimming data the root never consumed.
+  ReplayFrontiers snapshot;
+  for (const auto& [key, progress] : frontiers_) snapshot[key] = progress.next;
+  return snapshot;
+}
+
 void DesisRootNode::HandleMessage(const Message& message, int child_index) {
+  if (recovery_enabled() && !message.origins.empty()) {
+    // Replay dedup: a message whose origin units were ALL applied already
+    // is a replayed duplicate — drop it whole. Mixed stale/fresh cannot
+    // occur: the cluster force-flushes held entries on the dead parent's
+    // ancestor chain before snapshotting frontiers, so replayed merges are
+    // wholly new (docs/FAULT_TOLERANCE.md "Exactness of replay trimming").
+    // Applied-ness is tracked exactly (OriginProgress): after a reattach a
+    // replayed range can flush from the new parent *behind* newer complete
+    // entries, so units arrive out of order and a monotone high-water mark
+    // would wrongly judge the late message stale.
+    bool any_fresh = false;
+    for (const ProvenanceEntry& p : message.origins) {
+      const auto it = frontiers_.find({message.group_id, p.origin});
+      if (it == frontiers_.end() || !it->second.Applied(p.unit)) {
+        any_fresh = true;
+        break;
+      }
+    }
+    if (!any_fresh) {
+      ++stale_dropped_;
+      if (stale_counter_ != nullptr) stale_counter_->Add();
+      return;
+    }
+    for (const ProvenanceEntry& p : message.origins) {
+      frontiers_[{message.group_id, p.origin}].Apply(p.unit);
+    }
+  }
   switch (message.type) {
     case MessageType::kSlicePartial: {
       ByteReader in(message.payload);

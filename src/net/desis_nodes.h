@@ -2,6 +2,7 @@
 #define DESIS_NET_DESIS_NODES_H_
 
 #include <map>
+#include <set>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -61,6 +62,10 @@ class DesisLocalNode : public Node, public LocalIngest {
 
   const EngineStats& engine_stats() const { return stats_; }
 
+  /// Re-sends the last advertised watermark so a new parent learns this
+  /// subtree's progress immediately after a reattach.
+  void ReAdvertiseWatermark() override;
+
  protected:
   void HandleMessage(const Message& message, int child_index) override;
   /// Forwards the tracer to every slicer (slice-created spans at locals).
@@ -82,6 +87,9 @@ class DesisLocalNode : public Node, public LocalIngest {
   struct ForwardGroup {
     QueryGroup group;
     std::vector<Event> pending;
+    // Monotone forward-batch chunk id: the provenance unit for kEventBatch
+    // messages under crash recovery (slice ids play this role for partials).
+    uint64_t next_chunk = 0;
   };
   std::vector<ForwardGroup> forward_groups_;
   size_t forward_batch_size_;
@@ -101,21 +109,37 @@ class DesisIntermediateNode : public Node {
 
   const EngineStats& engine_stats() const { return stats_; }
 
+  /// Crash recovery: forwards every held (incomplete) entry upstream right
+  /// away, regardless of watermarks, without advancing `sent_wm_`. Called
+  /// by the cluster before a root frontier snapshot so replay trimming sees
+  /// an authoritative picture (docs/FAULT_TOLERANCE.md).
+  void ForceFlushHeld();
+
+  /// Re-sends the last advertised watermark to the (new) parent.
+  void ReAdvertiseWatermark() override;
+
  protected:
   void HandleMessage(const Message& message, int child_index) override;
   void OnChildDetached(int child_index) override;
 
  private:
+  // A partially merged intermediate slice. `origins` concatenates the
+  // provenance of every merged child partial (empty unless recovery is on).
+  struct Entry {
+    SlicePartialMsg msg;
+    int reports = 0;
+    std::vector<ProvenanceEntry> origins;
+  };
+
   void NoteChildWatermark(int child_index, Timestamp wm);
   Timestamp MinChildWatermark() const;
   void FlushUpTo(Timestamp watermark);
-  void ForwardEntry(uint32_t group_id, SlicePartialMsg&& msg);
+  void ForwardEntry(uint32_t group_id, SlicePartialMsg&& msg,
+                    std::vector<ProvenanceEntry>&& origins);
 
   EngineStats stats_;
   // (group, start, end) -> partially merged slice + report count.
-  std::map<std::tuple<uint32_t, Timestamp, Timestamp>,
-           std::pair<SlicePartialMsg, int>>
-      entries_;
+  std::map<std::tuple<uint32_t, Timestamp, Timestamp>, Entry> entries_;
   std::vector<Timestamp> child_wms_;
   Timestamp sent_wm_ = kNoTimestamp;
 };
@@ -145,6 +169,14 @@ class DesisRootNode : public Node {
   /// Tears down one group (last member query removed).
   bool RemoveGroup(uint32_t group_id);
 
+  /// Crash recovery: per-(group, origin) lowest-unapplied units, taken
+  /// after quiescence so orphans can trim their replay to data the root
+  /// may not have consumed. Units above a hole replay conservatively; the
+  /// root's exact applied-tracking drops the true duplicates.
+  ReplayFrontiers FrontierSnapshot() const;
+  /// Messages dropped whole because every origin was already applied.
+  uint64_t stale_dropped() const { return stale_dropped_; }
+
  protected:
   void HandleMessage(const Message& message, int child_index) override;
   void OnChildDetached(int child_index) override;
@@ -172,6 +204,32 @@ class DesisRootNode : public Node {
   std::map<uint32_t, RootOnlyGroup> root_only_;
   std::vector<Timestamp> child_wms_;
   Timestamp advanced_wm_ = kNoTimestamp;
+
+  // Crash recovery: exact per-(group, origin) applied-unit tracking.
+  // Units can reach the root out of order after a reattach (a replayed
+  // range held at the new parent flushes later than newer complete
+  // entries), so a monotone frontier alone would mis-judge the late
+  // message stale. `next` is the lowest unapplied unit; `ahead` holds
+  // applied units above it and compacts as the hole fills, so the set
+  // stays bounded by the reorder window.
+  struct OriginProgress {
+    uint64_t next = 0;
+    std::set<uint64_t> ahead;
+    bool Applied(uint64_t unit) const {
+      return unit < next || ahead.count(unit) != 0;
+    }
+    void Apply(uint64_t unit) {
+      if (unit < next) return;
+      ahead.insert(unit);
+      while (!ahead.empty() && *ahead.begin() == next) {
+        ahead.erase(ahead.begin());
+        ++next;
+      }
+    }
+  };
+  std::map<std::pair<uint32_t, uint32_t>, OriginProgress> frontiers_;
+  uint64_t stale_dropped_ = 0;
+  obs::Counter* stale_counter_ = nullptr;  // recovery.stale_dropped
 };
 
 }  // namespace desis

@@ -2,20 +2,46 @@
 
 namespace desis {
 
+namespace {
+// Frames carrying provenance set the high bit of the type byte; legacy
+// frames (and all frames when recovery is off) stay byte-identical.
+constexpr uint8_t kProvenanceFlag = 0x80;
+}  // namespace
+
 std::vector<uint8_t> EncodeFrame(const Message& message) {
   ByteWriter out;
-  out.WriteU8(static_cast<uint8_t>(message.type));
+  uint8_t type = static_cast<uint8_t>(message.type);
+  if (!message.origins.empty()) type |= kProvenanceFlag;
+  out.WriteU8(type);
   out.WriteU32(message.group_id);
   out.WritePodVector(message.payload);  // 4B length prefix + payload
+  if (!message.origins.empty()) {
+    out.WriteU16(static_cast<uint16_t>(message.origins.size()));
+    for (const ProvenanceEntry& p : message.origins) {
+      out.WriteU32(p.origin);
+      out.WriteU64(p.unit);
+    }
+  }
   return out.TakeBytes();
 }
 
 Message DecodeFrame(const std::vector<uint8_t>& frame) {
   ByteReader in(frame);
   Message message;
-  message.type = static_cast<MessageType>(in.ReadU8());
+  const uint8_t type = in.ReadU8();
+  message.type = static_cast<MessageType>(type & ~kProvenanceFlag);
   message.group_id = in.ReadU32();
   message.payload = in.ReadPodVector<uint8_t>();
+  if (type & kProvenanceFlag) {
+    const uint16_t n = in.ReadU16();
+    message.origins.reserve(n);
+    for (uint16_t i = 0; i < n; ++i) {
+      ProvenanceEntry p;
+      p.origin = in.ReadU32();
+      p.unit = in.ReadU64();
+      message.origins.push_back(p);
+    }
+  }
   return message;
 }
 

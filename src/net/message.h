@@ -23,6 +23,11 @@ enum class MessageType : uint8_t {
   /// ASCII payload (the Disco baseline serializes events and window
   /// partials as strings, §6.4.1).
   kText,
+  /// Cumulative stable-watermark acknowledgement flowing *downstream*
+  /// (parent -> child): "the root has consumed everything up to W". Senders
+  /// evict resend-buffer entries whose data ends at or before W. Only
+  /// emitted when crash recovery is enabled (docs/FAULT_TOLERANCE.md).
+  kAck,
 };
 
 /// Wire-frame header: 1B type + 4B group id + 4B payload-length prefix.
@@ -31,15 +36,38 @@ inline constexpr size_t kWireHeaderBytes =
     sizeof(uint8_t) + sizeof(uint32_t) + sizeof(uint32_t);
 static_assert(kWireHeaderBytes == 9, "wire header layout changed");
 
+/// Replay provenance: one (origin node, unit) contribution carried by a
+/// data message under crash recovery. `unit` is the origin's monotone slice
+/// id (kSlicePartial) or forward-batch chunk id (kEventBatch); intermediates
+/// concatenate the provenance of everything they merge, so the root can
+/// track a per-(group, origin) frontier of applied units and reattaching
+/// nodes can trim their replay to exactly the not-yet-applied suffix.
+struct ProvenanceEntry {
+  uint32_t origin = 0;
+  uint64_t unit = 0;
+};
+
+/// Per-entry wire cost of provenance (4B origin + 8B unit), plus a 2B count
+/// prefix on frames that carry any.
+inline constexpr size_t kProvenanceEntryBytes =
+    sizeof(uint32_t) + sizeof(uint64_t);
+
 /// A serialized message. `payload` is the body; WireBytes() is the size
-/// accounted by channels as network overhead.
+/// accounted by channels as network overhead. `origins` is empty unless
+/// crash recovery is enabled, so default runs stay byte-identical.
 struct Message {
   MessageType type = MessageType::kEventBatch;
   uint32_t group_id = 0;
   std::vector<uint8_t> payload;
+  std::vector<ProvenanceEntry> origins = {};
 
-  /// Bytes on the wire: header + payload.
-  size_t WireBytes() const { return kWireHeaderBytes + payload.size(); }
+  /// Bytes on the wire: header + payload (+ provenance when present).
+  size_t WireBytes() const {
+    return kWireHeaderBytes + payload.size() +
+           (origins.empty()
+                ? 0
+                : sizeof(uint16_t) + origins.size() * kProvenanceEntryBytes);
+  }
 };
 
 /// Serializes a full frame (header + payload) / parses it back. Channels

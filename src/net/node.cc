@@ -42,6 +42,7 @@ int Node::AttachChild(Node* child) {
   child->parent_ = this;
   child->child_index_at_parent_ = children_;
   detached_flags_.push_back(false);
+  child_nodes_.push_back(child);
   return children_++;
 }
 
@@ -76,6 +77,7 @@ void Node::AttachObs(obs::MetricsRegistry* registry,
     drops_counter_ =
         registry->GetCounter("node.messages_dropped", labels, "messages");
   }
+  RegisterRecoveryObs();  // handles AttachObs-after-EnableRecovery order
   OnObsAttached();
 }
 
@@ -114,6 +116,15 @@ void Node::NoteRetransmit(const Message* message) {
 }
 
 void Node::Receive(const Message& message, int child_index) {
+  if (message.type == MessageType::kAck) {
+    // Downstream traffic (parent -> child, child_index = -1): evict the
+    // resend buffer and cascade toward the leaves. Never reaches the
+    // subclass HandleMessage.
+    net_stats_.bytes_received += message.WireBytes();
+    ++net_stats_.messages_received;
+    Metered([&] { HandleStableAck(DecodeWatermark(message.payload)); });
+    return;
+  }
   if (child_detached(child_index)) return;  // stale traffic from a removed node
   net_stats_.bytes_received += message.WireBytes();
   ++net_stats_.messages_received;
@@ -127,6 +138,105 @@ void Node::SendToParent(const Message& message) {
   net_stats_.bytes_sent += message.WireBytes();
   ++net_stats_.messages_sent;
   transport_->Send(this, parent_, child_index_at_parent_, message);
+}
+
+void Node::SendToParentBuffered(const Message& message, Timestamp end_ts) {
+  if (resend_buffer_ != nullptr) {
+    resend_buffer_->Add(message, end_ts);
+    UpdateResendGauge();
+  }
+  SendToParent(message);
+}
+
+void Node::EnableRecovery(const RecoveryOptions& options) {
+  if (!options.enabled || resend_buffer_ != nullptr) return;
+  resend_buffer_ =
+      std::make_unique<ResendBuffer>(options.resend_buffer_max_bytes);
+  RegisterRecoveryObs();
+}
+
+void Node::RegisterRecoveryObs() {
+  if (obs_registry_ == nullptr || resend_buffer_ == nullptr ||
+      replayed_counter_ != nullptr) {
+    return;
+  }
+  const obs::Labels labels = {{"node", std::to_string(id_)},
+                              {"role", ToString(role_)}};
+  replayed_counter_ = obs_registry_->GetCounter("recovery.replayed_slices",
+                                                labels, "messages");
+  resend_bytes_gauge_ = obs_registry_->GetGauge("recovery.resend_buffer_bytes",
+                                                labels, "bytes");
+}
+
+void Node::UpdateResendGauge() {
+  if (resend_bytes_gauge_ != nullptr) {
+    resend_bytes_gauge_->Set(static_cast<int64_t>(resend_buffer_->bytes()));
+  }
+}
+
+void Node::HandleStableAck(Timestamp stable) {
+  if (resend_buffer_ != nullptr) {
+    resend_buffer_->EvictStable(stable);
+    UpdateResendGauge();
+  }
+  SendAckToChildren(stable);
+}
+
+void Node::SendAckToChildren(Timestamp stable) {
+  if (stable <= ack_forwarded_) return;  // cumulative: only forward advances
+  ack_forwarded_ = stable;
+  Message ack;
+  ack.type = MessageType::kAck;
+  ack.payload = EncodeWatermark(stable);
+  for (int i = 0; i < children_; ++i) {
+    if (child_detached(i)) continue;
+    Node* child = child_nodes_[static_cast<size_t>(i)];
+    if (child == nullptr || !child->recovery_enabled()) continue;
+    net_stats_.bytes_sent += ack.WireBytes();
+    ++net_stats_.messages_sent;
+    transport_->Send(this, child, /*child_index=*/-1, ack);
+  }
+}
+
+size_t Node::ReplayUnacked(const ReplayFrontiers& frontiers) {
+  if (resend_buffer_ == nullptr || parent_ == nullptr) return 0;
+  size_t replayed = 0;
+  for (const Message& message : resend_buffer_->UnackedSnapshot()) {
+    // Stale iff every origin unit was already applied at the root. Messages
+    // without provenance can't be deduplicated, so they are always resent.
+    bool fresh = message.origins.empty();
+    for (const ProvenanceEntry& p : message.origins) {
+      const auto it = frontiers.find({message.group_id, p.origin});
+      if (it == frontiers.end() || p.unit >= it->second) {
+        fresh = true;
+        break;
+      }
+    }
+    if (!fresh) continue;
+    net_stats_.bytes_sent += message.WireBytes();
+    ++net_stats_.messages_sent;
+    transport_->Send(this, parent_, child_index_at_parent_, message);
+    ++replayed;
+    if (replayed_counter_ != nullptr) replayed_counter_->Add();
+    RecordReplaySpan(message);
+  }
+  return replayed;
+}
+
+void Node::RecordReplaySpan(const Message& message) {
+  if (tracer_ == nullptr) return;
+  uint64_t slice_id =
+      message.origins.empty() ? 0 : message.origins.front().unit;
+  Timestamp ts = health_.watermark;
+  if (message.type == MessageType::kSlicePartial &&
+      message.payload.size() >= sizeof(uint64_t) + 2 * sizeof(int64_t)) {
+    ByteReader reader(message.payload);
+    slice_id = reader.ReadU64();
+    reader.ReadI64();  // start
+    ts = reader.ReadI64();
+  }
+  tracer_->Record(obs::SlicePhase::kReplay, slice_id, message.group_id,
+                  /*query_id=*/0, id_, static_cast<uint8_t>(role_), ts);
 }
 
 }  // namespace desis

@@ -2,11 +2,15 @@
 #define DESIS_NET_NODE_H_
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/stats.h"
 #include "net/message.h"
+#include "net/resend_buffer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -128,6 +132,35 @@ class Node {
 
   int child_index_at_parent() const { return child_index_at_parent_; }
   Node* parent() const { return parent_; }
+  /// The child attached at `child_index` (null for out-of-range slots;
+  /// detached children keep their pointer — callers check child_detached()).
+  Node* child_node(int child_index) const {
+    const size_t i = static_cast<size_t>(child_index);
+    return i < child_nodes_.size() ? child_nodes_[i] : nullptr;
+  }
+
+  // --- Crash recovery (docs/FAULT_TOLERANCE.md) --------------------------
+
+  /// Arms the resend buffer and ack handling on this node. Idempotent;
+  /// no-op when `options.enabled` is false.
+  void EnableRecovery(const RecoveryOptions& options);
+  bool recovery_enabled() const { return resend_buffer_ != nullptr; }
+  ResendBuffer* resend_buffer() const { return resend_buffer_.get(); }
+
+  /// Root-side per-(group_id, origin node) next-expected provenance unit.
+  /// A buffered message is stale — already consumed by the root — iff every
+  /// one of its origin entries sits below its frontier.
+  using ReplayFrontiers = std::map<std::pair<uint32_t, uint32_t>, uint64_t>;
+
+  /// Replays every buffered message not yet covered by `frontiers` to the
+  /// (possibly new) parent, recording kReplay spans and the
+  /// recovery.replayed_slices counter. Returns the replay count. Entries
+  /// stay buffered until a stable ack covers them.
+  size_t ReplayUnacked(const ReplayFrontiers& frontiers);
+
+  /// Re-advertises this node's current output watermark upstream so a new
+  /// parent immediately learns the subtree's progress after a reattach.
+  virtual void ReAdvertiseWatermark() {}
 
   /// Routes this node's upstream sends through `transport` (never null;
   /// defaults to the process-wide inline transport).
@@ -192,6 +225,14 @@ class Node {
   /// Ships a message to the parent (no-op without a parent — the root).
   void SendToParent(const Message& message);
 
+  /// Ships a data message and, when recovery is armed, retains a copy in
+  /// the resend buffer until a stable ack at or past `end_ts` arrives.
+  void SendToParentBuffered(const Message& message, Timestamp end_ts);
+
+  /// Sends a cumulative stable-watermark ack downstream to every active
+  /// child (the root calls this when its advanced watermark moves).
+  void SendAckToChildren(Timestamp stable);
+
   /// Runs `fn` attributing its wall time (minus nested upstream work) to
   /// this node's busy counter; returns the attributed nanoseconds. Used by
   /// local nodes for event ingestion.
@@ -217,6 +258,13 @@ class Node {
   static int64_t NowNs();
   static int64_t ExchangeNested(int64_t value);
 
+  /// Evicts the resend buffer up to `stable` and forwards the ack to this
+  /// node's own children (cumulative acks cascade root -> leaves).
+  void HandleStableAck(Timestamp stable);
+  void RegisterRecoveryObs();
+  void UpdateResendGauge();
+  void RecordReplaySpan(const Message& message);
+
   uint32_t id_;
   NodeRole role_;
   Transport* transport_;
@@ -234,6 +282,13 @@ class Node {
   int children_ = 0;
   int detached_ = 0;
   std::vector<bool> detached_flags_;
+  std::vector<Node*> child_nodes_;
+
+  // Crash recovery (null/unset unless EnableRecovery ran).
+  std::unique_ptr<ResendBuffer> resend_buffer_;
+  obs::Counter* replayed_counter_ = nullptr;     // recovery.replayed_slices
+  obs::Gauge* resend_bytes_gauge_ = nullptr;     // recovery.resend_buffer_bytes
+  Timestamp ack_forwarded_ = kNoTimestamp;
 };
 
 }  // namespace desis

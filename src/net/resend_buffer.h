@@ -1,0 +1,106 @@
+#ifndef DESIS_NET_RESEND_BUFFER_H_
+#define DESIS_NET_RESEND_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/event.h"
+#include "net/message.h"
+
+namespace desis {
+
+/// Opt-in crash-recovery configuration (docs/FAULT_TOLERANCE.md). When
+/// `enabled` is false (the default) no provenance is attached, no acks
+/// flow, and wire traffic is byte-identical to a build without recovery.
+struct RecoveryOptions {
+  bool enabled = false;
+  /// Per-uplink resend-buffer cap. When exceeded the oldest entry is
+  /// dropped (and counted as an overflow): recovery degrades gracefully to
+  /// at-most-once for the evicted prefix rather than stalling ingest.
+  size_t resend_buffer_max_bytes = 16u << 20;
+};
+
+/// Bounded buffer of data messages sent on one uplink and not yet covered
+/// by a cumulative stable-watermark ack. Each entry remembers the event-time
+/// upper bound of its data (`end_ts`); an ack at stable watermark W evicts
+/// every entry with end_ts <= W — safe because the root has, by the
+/// watermark-pinning invariant, already consumed all such data (see
+/// docs/FAULT_TOLERANCE.md "Why the stable watermark is a valid ack").
+///
+/// Mutex-guarded: under ThreadedTransport acks are delivered on the parent's
+/// worker thread while the ingest driver appends.
+class ResendBuffer {
+ public:
+  explicit ResendBuffer(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Records a sent data message. Returns the number of old entries dropped
+  /// to respect the byte bound (0 in healthy operation).
+  size_t Add(Message message, Timestamp end_ts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bytes_ += message.WireBytes();
+    entries_.push_back(Entry{std::move(message), end_ts});
+    size_t dropped = 0;
+    while (bytes_ > max_bytes_ && entries_.size() > 1) {
+      bytes_ -= entries_.front().message.WireBytes();
+      entries_.pop_front();
+      ++dropped;
+    }
+    overflow_drops_ += dropped;
+    return dropped;
+  }
+
+  /// Evicts every entry whose data ends at or before `stable`. Stale
+  /// (non-monotone) acks are ignored.
+  void EvictStable(Timestamp stable) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stable <= stable_wm_) return;
+    stable_wm_ = stable;
+    while (!entries_.empty() && entries_.front().end_ts <= stable) {
+      bytes_ -= entries_.front().message.WireBytes();
+      entries_.pop_front();
+    }
+  }
+
+  /// Snapshot of the unacked entries, oldest first, for replay-on-reattach.
+  std::vector<Message> UnackedSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Message> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(e.message);
+    return out;
+  }
+
+  size_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+  }
+  size_t overflow_drops() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return overflow_drops_;
+  }
+  Timestamp stable_watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stable_wm_;
+  }
+
+ private:
+  struct Entry {
+    Message message;
+    Timestamp end_ts;
+  };
+
+  mutable std::mutex mu_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;
+  size_t overflow_drops_ = 0;
+  Timestamp stable_wm_ = kNoTimestamp;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace desis
+
+#endif  // DESIS_NET_RESEND_BUFFER_H_

@@ -14,12 +14,14 @@ const char* ToString(SlicePhase phase) {
     case SlicePhase::kMerged: return "merged";
     case SlicePhase::kWindowEmitted: return "window_emitted";
     case SlicePhase::kRetransmit: return "retransmit";
+    case SlicePhase::kReattach: return "reattach";
+    case SlicePhase::kReplay: return "replay";
   }
   return "unknown";
 }
 
 bool PhaseFromString(const std::string& name, SlicePhase* out) {
-  for (uint8_t p = 0; p <= static_cast<uint8_t>(SlicePhase::kRetransmit);
+  for (uint8_t p = 0; p <= static_cast<uint8_t>(SlicePhase::kReplay);
        ++p) {
     if (name == ToString(static_cast<SlicePhase>(p))) {
       *out = static_cast<SlicePhase>(p);

@@ -24,6 +24,12 @@ enum class SlicePhase : uint8_t {
   /// (SimLinkTransport); same slice identity, so the merged trace shows the
   /// extra hop on the slice's own track.
   kRetransmit,
+  /// Crash recovery: an orphaned node re-attached to a new parent
+  /// (docs/FAULT_TOLERANCE.md); one span per orphan, on the orphan's lane.
+  kReattach,
+  /// Crash recovery: a buffered message was re-sent to the (new) parent
+  /// after a reattach; same slice identity as the original shipment.
+  kReplay,
 };
 
 const char* ToString(SlicePhase phase);

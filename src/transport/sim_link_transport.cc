@@ -42,15 +42,64 @@ void SimLinkTransport::Transmit(Link& link, uint64_t seq) {
 
 void SimLinkTransport::Send(Node* from, Node* to, int child_index,
                             const Message& message) {
-  Link& link = links_[from];
+  if (dead_.count(from) != 0 || dead_.count(to) != 0) return;  // crashed
+  Link& link = links_[{from, to}];
   if (link.from == nullptr) {
     link.from = from;
     link.to = to;
-    link.child_index = child_index;
   }
+  // Refreshed every send: a reattached child keeps its link endpoints but
+  // registers under a new child index at the (new) parent.
+  link.child_index = child_index;
   const uint64_t seq = link.next_seq++;
   link.unacked.emplace(seq, message);
   Transmit(link, seq);
+}
+
+void SimLinkTransport::KillNode(Node* node) {
+  dead_.insert(node);
+  for (auto& [key, link] : links_) {
+    if (link.from != node && link.to != node) continue;
+    link.unacked.clear();
+    link.reassembly.clear();
+    link.parked.clear();
+  }
+}
+
+bool SimLinkTransport::SetLinkDown(Node* a, Node* b, bool down) {
+  const auto key = NormalizedPair(a, b);
+  if (down) {
+    down_.insert(key);
+    return true;
+  }
+  down_.erase(key);
+  // Heal: everything parked while the link was dark goes back on the wire,
+  // in sequence order, as ordinary retransmissions.
+  for (auto& [lk, link] : links_) {
+    if (NormalizedPair(link.from, link.to) != key) continue;
+    for (uint64_t seq : link.parked) {
+      if (link.unacked.count(seq) == 0) continue;
+      ++retransmits_;
+      link.from->NoteRetransmit(&link.unacked.at(seq));
+      Transmit(link, seq);
+    }
+    link.parked.clear();
+  }
+  return true;
+}
+
+void SimLinkTransport::ResetLink(Node* a, Node* b) {
+  const auto key = NormalizedPair(a, b);
+  down_.erase(key);
+  for (auto& [lk, link] : links_) {
+    if (NormalizedPair(link.from, link.to) != key) continue;
+    link.unacked.clear();
+    link.reassembly.clear();
+    link.parked.clear();
+    // Abandon the undelivered sequence window: the gap would otherwise
+    // stall in-order delivery of everything sent after the reset.
+    link.next_deliver = link.next_seq;
+  }
 }
 
 void SimLinkTransport::Pump() {
@@ -61,6 +110,17 @@ void SimLinkTransport::Pump() {
     Link& link = *ev.link;
     switch (ev.kind) {
       case EventKind::kDataArrives: {
+        if (IsDead(link)) break;  // crashed endpoint: discard silently
+        // Payload gone from the sender window (link reset on a reattach):
+        // nothing to deliver, and no ack wanted.
+        if (link.unacked.count(ev.seq) == 0 && ev.seq >= link.next_deliver) {
+          break;
+        }
+        if (IsDown(link)) {
+          ++drops_;
+          link.from->NoteDrop();
+          break;  // the pending RTO parks this seq until the link heals
+        }
         if (rng_.NextBool(config_.drop_probability)) {
           ++drops_;
           link.from->NoteDrop();
@@ -91,12 +151,20 @@ void SimLinkTransport::Pump() {
         break;
       }
       case EventKind::kAckArrives:
+        if (IsDead(link) || IsDown(link)) break;  // resolve via retransmit
         if (!rng_.NextBool(config_.drop_probability)) {
           link.unacked.erase(ev.seq);  // lost acks resolve via retransmit
         }
         break;
       case EventKind::kRtoFires:
+        if (IsDead(link)) break;
         if (link.unacked.count(ev.seq) != 0) {
+          if (IsDown(link)) {
+            // Partitioned: park instead of spinning the timer — the heal
+            // retransmits everything parked.
+            link.parked.insert(ev.seq);
+            break;
+          }
           ++retransmits_;
           // Handing over the message lets slice partials record a
           // kRetransmit span on the slice's own trace track.
@@ -106,8 +174,10 @@ void SimLinkTransport::Pump() {
         break;
     }
   }
-  for (auto& [from, link] : links_) {
-    if (link.to != nullptr) link.to->NoteQueueDepth(link.reassembly_hwm);
+  for (auto& [key, link] : links_) {
+    if (link.to != nullptr && !IsDead(link)) {
+      link.to->NoteQueueDepth(link.reassembly_hwm);
+    }
   }
 }
 

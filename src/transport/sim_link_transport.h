@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <map>
 #include <queue>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -57,8 +59,29 @@ class SimLinkTransport final : public Transport {
 
   /// Virtual time reached by the event loop so far.
   int64_t now_us() const { return now_us_; }
+  int64_t VirtualNowUs() const override { return now_us_; }
   uint64_t total_retransmits() const { return retransmits_; }
   uint64_t total_drops() const { return drops_; }
+
+  // --- Fault injection (chaos harness, docs/FAULT_TOLERANCE.md) ----------
+
+  /// Crashes `node`: in-flight traffic to/from it is discarded (without
+  /// counting link drops — this is node death, not loss), its link state is
+  /// cleared, and future sends involving it are ignored. Irreversible.
+  void KillNode(Node* node);
+  void Disconnect(Node* node) override { KillNode(node); }
+
+  /// Partitions (or heals) the link between `a` and `b`, both directions.
+  /// While down, data transmissions are dropped (counted in the sender's
+  /// messages_dropped) and unacked frames park instead of spinning the RTO
+  /// loop; healing retransmits everything parked, in sequence order.
+  bool SetLinkDown(Node* a, Node* b, bool down) override;
+
+  /// Reattach support: heals the pair and clears unacked/parked/reassembly
+  /// state on its links without retransmitting — the node-level replay
+  /// re-sends anything that matters. Sequence counters are kept so a
+  /// reattach to the same parent continues the existing FIFO stream.
+  void ResetLink(Node* a, Node* b) override;
 
  private:
   struct Link {
@@ -74,6 +97,9 @@ class SimLinkTransport final : public Transport {
     uint64_t reassembly_hwm = 0;
     // Bandwidth queueing: when the link is free to start the next frame.
     int64_t free_at = 0;
+    // Sequences whose RTO fired while the link was partitioned; healing
+    // retransmits them instead of spinning the timer against a dead link.
+    std::set<uint64_t> parked;
   };
 
   enum class EventKind : uint8_t { kDataArrives, kAckArrives, kRtoFires };
@@ -94,11 +120,26 @@ class SimLinkTransport final : public Transport {
   void Transmit(Link& link, uint64_t seq);
   void Schedule(int64_t at, EventKind kind, Link* link, uint64_t seq);
   int64_t JitterSample();
+  bool IsDead(const Link& link) const {
+    return dead_.count(link.from) != 0 || dead_.count(link.to) != 0;
+  }
+  bool IsDown(const Link& link) const {
+    return down_.count(NormalizedPair(link.from, link.to)) != 0;
+  }
+  static std::pair<Node*, Node*> NormalizedPair(Node* a, Node* b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
 
   SimLinkConfig config_;
   Rng rng_;
-  std::map<Node*, Link> links_;  // keyed by sender (one uplink per node)
+  // Keyed by (sender, receiver): a node's data uplink and the downstream
+  // ack channel from its parent are distinct links, and a reattach simply
+  // starts a fresh link to the new parent (stale deliveries on the old one
+  // land at the old parent's detached slot and are dropped there).
+  std::map<std::pair<Node*, Node*>, Link> links_;
   std::priority_queue<SimEvent, std::vector<SimEvent>, Later> events_;
+  std::set<Node*> dead_;
+  std::set<std::pair<Node*, Node*>> down_;
   int64_t now_us_ = 0;
   uint64_t next_order_ = 0;
   uint64_t retransmits_ = 0;

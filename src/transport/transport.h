@@ -58,6 +58,31 @@ class Transport {
   /// Flushes, then stops any delivery workers. Idempotent; called by the
   /// cluster destructor before nodes are torn down.
   virtual void Shutdown() {}
+
+  // --- Fault-injection hooks (crash recovery, docs/FAULT_TOLERANCE.md) ---
+
+  /// Severs every link touching `node`: in-flight traffic to/from it is
+  /// discarded and future sends from it are ignored. Default: no-op (an
+  /// inline "crashed" node simply stops being driven).
+  virtual void Disconnect(Node* /*node*/) {}
+
+  /// Takes the link between `a` and `b` down (`down=true`: transmissions
+  /// are dropped until healed) or back up. Returns false when this
+  /// transport cannot model partitions.
+  virtual bool SetLinkDown(Node* /*a*/, Node* /*b*/, bool /*down*/) {
+    return false;
+  }
+
+  /// Abandons the link between `a` and `b`: heals any partition and drops
+  /// unacked/parked link state instead of retransmitting it. Called on
+  /// reattach, where the node-level resend buffer owns recovery — link-level
+  /// retransmission of the same data would double-merge it upstream.
+  /// Default: no-op (no link state to abandon).
+  virtual void ResetLink(Node* /*a*/, Node* /*b*/) {}
+
+  /// Current virtual time in microseconds for deterministic recovery
+  /// latency measurement; -1 when the transport has no virtual clock.
+  virtual int64_t VirtualNowUs() const { return -1; }
 };
 
 /// The seed behaviour, kept as the deterministic default: delivery invokes

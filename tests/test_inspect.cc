@@ -167,6 +167,55 @@ TEST(InspectHealth, RowsSortedByNodeWithRoles) {
   EXPECT_DOUBLE_EQ(rows[1].watermark_lag_us, 40);
 }
 
+// --------------------------------------------------------- crash recovery --
+
+TEST(InspectRecovery, CountersSurfaceInSummary) {
+  const char* sidecar = R"({"bench":"chaos","obs_enabled":false,"runs":[
+    {"run":"Desis","report":{
+      "totals":{"messages_dropped":12},
+      "recovery":{"reattaches":2,"replayed_slices":9,"stale_dropped":3,
+                  "resend_buffer_bytes":4096,"resend_overflow_drops":0}}}]})";
+  const JsonValue v = Parse(sidecar);
+  const RecoveryStat rs = ExtractRecovery(v["runs"].array[0]["report"]);
+  EXPECT_TRUE(rs.present);
+  EXPECT_DOUBLE_EQ(rs.reattaches, 2);
+  EXPECT_DOUBLE_EQ(rs.replayed_slices, 9);
+  EXPECT_DOUBLE_EQ(rs.stale_dropped, 3);
+  EXPECT_DOUBLE_EQ(rs.resend_buffer_bytes, 4096);
+  EXPECT_FALSE(rs.Suspect());  // drops covered by replay traffic
+  const std::string text = Summarize(v);
+  EXPECT_NE(text.find("recovery: reattaches=2 replayed_slices=9 "
+                      "stale_dropped=3 resend_buffer_bytes=4096 "
+                      "overflow_drops=0"),
+            std::string::npos);
+  EXPECT_EQ(text.find("SUSPECT"), std::string::npos);
+}
+
+TEST(InspectRecovery, DropsWithoutReplayAreFlaggedSuspect) {
+  const char* sidecar = R"({"bench":"chaos","obs_enabled":false,"runs":[
+    {"run":"Desis","report":{
+      "totals":{"messages_dropped":7},
+      "recovery":{"reattaches":0,"replayed_slices":0,"stale_dropped":0,
+                  "resend_buffer_bytes":0,"resend_overflow_drops":0}}}]})";
+  const JsonValue v = Parse(sidecar);
+  EXPECT_TRUE(ExtractRecovery(v["runs"].array[0]["report"]).Suspect());
+  EXPECT_NE(Summarize(v).find("SUSPECT: 7 messages dropped"),
+            std::string::npos);
+}
+
+TEST(InspectRecovery, AbsentSectionMeansRecoveryOff) {
+  // Runs without recovery enabled have no "recovery" object: nothing to
+  // report, and a lossy run is *not* suspect (nothing promised recovery).
+  const char* sidecar = R"({"bench":"fig6","obs_enabled":false,"runs":[
+    {"run":"Desis","report":{"totals":{"messages_dropped":5}}}]})";
+  const JsonValue v = Parse(sidecar);
+  EXPECT_FALSE(ExtractRecovery(v["runs"].array[0]["report"]).present);
+  EXPECT_FALSE(ExtractRecovery(v["runs"].array[0]["report"]).Suspect());
+  const std::string text = Summarize(v);
+  EXPECT_EQ(text.find("recovery:"), std::string::npos);
+  EXPECT_EQ(text.find("SUSPECT"), std::string::npos);
+}
+
 // ------------------------------------------------------------------- diff --
 
 std::string SidecarJson(double events_per_sec, double bytes,

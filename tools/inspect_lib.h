@@ -169,6 +169,45 @@ inline std::vector<NodeHealthRow> ExtractHealth(const JsonValue& metrics) {
   return out;
 }
 
+// --------------------------------------------------------- crash recovery --
+
+/// Crash-recovery counters from the report's "recovery" section, present
+/// iff the run had recovery enabled (schema: docs/FAULT_TOLERANCE.md).
+/// Sourced from the report rather than the metrics registry so the view
+/// also works on DESIS_OBS=OFF sidecars.
+struct RecoveryStat {
+  bool present = false;
+  double reattaches = 0;
+  double replayed_slices = 0;
+  double stale_dropped = 0;
+  double resend_buffer_bytes = 0;
+  double resend_overflow_drops = 0;
+  double messages_dropped = 0;  // totals.messages_dropped, for Suspect()
+
+  /// A lossy run that never replayed anything deserves a second look:
+  /// frames were dropped on the wire yet no recovery traffic made up for
+  /// them. Link-level retransmission can legitimately cover every drop
+  /// (transient partitions heal below the resend buffer), but silent data
+  /// loss looks exactly the same from the counters — so flag it.
+  bool Suspect() const {
+    return present && messages_dropped > 0 && replayed_slices == 0;
+  }
+};
+
+inline RecoveryStat ExtractRecovery(const JsonValue& report) {
+  RecoveryStat rs;
+  const JsonValue& rec = report["recovery"];
+  if (!rec.is_object()) return rs;
+  rs.present = true;
+  rs.reattaches = rec["reattaches"].AsNumber();
+  rs.replayed_slices = rec["replayed_slices"].AsNumber();
+  rs.stale_dropped = rec["stale_dropped"].AsNumber();
+  rs.resend_buffer_bytes = rec["resend_buffer_bytes"].AsNumber();
+  rs.resend_overflow_drops = rec["resend_overflow_drops"].AsNumber();
+  rs.messages_dropped = report["totals"]["messages_dropped"].AsNumber();
+  return rs;
+}
+
 // ------------------------------------------------------------- span merge --
 
 /// Rebuilds SliceSpans from one run's exported "spans" array (the inverse
@@ -276,6 +315,21 @@ inline std::string Summarize(const JsonValue& sidecar) {
              " backlog=" + FormatDouble(row.backlog) +
              " reorder_depth=" + FormatDouble(row.reorder_depth) +
              " mailbox_depth=" + FormatDouble(row.mailbox_depth) + "\n";
+    }
+    const RecoveryStat rs = ExtractRecovery(report);
+    if (rs.present) {
+      out += "  recovery: reattaches=" + FormatDouble(rs.reattaches) +
+             " replayed_slices=" + FormatDouble(rs.replayed_slices) +
+             " stale_dropped=" + FormatDouble(rs.stale_dropped) +
+             " resend_buffer_bytes=" + FormatDouble(rs.resend_buffer_bytes) +
+             " overflow_drops=" + FormatDouble(rs.resend_overflow_drops) +
+             "\n";
+      if (rs.Suspect()) {
+        out += "  SUSPECT: " + FormatDouble(rs.messages_dropped) +
+               " messages dropped but 0 slices replayed — verify the drops "
+               "were covered by link-level retransmission "
+               "(docs/FAULT_TOLERANCE.md)\n";
+      }
     }
     const JsonValue& obs = report["obs"];
     if (obs["spans_recorded"].is_number()) {
