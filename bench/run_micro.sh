@@ -46,9 +46,10 @@ if [[ -x "$inspect" && -s "$sharded_json" ]]; then
   "$inspect" history "$sharded_json" --append="$repo_root/BENCH_history.jsonl"
 fi
 
-# Optimizer suites: each exits non-zero when its acceptance contract fails
-# (set -e propagates that), then lands in the shared history file.
-for suite in correlated query_churn; do
+# Optimizer and bounded-memory suites: each exits non-zero when its
+# acceptance contract fails (set -e propagates that), then lands in the
+# shared history file.
+for suite in correlated query_churn memory_cap; do
   suite_bin="$build_dir/bench/bench_${suite}"
   suite_json="$repo_root/BENCH_${suite}.json"
   if [[ -x "$suite_bin" ]]; then

@@ -31,6 +31,9 @@
 #   DESIS_BENCH_SCALE=0.01 \
 #   DESIS_METRICS_OUT=bench/baselines/query_churn_baseline.json \
 #     <build-dir>/bench/bench_query_churn
+#   DESIS_BENCH_SCALE=0.01 \
+#   DESIS_METRICS_OUT=bench/baselines/memory_cap_baseline.json \
+#     <build-dir>/bench/bench_memory_cap
 set -euo pipefail
 
 BUILD_DIR=${1:?usage: regression_gate.sh <build-dir> [threshold]}
@@ -63,9 +66,11 @@ DESIS_METRICS_OUT="$SHARDED_OUT" "$BUILD_DIR/bench/bench_micro" \
 "$BUILD_DIR/tools/desis_inspect" diff "$SHARDED_BASELINE" "$SHARDED_OUT" \
   --threshold="$THRESHOLD" --stable-only
 
-# Optimizer suites: the binaries fail on any acceptance-contract violation
-# (set -e propagates), then the deterministic series are diffed as usual.
-for suite in correlated query_churn; do
+# Optimizer and bounded-memory suites: the binaries fail on any
+# acceptance-contract violation (set -e propagates) — bench_memory_cap
+# checks governed runs stay byte-identical with peak residency at or under
+# budget — then the deterministic series are diffed as usual.
+for suite in correlated query_churn memory_cap; do
   SUITE_BASELINE="$REPO_ROOT/bench/baselines/${suite}_baseline.json"
   SUITE_OUT=$(mktemp -t "${suite}_XXXXXX.json")
   trap 'rm -f "$OUT" "$SHARDED_OUT" "$SUITE_OUT"' EXIT

@@ -54,6 +54,11 @@ inline constexpr bool MaskHas(OperatorMask mask, OperatorKind kind) {
 struct AggregationSpec {
   AggregationFunction fn = AggregationFunction::kSum;
   double quantile = 0.5;
+  /// Opt-in sketch lane for kMedian/kQuantile: when every median/quantile
+  /// query on a selection lane sets this, the lane's sort buffer is replaced
+  /// by a t-digest — O(1) state per slice instead of O(events), with the
+  /// rank-error bound documented in mem/tdigest.h. Ignored for other fns.
+  bool approx_quantile = false;
 
   friend bool operator==(const AggregationSpec&,
                          const AggregationSpec&) = default;

@@ -55,6 +55,19 @@ class SlicingEngine : public StreamEngine {
     return reorder_.has_value() ? reorder_->dropped() : 0;
   }
 
+  /// Puts the engine under a memory budget: slice state is byte-accounted
+  /// by an engine-owned mem::MemoryGovernor, and oversized sort buffers
+  /// spill to disk runs (DESIGN.md §3, memory governance). A zero budget
+  /// removes governance. Call before the first Ingest().
+  void EnableMemoryBudget(const mem::MemoryOptions& options);
+
+  /// Attaches an externally owned governor instead (sharded engines hand
+  /// one governor per shard); null detaches. Overrides EnableMemoryBudget.
+  void set_memory_governor(mem::MemoryGovernor* governor);
+
+  /// The active governor (owned or external); null when ungoverned.
+  mem::MemoryGovernor* memory_governor() const { return gov_; }
+
   /// Registers a new query at runtime (§3.2). The query starts windowing
   /// with the next event; existing groups are not re-partitioned.
   Status AddQuery(const Query& query);
@@ -92,6 +105,11 @@ class SlicingEngine : public StreamEngine {
   void IngestOrdered(const Event& event);
   void IngestOrderedBatch(const Event* events, size_t count);
 
+  /// Owned governor (EnableMemoryBudget); declared before slicers_ so the
+  /// slicers (which deregister from it) are destroyed first.
+  std::unique_ptr<mem::MemoryGovernor> owned_gov_;
+  /// Active governor: owned_gov_.get() or an external one; null = off.
+  mem::MemoryGovernor* gov_ = nullptr;
   std::vector<std::unique_ptr<StreamSlicer>> slicers_;
   SliceSink slice_sink_;
   std::optional<ReorderBuffer> reorder_;

@@ -8,21 +8,69 @@ namespace desis {
 
 void SortedState::Add(double v) {
   assert(!sealed_);
+  if (digest_) {
+    digest_->Add(v);
+    return;
+  }
   values_.push_back(v);
 }
 
 void SortedState::AddN(const double* v, size_t n) {
   assert(!sealed_);
+  if (digest_) {
+    digest_->AddN(v, n);
+    return;
+  }
   values_.insert(values_.end(), v, v + n);
 }
 
 void SortedState::Seal() {
   if (!sealed_) {
+    if (digest_) {
+      digest_->Compress();
+      represented_ = digest_->count();
+      sealed_ = true;
+      return;
+    }
     std::sort(values_.begin(), values_.end());
     represented_ = values_.size();
     sealed_ = true;
     ThinToCap();
   }
+}
+
+void SortedState::EnableSketch(double compression) {
+  assert(!sealed_ && values_.empty());
+  digest_.emplace(compression);
+}
+
+void SortedState::Reserve(size_t additional) {
+  if (digest_) return;
+  values_.reserve(values_.size() + additional);
+}
+
+std::vector<double> SortedState::TakeSortedRun() {
+  assert(!sealed_ && !digest_);
+  std::sort(values_.begin(), values_.end());
+  std::vector<double> run;
+  run.swap(values_);  // swap (not move) guarantees the capacity is released
+  return run;
+}
+
+std::vector<double> SortedState::TakeSealedValues() {
+  assert(sealed_ && !digest_);
+  std::vector<double> out;
+  out.swap(values_);
+  return out;
+}
+
+void SortedState::AdoptSorted(std::vector<double> sorted,
+                              uint64_t represented) {
+  assert(!digest_);
+  values_ = std::move(sorted);
+  represented_ = represented;
+  sealed_ = true;
+  ThinToCap();
 }
 
 void SortedState::ThinToCap() {
@@ -42,6 +90,27 @@ void SortedState::ThinToCap() {
 
 void SortedState::Merge(const SortedState& other) {
   assert(sealed_ && other.sealed_);
+  // Sketch infects the merge: once either side is a digest the exact ranks
+  // are gone, so the result is a digest. Safe because sketch lanes are
+  // per-group static — exact queries never assemble over sketch slices
+  // (a sketch flip is a structural change, activation-gated like any other).
+  if (digest_ || other.digest_) {
+    if (!digest_) {
+      mem::TDigest converted(other.digest_->compression());
+      converted.AddN(values_.data(), values_.size());
+      values_.clear();
+      values_.shrink_to_fit();
+      digest_ = std::move(converted);
+    }
+    if (other.digest_) {
+      digest_->Merge(*other.digest_);
+    } else {
+      digest_->AddN(other.values_.data(), other.values_.size());
+    }
+    digest_->Compress();
+    represented_ += other.represented_;
+    return;
+  }
   const size_t mid = values_.size();
   values_.insert(values_.end(), other.values_.begin(), other.values_.end());
   std::inplace_merge(values_.begin(), values_.begin() + mid, values_.end());
@@ -50,14 +119,18 @@ void SortedState::Merge(const SortedState& other) {
 }
 
 double SortedState::Median() const {
-  assert(sealed_ && !values_.empty());
+  assert(sealed_);
+  if (digest_) return digest_->Quantile(0.5);
+  assert(!values_.empty());
   const size_t n = values_.size();
   if (n % 2 == 1) return values_[n / 2];
   return 0.5 * (values_[n / 2 - 1] + values_[n / 2]);
 }
 
 double SortedState::Quantile(double q) const {
-  assert(sealed_ && !values_.empty());
+  assert(sealed_);
+  if (digest_) return digest_->Quantile(q);
+  assert(!values_.empty());
   if (q <= 0.0) return values_.front();
   if (q >= 1.0) return values_.back();
   // Linear interpolation between closest ranks (type-7 quantile).
@@ -69,7 +142,15 @@ double SortedState::Quantile(double q) const {
 }
 
 void SortedState::SerializeTo(ByteWriter& out) const {
-  out.WriteU8(sealed_ ? 1 : 0);
+  // Mode byte: bit 0 = sealed, bit 1 = sketch. Exact states keep writing
+  // 0/1 exactly as before — the wire format (and thus bytes_sent baselines)
+  // only changes for lanes that opted into the sketch.
+  out.WriteU8(static_cast<uint8_t>((sealed_ ? 1 : 0) | (digest_ ? 2 : 0)));
+  if (digest_) {
+    out.WriteU64(represented_);
+    digest_->SerializeTo(out);
+    return;
+  }
   out.WriteU64(represented_);
   out.WriteU64(sample_cap_);
   out.WritePodVector(values_);
@@ -77,7 +158,13 @@ void SortedState::SerializeTo(ByteWriter& out) const {
 
 SortedState SortedState::DeserializeFrom(ByteReader& in) {
   SortedState state;
-  state.sealed_ = in.ReadU8() != 0;
+  const uint8_t mode = in.ReadU8();
+  state.sealed_ = (mode & 1) != 0;
+  if ((mode & 2) != 0) {
+    state.represented_ = in.ReadU64();
+    state.digest_ = mem::TDigest::DeserializeFrom(in);
+    return state;
+  }
   state.represented_ = in.ReadU64();
   state.sample_cap_ = in.ReadU64();
   state.values_ = in.ReadPodVector<double>();
@@ -185,12 +272,12 @@ double PartialAggregate::Finalize(const AggregationSpec& spec) const {
       // When a non-decomposable sort subsumed the decomposable one
       // (ReduceMask), extrema come from the sorted state.
       if (!MaskHas(mask_, OperatorKind::kDecomposableSort)) {
-        return sorted_.size() == 0 ? 0.0 : sorted_.NthValue(0);
+        return sorted_.size() == 0 ? 0.0 : sorted_.MinValue();
       }
       return minmax_.min;
     case AggregationFunction::kMax:
       if (!MaskHas(mask_, OperatorKind::kDecomposableSort)) {
-        return sorted_.size() == 0 ? 0.0 : sorted_.NthValue(sorted_.size() - 1);
+        return sorted_.size() == 0 ? 0.0 : sorted_.MaxValue();
       }
       return minmax_.max;
     case AggregationFunction::kMedian:

@@ -4,10 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "common/serde.h"
 #include "core/aggregation.h"
+#include "mem/tdigest.h"
 
 namespace desis {
 
@@ -80,6 +82,14 @@ struct MinMaxState {
 /// "Non-decomposable sort": keeps all events and performs one final sort
 /// when the slice ends. Shared between max, min, median, and quantile.
 /// Merging two sealed states merges their sorted runs.
+///
+/// Two optional modes layer on top of the exact buffer:
+///  - sketch mode (EnableSketch): values are folded into a t-digest instead
+///    of buffered — O(compression) state per slice, approximate quantiles,
+///    exact extrema. The opt-in backing for AggregationSpec::approx_quantile.
+///  - spill protocol (TakeSortedRun/TakeSealedValues/AdoptSorted): the
+///    memory governor moves the buffer to a disk run and reinstates it
+///    before any read — results stay byte-identical, only residency drops.
 class SortedState {
  public:
   void Add(double v);
@@ -93,12 +103,54 @@ class SortedState {
   /// Enables approximate mode: sealed states keep at most `cap` values.
   /// Estimated quantile error is O(1/cap). 0 = exact (default).
   void set_sample_cap(size_t cap) { sample_cap_ = cap; }
+  size_t sample_cap() const { return sample_cap_; }
+
+  /// Switches this (empty, unsealed) state to sketch mode: values feed a
+  /// t-digest and the exact buffer stays empty forever.
+  void EnableSketch(double compression);
+  bool sketch() const { return digest_.has_value(); }
+  const mem::TDigest& digest() const { return *digest_; }
+
+  /// Pre-grows the exact buffer (no-op in sketch mode); batched ingest
+  /// passes its run length so governed buffers stop reallocating per event.
+  void Reserve(size_t additional);
+
+  /// Heap bytes held by this state — what the memory governor meters.
+  size_t bytes() const {
+    return values_.capacity() * sizeof(double) +
+           (digest_ ? digest_->bytes() : 0);
+  }
+
+  // --- Spill protocol (exact mode only; driven by StreamSlicer) ---------
+  /// Unsealed: sorts and moves the buffer out (capacity released), leaving
+  /// an empty buffer that keeps accepting Add/AddN. The caller appends the
+  /// run to a SpillFile and k-way merges it back at seal time.
+  std::vector<double> TakeSortedRun();
+  /// Sealed: moves the (already sorted) values out, keeping sealed_ and
+  /// represented_ so the record remains well-formed while cold on disk.
+  std::vector<double> TakeSealedValues();
+  /// Installs externally sorted values (spill merge or restore) and seals.
+  void AdoptSorted(std::vector<double> sorted, uint64_t represented);
+  /// Reinstalls values taken by TakeSortedRun after a failed spill write;
+  /// the state stays unsealed and keeps accepting folds.
+  void PutBackRun(std::vector<double> values) {
+    values_ = std::move(values);
+  }
+  /// Raw values this state stands for (== size() unless thinned/spilled).
+  uint64_t represented() const { return represented_; }
 
   bool sealed() const { return sealed_; }
-  size_t size() const { return values_.size(); }
-  /// Requires sealed(). k-th smallest value, k in [0, size).
+  size_t size() const {
+    return digest_ ? static_cast<size_t>(digest_->count()) : values_.size();
+  }
+  /// Requires sealed(). k-th smallest value, k in [0, size). Exact mode.
   double NthValue(size_t k) const { return values_[k]; }
   const std::vector<double>& values() const { return values_; }
+
+  /// Exact extrema, valid in both modes (the digest tracks them exactly).
+  /// Requires sealed() and size() > 0.
+  double MinValue() const { return digest_ ? digest_->min() : values_.front(); }
+  double MaxValue() const { return digest_ ? digest_->max() : values_.back(); }
 
   /// Median of the sealed values (mean of the middle two for even sizes).
   double Median() const;
@@ -116,6 +168,8 @@ class SortedState {
   size_t sample_cap_ = 0;
   /// Number of raw values this (possibly thinned) state represents.
   uint64_t represented_ = 0;
+  /// Engaged iff sketch mode; copyable because slice records copy partials.
+  std::optional<mem::TDigest> digest_;
 };
 
 /// The shared per-slice aggregate: one state per *operator* active in the
@@ -144,6 +198,25 @@ class PartialAggregate {
 
   /// Finishes per-slice work (sorts the non-decomposable buffer).
   void Seal();
+
+  /// Heap bytes of variable-size state (the sort buffer / digest) — the
+  /// quantity the memory governor meters per lane.
+  size_t bytes() const { return sorted_.bytes(); }
+
+  /// Pre-grows the sort buffer for an incoming run of `n` values; no-op
+  /// unless the mask holds a non-decomposable sort.
+  void ReserveHint(size_t n) {
+    if (MaskHas(mask_, OperatorKind::kNonDecomposableSort)) {
+      sorted_.Reserve(n);
+    }
+  }
+
+  /// Switches the (empty) sort state to the t-digest sketch lane.
+  void EnableQuantileSketch(double compression) {
+    if (MaskHas(mask_, OperatorKind::kNonDecomposableSort)) {
+      sorted_.EnableSketch(compression);
+    }
+  }
 
   /// Merges another partial into this one, folding only this partial's
   /// active operators. `other` must carry at least this partial's operators

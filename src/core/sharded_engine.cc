@@ -127,6 +127,19 @@ Status ShardedEngine::Configure(const std::vector<Query>& queries) {
                   [this](const WindowResult& r) { Emit(r); }));
   }
   SetupShards(sharded);
+  if (mem_options_.budget_bytes > 0 && !serial_slicers_.empty()) {
+    // The serial path gets the same share as each shard (see GovernorShare
+    // for the split); its governor lives on the caller thread only.
+    serial_gov_ = std::make_unique<mem::MemoryGovernor>(
+        GovernorShare(shards_.size() + 1));
+    for (auto& sl : serial_slicers_) sl->set_memory(serial_gov_.get());
+    obs::Labels labels;
+    if (!options_.node_label.empty()) {
+      labels.emplace_back("node", options_.node_label);
+    }
+    labels.emplace_back("shard", "serial");
+    serial_gov_->AttachMetrics(registry_, std::move(labels));
+  }
   configured_ = true;
   return Status::OK();
 }
@@ -248,15 +261,32 @@ bool ShardedEngine::RemoveShardedGroup(uint32_t group_id) {
   return found;
 }
 
+mem::MemoryOptions ShardedEngine::GovernorShare(size_t parts) const {
+  mem::MemoryOptions share = mem_options_;
+  if (parts > 1) {
+    share.budget_bytes =
+        std::max<uint64_t>(share.budget_bytes / parts, uint64_t{1});
+  }
+  return share;
+}
+
 void ShardedEngine::SetupShards(const std::vector<QueryGroup>& groups) {
   if (groups.empty()) return;
   const int n = options_.shards;
+  // Serial groups (when present) take one governor share alongside the n
+  // shard shares; Configure() creates that governor after this returns.
+  const size_t parts =
+      static_cast<size_t>(n) + (serial_slicers_.empty() ? 0 : 1);
   shards_.reserve(static_cast<size_t>(n));
   drained_.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>(options_.ring_capacity);
     shard->pop_buf.resize(kPopBatch);
     if (ooo_) shard->reorder.emplace(lateness_);
+    if (mem_options_.budget_bytes > 0) {
+      shard->governor = std::make_unique<mem::MemoryGovernor>(
+          GovernorShare(parts));
+    }
     SetupShardSlicers(*shard, static_cast<size_t>(i), groups);
     shards_.push_back(std::move(shard));
   }
@@ -283,6 +313,7 @@ void ShardedEngine::SetupShardSlicers(Shard& shard, size_t shard_index,
     if (gid < SlicingEngine::kMaxInstrumentedGroups) {
       slicer->set_metrics(registry_);
     }
+    if (shard.governor != nullptr) slicer->set_memory(shard.governor.get());
     shard.slicer_gids.push_back(gid);
     shard.slicers.push_back(std::move(slicer));
   }
@@ -756,6 +787,14 @@ void ShardedEngine::RegisterShardMetrics() {
         registry_->GetCounter("engine.shard_events", labels, "events");
     shards_[i]->queue_hwm_gauge =
         registry_->GetGauge("engine.shard_queue_hwm", labels, "events");
+    if (shards_[i]->governor != nullptr) {
+      shards_[i]->governor->AttachMetrics(registry_, labels);
+    }
+  }
+  if (serial_gov_ != nullptr) {
+    obs::Labels labels = base;
+    labels.emplace_back("shard", "serial");
+    serial_gov_->AttachMetrics(registry_, std::move(labels));
   }
 }
 

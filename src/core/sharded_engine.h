@@ -21,6 +21,7 @@
 #include "core/root_assembler.h"
 #include "core/slicer.h"
 #include "core/spsc_ring.h"
+#include "mem/memory_governor.h"
 
 namespace desis {
 
@@ -85,6 +86,25 @@ class ShardedEngine : public StreamEngine {
   /// Call before the first Ingest().
   void EnableOutOfOrderIngest(Timestamp allowed_lateness);
   uint64_t dropped_events() const { return dropped_; }
+
+  /// Puts the engine under a memory budget, partitioned evenly across the
+  /// shard governors (plus one extra share for the serial slicers when any
+  /// group is unshardable — the serial path holds full-stream state, so it
+  /// needs its own governor rather than racing the shard threads on one).
+  /// Each shard's slicers spill independently against their share, which
+  /// keeps governance thread-local exactly like the rest of shard state.
+  /// Call before Configure()/ConfigureGroups(); a zero budget is ignored.
+  void EnableMemoryBudget(const mem::MemoryOptions& options) {
+    mem_options_ = options;
+  }
+
+  /// Governor of shard `i`; null when ungoverned. Test/bench introspection.
+  const mem::MemoryGovernor* shard_governor(size_t i) const {
+    return shards_[i]->governor.get();
+  }
+  const mem::MemoryGovernor* serial_governor() const {
+    return serial_gov_.get();
+  }
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
@@ -152,7 +172,9 @@ class ShardedEngine : public StreamEngine {
     obs::Gauge* queue_hwm_gauge = nullptr;    // engine.shard_queue_hwm
 
     // Consumer side (shard thread only once running; the caller may touch
-    // these only at Configure time or through Quiesce()).
+    // these only at Configure time or through Quiesce()). The governor is
+    // declared before the slicers so they deregister before it dies.
+    std::unique_ptr<mem::MemoryGovernor> governor;
     std::vector<std::unique_ptr<StreamSlicer>> slicers;
     std::vector<uint32_t> slicer_gids;
     std::optional<ReorderBuffer> reorder;
@@ -183,6 +205,9 @@ class ShardedEngine : public StreamEngine {
   static constexpr size_t kPopBatch = 512;
 
   size_t ShardOf(uint32_t key) const;
+  /// The configured budget split into `parts` equal governor shares
+  /// (spill dir and thresholds ride along unchanged).
+  mem::MemoryOptions GovernorShare(size_t parts) const;
   void SetupShards(const std::vector<QueryGroup>& groups);
   void SetupShardSlicers(Shard& shard, size_t shard_index,
                          const std::vector<QueryGroup>& groups);
@@ -229,6 +254,12 @@ class ShardedEngine : public StreamEngine {
   std::vector<std::pair<uint32_t, std::unique_ptr<RootAssembler>>> assemblers_;
   EngineStats assembler_stats_;
   StatsSnapshot assembler_folded_;
+
+  /// Memory governance: the configured budget (0 = off) and the serial
+  /// slicers' governor share. Declared before serial_slicers_ so slicers
+  /// deregister before their governor is destroyed.
+  mem::MemoryOptions mem_options_;
+  std::unique_ptr<mem::MemoryGovernor> serial_gov_;
 
   /// Unshardable groups (root-only / dedup / user-defined): full slicers
   /// fed the entire stream on the caller thread — exactly the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
@@ -93,11 +94,15 @@ StreamSlicer::StreamSlicer(QueryGroup group, SlicerOptions options,
   }
   count_heaps_.resize(group_.lanes.size());
 
+  RecomputeLaneSketch();
   current_lanes_.reserve(group_.lanes.size());
   for (uint32_t lane = 0; lane < group_.lanes.size(); ++lane) {
-    current_lanes_.emplace_back(LaneMask(lane));
+    current_lanes_.push_back(MakeLanePartial(lane));
     any_dedup_ = any_dedup_ || group_.lanes[lane].deduplicate;
   }
+  lane_charged_.assign(group_.lanes.size(), 0);
+  lane_runs_.resize(group_.lanes.size());
+  lane_spilled_count_.assign(group_.lanes.size(), 0);
   current_lane_events_.assign(group_.lanes.size(), 0);
   current_lane_last_ts_.assign(group_.lanes.size(), kNoTimestamp);
   lane_total_events_.assign(group_.lanes.size(), 0);
@@ -109,6 +114,258 @@ StreamSlicer::StreamSlicer(QueryGroup group, SlicerOptions options,
   // events that match, and dedup lanes mutate per-event state.
   batch_fast_path_ = !any_dedup_ && session_lanes_.empty() &&
                      ud_specs_.empty() && count_specs_.empty();
+}
+
+StreamSlicer::~StreamSlicer() {
+  if (gov_ != nullptr) {
+    gov_->DischargeQuiet(ChargedBytes());
+    gov_->Unregister(this);
+  }
+}
+
+uint64_t StreamSlicer::ChargedBytes() const {
+  uint64_t total = dedup_charged_;
+  for (uint64_t c : lane_charged_) total += c;
+  for (const SliceRecord& rec : records_) {
+    for (const PartialAggregate& lane : rec.lanes) total += lane.bytes();
+  }
+  return total;
+}
+
+void StreamSlicer::set_memory(mem::MemoryGovernor* gov) {
+  if (gov_ == gov) return;
+  if (gov_ != nullptr) {
+    gov_->Discharge(ChargedBytes());
+    gov_->Unregister(this);
+    std::fill(lane_charged_.begin(), lane_charged_.end(), 0);
+    dedup_charged_ = 0;
+  }
+  gov_ = gov;
+  if (gov_ == nullptr) return;
+  gov_->Register(this);
+  // Charge current residency so mid-stream attachment starts consistent.
+  for (uint32_t lane = 0; lane < current_lanes_.size(); ++lane) {
+    UpdateLaneCharge(lane);
+  }
+  UpdateDedupCharge();
+  uint64_t rec_bytes = 0;
+  for (const SliceRecord& rec : records_) {
+    for (const PartialAggregate& lane : rec.lanes) rec_bytes += lane.bytes();
+  }
+  gov_->Charge(rec_bytes);
+}
+
+bool StreamSlicer::LaneWantsSketch(uint32_t lane, const Query* extra,
+                                   uint32_t extra_lane) const {
+  if (!MaskHas(LaneMask(lane), OperatorKind::kNonDecomposableSort)) {
+    return false;
+  }
+  bool any = false;
+  bool all_approx = true;
+  auto fold = [&](const Query& q, uint32_t q_lane) {
+    if (q_lane != lane) return;
+    if (q.agg.fn != AggregationFunction::kMedian &&
+        q.agg.fn != AggregationFunction::kQuantile) {
+      return;
+    }
+    any = true;
+    all_approx = all_approx && q.agg.approx_quantile;
+  };
+  for (const GroupedQuery& gq : group_.queries) fold(gq.query, gq.lane);
+  if (extra != nullptr) fold(*extra, extra_lane);
+  return any && all_approx;
+}
+
+void StreamSlicer::RecomputeLaneSketch() {
+  lane_sketch_.resize(group_.lanes.size());
+  for (uint32_t lane = 0; lane < group_.lanes.size(); ++lane) {
+    lane_sketch_[lane] = LaneWantsSketch(lane, nullptr, 0) ? 1 : 0;
+  }
+}
+
+PartialAggregate StreamSlicer::MakeLanePartial(uint32_t lane) const {
+  PartialAggregate p(LaneMask(lane));
+  if (lane < lane_sketch_.size() && lane_sketch_[lane] != 0) {
+    p.EnableQuantileSketch(mem::TDigest::kDefaultCompression);
+  }
+  return p;
+}
+
+void StreamSlicer::UpdateLaneCharge(uint32_t lane) {
+  const uint64_t now = current_lanes_[lane].bytes();
+  const uint64_t was = lane_charged_[lane];
+  if (now == was) return;
+  if (now > was) {
+    gov_->Charge(now - was);
+  } else {
+    gov_->Discharge(was - now);
+  }
+  lane_charged_[lane] = now;
+}
+
+void StreamSlicer::UpdateDedupCharge() {
+  // Rough unordered_set footprint: node (value + next pointer + libstdc++
+  // hash cache) plus a bucket slot — the governor needs a growth signal,
+  // not an exact malloc audit.
+  constexpr uint64_t kBytesPerDedupEntry = 48;
+  const uint64_t now = dedup_inserted_ * kBytesPerDedupEntry;
+  if (now == dedup_charged_) return;
+  if (now > dedup_charged_) {
+    gov_->Charge(now - dedup_charged_);
+  } else {
+    gov_->Discharge(dedup_charged_ - now);
+  }
+  dedup_charged_ = now;
+}
+
+void StreamSlicer::WarnSpillError(const Status& status) {
+  if (spill_warned_) return;
+  spill_warned_ = true;
+  std::fprintf(stderr, "desis: spill degraded for group %u: %s\n", group_.id,
+               status.ToString().c_str());
+}
+
+bool StreamSlicer::EnsureSpillFile() {
+  if (spill_ != nullptr) return true;
+  if (spill_failed_ || gov_ == nullptr) return false;
+  auto file = gov_->NewSpillFile();
+  if (!file.ok()) {
+    spill_failed_ = true;
+    WarnSpillError(file.status());
+    return false;
+  }
+  spill_ = std::move(file.value());
+  return true;
+}
+
+uint64_t StreamSlicer::SpillOpenLane(uint32_t lane) {
+  SortedState& state = current_lanes_[lane].mutable_sorted_state();
+  std::vector<double> run = state.TakeSortedRun();
+  const auto appended = spill_->AppendRun(run.data(), run.size());
+  if (!appended.ok()) {
+    // Put the values back: the lane stays unsealed and keeps folding.
+    state.PutBackRun(std::move(run));
+    spill_failed_ = true;
+    WarnSpillError(appended.status());
+    return 0;
+  }
+  lane_runs_[lane].push_back(appended.value());
+  lane_spilled_count_[lane] += run.size();
+  const uint64_t before = lane_charged_[lane];
+  UpdateLaneCharge(lane);  // buffer is empty now; discharges the delta
+  const uint64_t freed = before - lane_charged_[lane];
+  gov_->NoteSpill(freed);
+  if (tracer_ != nullptr) {
+    tracer_->Record(obs::SlicePhase::kSpill, current_slice_id_, group_.id,
+                    /*query_id=*/0, obs_node_id_, obs_role_, last_seen_ts_);
+  }
+  return freed;
+}
+
+uint64_t StreamSlicer::SpillSealedLane(SliceRecord& rec, uint32_t lane) {
+  SortedState& state = rec.lanes[lane].mutable_sorted_state();
+  const uint64_t bytes = rec.lanes[lane].bytes();
+  const uint64_t represented = state.represented();
+  std::vector<double> values = state.TakeSealedValues();
+  const auto appended = spill_->AppendRun(values.data(), values.size());
+  if (!appended.ok()) {
+    state.AdoptSorted(std::move(values), represented);
+    spill_failed_ = true;
+    WarnSpillError(appended.status());
+    return 0;
+  }
+  sealed_spills_[{rec.id, lane}] = {appended.value(), represented};
+  gov_->Discharge(bytes);
+  gov_->NoteSpill(bytes);
+  if (tracer_ != nullptr) {
+    tracer_->Record(obs::SlicePhase::kSpill, rec.id, group_.id,
+                    /*query_id=*/0, obs_node_id_, obs_role_, rec.end);
+  }
+  return bytes;
+}
+
+void StreamSlicer::MergeRecordLane(PartialAggregate& acc,
+                                   const SliceRecord& rec, uint32_t lane) {
+  if (gov_ != nullptr && !sealed_spills_.empty() && spill_ != nullptr) {
+    const auto it = sealed_spills_.find({rec.id, lane});
+    if (it != sealed_spills_.end()) {
+      std::vector<double> values;
+      const Status status = spill_->ReadRun(it->second.run, &values);
+      if (status.ok()) {
+        // Merge through a sealed temporary so the record stays cold on
+        // disk: assembly only *reads* spilled state, it never re-charges
+        // the governor — a window close touches one lane's values at a
+        // time instead of re-residenting its whole span, which is what
+        // keeps peak residency at the budget rather than at the window
+        // footprint. The temporary copies the record's decomposable
+        // states, so the merge is byte-identical to the resident path.
+        const uint64_t bytes = values.size() * sizeof(double);
+        PartialAggregate cold = rec.lanes[lane];
+        cold.mutable_sorted_state().AdoptSorted(std::move(values),
+                                                it->second.represented);
+        PartialAggregate::MergeCompatible(acc, cold);
+        gov_->NoteRestore(bytes);
+        if (tracer_ != nullptr) {
+          tracer_->Record(obs::SlicePhase::kRestore, rec.id, group_.id,
+                          /*query_id=*/0, obs_node_id_, obs_role_, rec.end);
+        }
+        return;
+      }
+      // Degraded: assemble from the resident (emptied) lane rather than
+      // crash — the decomposable states still contribute; the checksummed
+      // local run file failing means the disk is going away.
+      WarnSpillError(status);
+    }
+  }
+  PartialAggregate::MergeCompatible(acc, rec.lanes[lane]);
+}
+
+uint64_t StreamSlicer::ShedBytes(uint64_t target) {
+  if (gov_ == nullptr || !EnsureSpillFile()) return 0;
+  const uint64_t min_bytes = gov_->options().min_spill_bytes;
+  uint64_t freed = 0;
+
+  auto sealed_eligible = [&](const SliceRecord& rec, uint32_t lane) {
+    if (lane >= rec.lanes.size()) return false;
+    const PartialAggregate& pa = rec.lanes[lane];
+    if (!MaskHas(pa.mask(), OperatorKind::kNonDecomposableSort)) return false;
+    const SortedState& ss = pa.sorted_state();
+    return !ss.sketch() && ss.sample_cap() == 0 && !ss.values().empty() &&
+           pa.bytes() >= min_bytes;
+  };
+
+  // Coldest first: sealed records, oldest to newest. The not-yet-shipped
+  // back record is skipped — its lanes still get serialized to the slice
+  // sink, and a spilled lane would ship empty.
+  for (size_t i = 0; i < records_.size() && freed < target; ++i) {
+    if (have_unshipped_ && i + 1 == records_.size()) break;
+    SliceRecord& rec = records_[i];
+    for (uint32_t lane = 0; lane < rec.lanes.size() && freed < target;
+         ++lane) {
+      if (sealed_eligible(rec, lane)) freed += SpillSealedLane(rec, lane);
+      if (spill_failed_) return freed;
+    }
+  }
+
+  // Then the open slice's sort buffers, largest first.
+  while (freed < target && !spill_failed_) {
+    uint32_t best = 0;
+    uint64_t best_bytes = 0;
+    for (uint32_t lane = 0; lane < current_lanes_.size(); ++lane) {
+      const PartialAggregate& pa = current_lanes_[lane];
+      if (!MaskHas(pa.mask(), OperatorKind::kNonDecomposableSort)) continue;
+      const SortedState& ss = pa.sorted_state();
+      if (ss.sketch() || ss.sample_cap() != 0 || ss.values().empty()) continue;
+      const uint64_t b = pa.bytes();
+      if (b >= min_bytes && b > best_bytes) {
+        best_bytes = b;
+        best = lane;
+      }
+    }
+    if (best_bytes == 0) break;
+    freed += SpillOpenLane(best);
+  }
+  return freed;
 }
 
 Timestamp StreamSlicer::MaxFixedWindowExtent() const {
@@ -174,6 +431,13 @@ void StreamSlicer::ApplyQueryAdd(const Query& q, uint32_t lane,
   for (uint32_t i = 0; i < before.size(); ++i) {
     structural = structural || LaneMask(i) != before[i];
   }
+  // A sketch flip (a lane's quantile state switching between exact buffer
+  // and t-digest) changes the fold-state representation, so it cuts the
+  // stream like any other structural change.
+  for (uint32_t i = 0; i < group_.lanes.size(); ++i) {
+    const bool want = LaneWantsSketch(i, &q, lane);
+    structural = structural || want != (lane_sketch_[i] != 0);
+  }
 
   // Find or register the window spec (same keying as DeriveSpecLayout).
   const int lane_filter =
@@ -202,6 +466,9 @@ void StreamSlicer::ApplyQueryAdd(const Query& q, uint32_t lane,
     lane_total_events_.push_back(0);
     lane_session_idx_.push_back(-1);
     count_heaps_.emplace_back();
+    lane_charged_.push_back(0);
+    lane_runs_.emplace_back();
+    lane_spilled_count_.push_back(0);
     any_dedup_ = any_dedup_ || lane_def.deduplicate;
     if (any_dedup_) dedup_sets_.resize(group_.lanes.size());
   }
@@ -209,9 +476,19 @@ void StreamSlicer::ApplyQueryAdd(const Query& q, uint32_t lane,
     // The fold state is empty here (freshly sealed or never written);
     // rebuild it at the new shape/masks.
     assert(current_slice_events_ == 0);
+    if (gov_ != nullptr) {
+      for (uint64_t& c : lane_charged_) {
+        gov_->Discharge(c);
+        c = 0;
+      }
+    }
+    lane_sketch_.resize(group_.lanes.size());
+    for (uint32_t i = 0; i < group_.lanes.size(); ++i) {
+      lane_sketch_[i] = LaneWantsSketch(i, &q, lane) ? 1 : 0;
+    }
     current_lanes_.clear();
     for (uint32_t i = 0; i < group_.lanes.size(); ++i) {
-      current_lanes_.emplace_back(LaneMask(i));
+      current_lanes_.push_back(MakeLanePartial(i));
     }
   }
 
@@ -290,6 +567,7 @@ void StreamSlicer::set_metrics(obs::MetricsRegistry* registry) {
   registry_ = registry;
   events_in_counter_ = nullptr;
   queries_gauge_ = nullptr;
+  sketch_gauge_ = nullptr;
   for (int k = 0; k < kNumOperatorKinds; ++k) op_eval_counters_[k] = nullptr;
   if (registry == nullptr) return;
   RegisterGroupMetrics(group_, registry);
@@ -299,6 +577,12 @@ void StreamSlicer::set_metrics(obs::MetricsRegistry* registry) {
   queries_gauge_ = registry->GetGauge("group.queries", labels, "queries");
   if (queries_gauge_ != nullptr) {
     queries_gauge_->Set(static_cast<int64_t>(active_queries()));
+  }
+  sketch_gauge_ = registry->GetGauge("engine.sketch_lanes", labels, "lanes");
+  if (sketch_gauge_ != nullptr) {
+    int64_t sketch_lanes = 0;
+    for (const uint8_t s : lane_sketch_) sketch_lanes += s;
+    sketch_gauge_->Set(sketch_lanes);
   }
   for (int k = 0; k < kNumOperatorKinds; ++k) {
     const auto kind = static_cast<OperatorKind>(k);
@@ -492,6 +776,31 @@ uint64_t StreamSlicer::SealCurrentSlice(Timestamp end_ts) {
 
   FlushShippableSlice();
 
+  // Governed lanes that spilled part of the open slice k-way merge their
+  // disk runs with the resident tail now — the sealed record is
+  // byte-identical to the never-spilled sort, only residency differed.
+  if (gov_ != nullptr && spill_ != nullptr) {
+    for (uint32_t lane = 0; lane < current_lanes_.size(); ++lane) {
+      if (lane_runs_[lane].empty()) continue;
+      SortedState& state = current_lanes_[lane].mutable_sorted_state();
+      std::vector<double> residual = state.TakeSortedRun();
+      std::vector<double> merged;
+      const Status merge_status =
+          spill_->MergeRuns(lane_runs_[lane], residual, &merged);
+      uint64_t total = residual.size() + lane_spilled_count_[lane];
+      if (!merge_status.ok()) {
+        // Degrade to the resident values; the spilled portion is lost but
+        // the engine keeps running (warned once).
+        WarnSpillError(merge_status);
+        merged = std::move(residual);
+        total = merged.size();
+      }
+      state.AdoptSorted(std::move(merged), total);
+      lane_runs_[lane].clear();
+      lane_spilled_count_[lane] = 0;
+    }
+  }
+
   SliceRecord rec;
   rec.id = current_slice_id_;
   rec.start = current_slice_start_;
@@ -535,19 +844,37 @@ uint64_t StreamSlicer::SealCurrentSlice(Timestamp end_ts) {
                     end_ts);
   }
 
+  if (gov_ != nullptr) {
+    // Move the open-slice charges over to the sealed record: sorting
+    // released slack (or a spill merge adopted a larger buffer), so the
+    // record is re-metered at its actual post-seal footprint.
+    for (uint64_t& c : lane_charged_) {
+      gov_->Discharge(c);
+      c = 0;
+    }
+    uint64_t rec_bytes = 0;
+    for (const PartialAggregate& lane : records_.back().lanes) {
+      rec_bytes += lane.bytes();
+    }
+    gov_->Charge(rec_bytes);
+  }
+
   current_lanes_.clear();
   for (uint32_t lane = 0; lane < group_.lanes.size(); ++lane) {
-    current_lanes_.emplace_back(LaneMask(lane));
+    current_lanes_.push_back(MakeLanePartial(lane));
   }
   current_lane_events_.assign(group_.lanes.size(), 0);
   current_lane_last_ts_.assign(group_.lanes.size(), kNoTimestamp);
   current_slice_events_ = 0;
   if (any_dedup_) {
     for (auto& set : dedup_sets_) set.clear();
+    dedup_inserted_ = 0;
+    if (gov_ != nullptr) UpdateDedupCharge();
   }
   current_last_event_ = kNoTimestamp;
   ++current_slice_id_;
   current_slice_start_ = end_ts;
+  if (gov_ != nullptr) gov_->Relieve();
   return current_slice_id_ - 1;
 }
 
@@ -584,11 +911,11 @@ void StreamSlicer::CloseWindow(uint32_t spec_idx,
       PartialAggregate acc(LaneMask(lane));
       acc.Seal();
       for (uint64_t id = lo; id <= hi && hi >= lo; ++id) {
-        const SliceRecord& rec = records_[id - base];
+        SliceRecord& rec = records_[id - base];
         if (lane >= rec.lane_events.size() || rec.lane_events[lane] == 0) {
           continue;
         }
-        PartialAggregate::MergeCompatible(acc, rec.lanes[lane]);
+        MergeRecordLane(acc, rec, lane);
         composite.lane_events[lane] += rec.lane_events[lane];
         ++stats_->merges;
       }
@@ -649,12 +976,12 @@ void StreamSlicer::CloseWindow(uint32_t spec_idx,
           // runtime-added feeder): fall back to base slices.
           for (; id <= hi && hi >= lo && records_[id - base].start < sub_end;
                ++id) {
-            const SliceRecord& rec = records_[id - base];
+            SliceRecord& rec = records_[id - base];
             if (lane >= rec.lane_events.size() ||
                 rec.lane_events[lane] == 0) {
               continue;
             }
-            PartialAggregate::MergeCompatible(acc, rec.lanes[lane]);
+            MergeRecordLane(acc, rec, lane);
             events += rec.lane_events[lane];
             ++stats_->merges;
           }
@@ -662,11 +989,11 @@ void StreamSlicer::CloseWindow(uint32_t spec_idx,
       }
     } else {
       for (uint64_t id = lo; id <= hi && hi >= lo; ++id) {
-        const SliceRecord& rec = records_[id - base];
+        SliceRecord& rec = records_[id - base];
         if (lane >= rec.lane_events.size() || rec.lane_events[lane] == 0) {
           continue;
         }
-        PartialAggregate::MergeCompatible(acc, rec.lanes[lane]);
+        MergeRecordLane(acc, rec, lane);
         events += rec.lane_events[lane];
         ++stats_->merges;
       }
@@ -688,6 +1015,10 @@ void StreamSlicer::CloseWindow(uint32_t spec_idx,
       }
     }
   }
+  // Assembly restored cold records and charged them; re-shed before the
+  // next window (or group) restores more, so the per-relief charge delta
+  // stays one window's footprint rather than accumulating across closes.
+  if (gov_ != nullptr) gov_->Relieve();
 }
 
 void StreamSlicer::FlushShippableSlice() {
@@ -696,8 +1027,35 @@ void StreamSlicer::FlushShippableSlice() {
 }
 
 void StreamSlicer::CollectGarbage() {
+  // Once no live slice references any spill run the file's space can be
+  // recycled: sealed cold lanes are gone and the open slice has no runs.
+  const auto maybe_recycle_spill = [&] {
+    if (gov_ == nullptr || spill_ == nullptr || !sealed_spills_.empty() ||
+        spill_->num_runs() == 0) {
+      return;
+    }
+    for (const std::vector<uint32_t>& runs : lane_runs_) {
+      if (!runs.empty()) return;
+    }
+    const Status reset_status = spill_->Reset();
+    if (!reset_status.ok()) {
+      WarnSpillError(reset_status);
+      spill_failed_ = true;
+      spill_.reset();
+    }
+  };
+
   if (!options_.keep_slices) {
+    if (gov_ != nullptr && !records_.empty()) {
+      uint64_t bytes = 0;
+      for (const SliceRecord& rec : records_) {
+        for (const PartialAggregate& lane : rec.lanes) bytes += lane.bytes();
+      }
+      gov_->Discharge(bytes);
+      sealed_spills_.clear();
+    }
     records_.clear();
+    maybe_recycle_spill();
     return;
   }
   uint64_t min_first = kMaxTimestamp;
@@ -707,8 +1065,20 @@ void StreamSlicer::CollectGarbage() {
     }
   }
   while (!records_.empty() && records_.front().id < min_first) {
+    if (gov_ != nullptr) {
+      const SliceRecord& rec = records_.front();
+      uint64_t bytes = 0;
+      for (const PartialAggregate& lane : rec.lanes) bytes += lane.bytes();
+      gov_->Discharge(bytes);
+      if (!sealed_spills_.empty()) {
+        sealed_spills_.erase(
+            sealed_spills_.lower_bound({rec.id, 0}),
+            sealed_spills_.upper_bound({rec.id, UINT32_MAX}));
+      }
+    }
     records_.pop_front();
   }
+  maybe_recycle_spill();
   if (!composites_.empty()) {
     // A composite is dead once every dependent spec's earliest still-open
     // window starts past its end.
@@ -748,6 +1118,7 @@ void StreamSlicer::Ingest(const Event& event) {
     if (!group_.lanes[i].predicate.Matches(event)) continue;
     if (group_.lanes[i].deduplicate) {
       if (!dedup_sets_[i].insert(HashEvent(event)).second) continue;
+      ++dedup_inserted_;
     }
     matched_lanes_scratch_.push_back(i);
     matched = true;
@@ -795,6 +1166,11 @@ void StreamSlicer::Ingest(const Event& event) {
     ++current_slice_events_;
     ++lane_total_events_[lane];
     current_lane_last_ts_[lane] = event.ts;
+  }
+  if (gov_ != nullptr && matched) {
+    for (uint32_t lane : matched_lanes_scratch_) UpdateLaneCharge(lane);
+    if (any_dedup_) UpdateDedupCharge();
+    gov_->Relieve();
   }
 
   if (matched) {
@@ -873,6 +1249,9 @@ void StreamSlicer::FoldRun(const Event* run, size_t n) {
     }
     if (run_values_scratch_.empty()) continue;
     const size_t matched = run_values_scratch_.size();
+    // Run-length growth hint: one reservation per run instead of
+    // reallocation churn as AddN feeds the sort buffer value by value.
+    current_lanes_[lane].ReserveHint(matched);
     stats_->operator_executions +=
         current_lanes_[lane].AddN(run_values_scratch_.data(), matched);
     current_lane_events_[lane] += matched;
@@ -882,7 +1261,9 @@ void StreamSlicer::FoldRun(const Event* run, size_t n) {
     // ts order is non-decreasing, so the last matching event over all lanes
     // is the per-event path's "last event that matched any lane".
     current_last_event_ = std::max(current_last_event_, lane_last);
+    if (gov_ != nullptr) UpdateLaneCharge(lane);
   }
+  if (gov_ != nullptr) gov_->Relieve();
 }
 
 void StreamSlicer::IngestBatch(const Event* events, size_t count) {

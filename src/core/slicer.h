@@ -14,6 +14,7 @@
 #include "core/operators.h"
 #include "core/query_analyzer.h"
 #include "core/stats.h"
+#include "mem/memory_governor.h"
 #include "obs/trace.h"
 
 namespace desis {
@@ -84,9 +85,10 @@ struct SlicerOptions {
 /// slices at start/end punctuations, folds each event into the group's
 /// shared operators once per matching lane, and assembles window results
 /// from slice partials when end punctuations fire (§4).
-class StreamSlicer {
+class StreamSlicer : public mem::SpillClient {
  public:
   StreamSlicer(QueryGroup group, SlicerOptions options, EngineStats* stats);
+  ~StreamSlicer() override;
 
   StreamSlicer(const StreamSlicer&) = delete;
   StreamSlicer& operator=(const StreamSlicer&) = delete;
@@ -117,6 +119,19 @@ class StreamSlicer {
   /// slicers of the same group (one per cluster local) share the series —
   /// the handles are relaxed atomics. Null detaches.
   void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Attaches this slicer to a memory governor: live slice state (open
+  /// sort buffers, sealed records, dedup sets) is byte-accounted against
+  /// the governor's budget, and the governor may call back ShedBytes() to
+  /// spill cold non-decomposable sort buffers to disk runs. Null detaches
+  /// (discharging everything). With no governor attached — the default —
+  /// the ingest path performs zero accounting (seed-identical behaviour).
+  void set_memory(mem::MemoryGovernor* gov);
+
+  /// SpillClient: sheds resident bytes by spilling, preferring the coldest
+  /// state first — sealed (already shipped) slice records oldest-first,
+  /// then the open slice's largest sort buffers. Returns bytes released.
+  uint64_t ShedBytes(uint64_t target) override;
 
   /// Processes one event (non-decreasing ts order).
   void Ingest(const Event& event);
@@ -270,6 +285,37 @@ class StreamSlicer {
   void FlushShippableSlice();
   void CollectGarbage();
 
+  // --- Memory governance (all no-ops while gov_ == nullptr) -------------
+  /// Builds the fold state for `lane`: the lane mask, plus the t-digest
+  /// sketch when every median/quantile query on the lane opted in.
+  PartialAggregate MakeLanePartial(uint32_t lane) const;
+  /// Whether `lane` should fold quantile state into a sketch; `extra`
+  /// (binding to `extra_lane`) is a query about to be added, so structural
+  /// detection can evaluate the post-add shape before mutating the group.
+  bool LaneWantsSketch(uint32_t lane, const Query* extra,
+                       uint32_t extra_lane) const;
+  void RecomputeLaneSketch();
+  /// Delta-charges the governor with the lane's current buffer bytes.
+  void UpdateLaneCharge(uint32_t lane);
+  /// Delta-charges the estimated dedup-set footprint.
+  void UpdateDedupCharge();
+  /// Lazily creates the spill run file; false once creation failed.
+  bool EnsureSpillFile();
+  /// Spills an open-slice sort buffer to a run (merged back at seal time).
+  uint64_t SpillOpenLane(uint32_t lane);
+  /// Spills a sealed record's sorted values whole (read back on demand).
+  uint64_t SpillSealedLane(SliceRecord& rec, uint32_t lane);
+  /// Window assembly's merge of one record lane into `acc`: resident lanes
+  /// merge directly; spilled lanes are read from their run into a sealed
+  /// temporary and merged from there, leaving the record cold on disk (no
+  /// governor charge — peak residency stays at the budget, not the window
+  /// footprint).
+  void MergeRecordLane(PartialAggregate& acc, const SliceRecord& rec,
+                       uint32_t lane);
+  /// Total bytes currently charged to the governor by this slicer.
+  uint64_t ChargedBytes() const;
+  void WarnSpillError(const Status& status);
+
   // Flushes pending_events_in_ into the group.events_in counter; called at
   // slice seals, watermark advances, and batch boundaries.
   void FlushEventsInCounter() {
@@ -348,6 +394,30 @@ class StreamSlicer {
   std::vector<bool> spec_is_feeder_;    // spec feeds at least one dependent
   std::vector<uint32_t> matched_lanes_scratch_;
   std::vector<double> run_values_scratch_;
+
+  // --- Memory governance state ------------------------------------------
+  mem::MemoryGovernor* gov_ = nullptr;
+  std::unique_ptr<mem::SpillFile> spill_;
+  bool spill_failed_ = false;  // run-file creation/IO failed; stop trying
+  bool spill_warned_ = false;  // one stderr warning per slicer
+  /// Bytes charged for each open-slice lane buffer (parallel to lanes).
+  std::vector<uint64_t> lane_charged_;
+  /// Open-slice spill runs per lane, merged back at seal time.
+  std::vector<std::vector<uint32_t>> lane_runs_;
+  /// Values spilled out of the open slice per lane (for `represented`).
+  std::vector<uint64_t> lane_spilled_count_;
+  /// Lanes whose quantile state is a t-digest sketch (see LaneWantsSketch).
+  std::vector<uint8_t> lane_sketch_;
+  obs::Gauge* sketch_gauge_ = nullptr;
+  /// Sealed-record lanes currently cold on disk: (slice id, lane) -> run.
+  struct SealedSpill {
+    uint32_t run;
+    uint64_t represented;
+  };
+  std::map<std::pair<uint64_t, uint32_t>, SealedSpill> sealed_spills_;
+  /// Elements across all dedup sets; footprint is estimated from it.
+  uint64_t dedup_inserted_ = 0;
+  uint64_t dedup_charged_ = 0;
 };
 
 }  // namespace desis

@@ -1,0 +1,232 @@
+#include "mem/spill_file.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <queue>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace desis::mem {
+namespace {
+
+uint64_t Fnv1a(const void* data, size_t n, uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvBasis = 0xCBF29CE484222325ull;
+
+int ProcessId() {
+#ifdef _WIN32
+  return _getpid();
+#else
+  return static_cast<int>(::getpid());
+#endif
+}
+
+/// Buffered forward reader over one run; refills in chunks so a k-way
+/// merge streams every run with O(chunk) memory per cursor.
+class RunCursor {
+ public:
+  static constexpr size_t kChunkValues = 4096;
+
+  RunCursor(std::FILE* file, uint64_t offset, uint64_t count,
+            uint64_t checksum)
+      : file_(file), offset_(offset), remaining_(count), checksum_(checksum) {}
+
+  /// Loads the next chunk. false on exhaustion or error (check status()).
+  bool Refill() {
+    if (remaining_ == 0) {
+      if (!verified_) {
+        verified_ = true;
+        if (running_ != checksum_) {
+          status_ = Status::Internal("spill run checksum mismatch");
+        }
+      }
+      return false;
+    }
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(remaining_, kChunkValues));
+    buf_.resize(n);
+    if (std::fseek(file_, static_cast<long>(offset_), SEEK_SET) != 0) {
+      status_ = Status::Internal("spill seek failed");
+      return false;
+    }
+    if (std::fread(buf_.data(), sizeof(double), n, file_) != n) {
+      status_ = Status::Internal("truncated spill run");
+      return false;
+    }
+    running_ = Fnv1a(buf_.data(), n * sizeof(double), running_);
+    offset_ += n * sizeof(double);
+    remaining_ -= n;
+    pos_ = 0;
+    return true;
+  }
+
+  bool Next(double* v) {
+    if (pos_ >= buf_.size() && !Refill()) return false;
+    *v = buf_[pos_++];
+    return true;
+  }
+
+  /// After exhaustion: whole-run checksum verdict (or the I/O error).
+  const Status& status() const { return status_; }
+
+ private:
+  std::FILE* file_;
+  uint64_t offset_;
+  uint64_t remaining_;
+  uint64_t checksum_;
+  uint64_t running_ = kFnvBasis;
+  bool verified_ = false;
+  Status status_ = Status::OK();
+  std::vector<double> buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ResolveSpillDir(const std::string& configured) {
+  return configured.empty() ? ".desis_spill" : configured;
+}
+
+Result<std::unique_ptr<SpillFile>> SpillFile::Create(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create spill dir " + dir + ": " +
+                            ec.message());
+  }
+  static std::atomic<uint64_t> seq{0};
+  const std::string path = dir + "/run-" + std::to_string(ProcessId()) + "-" +
+                           std::to_string(seq.fetch_add(1)) + ".spill";
+  std::FILE* file = std::fopen(path.c_str(), "w+b");
+  if (file == nullptr) {
+    return Status::Internal("cannot open spill file " + path + ": " +
+                            std::strerror(errno));
+  }
+  return std::unique_ptr<SpillFile>(new SpillFile(file, path));
+}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // cleanup-on-destruct; best effort
+}
+
+Result<uint32_t> SpillFile::AppendRun(const double* values, size_t n) {
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Status::Internal("spill seek failed");
+  }
+  const long at = std::ftell(file_);
+  if (at < 0) return Status::Internal("spill tell failed");
+  if (std::fwrite(values, sizeof(double), n, file_) != n) {
+    return Status::Internal("spill write failed (disk full?)");
+  }
+  // Flush so the on-disk bytes are authoritative the moment the run is
+  // recorded — reads must observe exactly what was appended, never a stale
+  // stdio buffer that a later seek would replay over external changes.
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("spill flush failed (disk full?)");
+  }
+  RunMeta meta;
+  meta.offset = static_cast<uint64_t>(at);
+  meta.count = n;
+  meta.checksum = Fnv1a(values, n * sizeof(double), kFnvBasis);
+  runs_.push_back(meta);
+  bytes_written_ += n * sizeof(double);
+  return static_cast<uint32_t>(runs_.size() - 1);
+}
+
+Status SpillFile::ReadRun(uint32_t run, std::vector<double>* out) const {
+  if (run >= runs_.size()) return Status::InvalidArgument("no such spill run");
+  const RunMeta& meta = runs_[run];
+  out->clear();
+  out->reserve(meta.count);
+  RunCursor cursor(file_, meta.offset, meta.count, meta.checksum);
+  double v;
+  while (cursor.Next(&v)) out->push_back(v);
+  if (!cursor.status().ok()) return cursor.status();
+  if (out->size() != meta.count) return Status::Internal("truncated spill run");
+  return Status::OK();
+}
+
+Status SpillFile::MergeRuns(const std::vector<uint32_t>& runs,
+                            const std::vector<double>& resident,
+                            std::vector<double>* out) const {
+  out->clear();
+  uint64_t total = resident.size();
+  std::vector<RunCursor> cursors;
+  cursors.reserve(runs.size());
+  for (uint32_t run : runs) {
+    if (run >= runs_.size()) {
+      return Status::InvalidArgument("no such spill run");
+    }
+    const RunMeta& meta = runs_[run];
+    total += meta.count;
+    cursors.emplace_back(file_, meta.offset, meta.count, meta.checksum);
+  }
+  out->reserve(total);
+
+  // Min-heap over (value, source index); the resident values are source
+  // `runs.size()`, so ties drain disk runs in run order, resident last.
+  using Head = std::pair<double, size_t>;
+  const auto greater = [](const Head& a, const Head& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(greater)> heap(greater);
+
+  size_t resident_pos = 0;
+  double v;
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    if (cursors[i].Next(&v)) {
+      heap.push({v, i});
+    } else if (!cursors[i].status().ok()) {
+      return cursors[i].status();
+    }
+  }
+  if (!resident.empty()) heap.push({resident[0], cursors.size()});
+
+  while (!heap.empty()) {
+    const auto [value, src] = heap.top();
+    heap.pop();
+    out->push_back(value);
+    if (src == cursors.size()) {
+      if (++resident_pos < resident.size()) {
+        heap.push({resident[resident_pos], src});
+      }
+    } else if (cursors[src].Next(&v)) {
+      heap.push({v, src});
+    } else if (!cursors[src].status().ok()) {
+      return cursors[src].status();
+    }
+  }
+  return Status::OK();
+}
+
+Status SpillFile::Reset() {
+  runs_.clear();
+  bytes_written_ = 0;
+  // Reopen truncating: releases the disk space without churning the path.
+  std::FILE* reopened = std::freopen(path_.c_str(), "w+b", file_);
+  if (reopened == nullptr) {
+    file_ = nullptr;
+    return Status::Internal("spill reset failed");
+  }
+  file_ = reopened;
+  return Status::OK();
+}
+
+}  // namespace desis::mem

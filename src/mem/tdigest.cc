@@ -1,0 +1,170 @@
+#include "mem/tdigest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace desis::mem {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+TDigest::TDigest(double compression)
+    : compression_(compression < 20.0 ? 20.0 : compression) {
+  buffer_.reserve(static_cast<size_t>(compression_));
+}
+
+void TDigest::AddWeighted(double v, uint64_t w) {
+  if (w == 0) return;
+  buffer_.push_back({v, w});
+  total_ += w;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  // Amortized: recompress once the pending buffer rivals the centroid
+  // budget, so memory stays O(compression) between Seal() calls too.
+  if (buffer_.size() >= static_cast<size_t>(4.0 * compression_)) Compress();
+}
+
+void TDigest::AddN(const double* v, size_t n) {
+  for (size_t i = 0; i < n; ++i) AddWeighted(v[i], 1);
+}
+
+void TDigest::Merge(const TDigest& other) {
+  std::vector<Centroid> items;
+  items.reserve(centroids_.size() + buffer_.size() +
+                other.centroids_.size() + other.buffer_.size());
+  items.insert(items.end(), centroids_.begin(), centroids_.end());
+  items.insert(items.end(), buffer_.begin(), buffer_.end());
+  items.insert(items.end(), other.centroids_.begin(), other.centroids_.end());
+  items.insert(items.end(), other.buffer_.begin(), other.buffer_.end());
+  buffer_.clear();
+  total_ += other.total_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  Rebuild(items);
+}
+
+void TDigest::Compress() {
+  if (buffer_.empty()) return;
+  std::vector<Centroid> items;
+  items.reserve(centroids_.size() + buffer_.size());
+  items.insert(items.end(), centroids_.begin(), centroids_.end());
+  items.insert(items.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  Rebuild(items);
+}
+
+void TDigest::Rebuild(std::vector<Centroid>& items) {
+  if (items.empty()) {
+    centroids_.clear();
+    return;
+  }
+  // Deterministic order: by mean, ties by weight, so merge results do not
+  // depend on which side the equal points came from.
+  std::sort(items.begin(), items.end(), [](const Centroid& a, const Centroid& b) {
+    if (a.mean != b.mean) return a.mean < b.mean;
+    return a.weight < b.weight;
+  });
+
+  const double n = static_cast<double>(total_);
+  // k1 (arcsine) scale: k(q) = delta / (2 pi) * asin(2q - 1). A centroid may
+  // span at most one unit of k, which concentrates resolution at the tails.
+  const auto scale_k = [&](double q) {
+    q = std::clamp(q, 0.0, 1.0);
+    return compression_ / kTwoPi * std::asin(2.0 * q - 1.0);
+  };
+
+  std::vector<Centroid> merged;
+  merged.reserve(static_cast<size_t>(2.0 * compression_) + 8);
+  Centroid cur = items[0];
+  double cum = 0.0;  // weight strictly before `cur`
+  for (size_t i = 1; i < items.size(); ++i) {
+    const Centroid& c = items[i];
+    const double proposed =
+        cum + static_cast<double>(cur.weight) + static_cast<double>(c.weight);
+    if (scale_k(proposed / n) - scale_k(cum / n) <= 1.0) {
+      // Weighted mean keeps the centroid's rank mass centered.
+      const double w = static_cast<double>(cur.weight);
+      const double cw = static_cast<double>(c.weight);
+      cur.mean = (cur.mean * w + c.mean * cw) / (w + cw);
+      cur.weight += c.weight;
+    } else {
+      cum += static_cast<double>(cur.weight);
+      merged.push_back(cur);
+      cur = c;
+    }
+  }
+  merged.push_back(cur);
+  centroids_ = std::move(merged);
+}
+
+double TDigest::Quantile(double q) const {
+  assert(compressed() && "Compress() before Quantile()");
+  if (total_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  if (centroids_.size() == 1) return centroids_[0].mean;
+
+  const double rank = q * static_cast<double>(total_);
+  // Centroid i is anchored at rank cum_i + w_i / 2; interpolate between
+  // neighboring anchors, and between the exact extrema and the outermost
+  // anchors at the edges.
+  double prev_anchor = 0.0;
+  double prev_mean = min_;
+  double cum = 0.0;
+  for (const Centroid& c : centroids_) {
+    const double w = static_cast<double>(c.weight);
+    const double anchor = cum + w / 2.0;
+    if (rank < anchor) {
+      const double span = anchor - prev_anchor;
+      if (span <= 0.0) return c.mean;
+      const double frac = (rank - prev_anchor) / span;
+      return prev_mean + frac * (c.mean - prev_mean);
+    }
+    prev_anchor = anchor;
+    prev_mean = c.mean;
+    cum += w;
+  }
+  const double span = static_cast<double>(total_) - prev_anchor;
+  if (span <= 0.0) return max_;
+  const double frac = (rank - prev_anchor) / span;
+  return prev_mean + frac * (max_ - prev_mean);
+}
+
+size_t TDigest::bytes() const {
+  return centroids_.capacity() * sizeof(Centroid) +
+         buffer_.capacity() * sizeof(Centroid);
+}
+
+void TDigest::SerializeTo(ByteWriter& out) const {
+  assert(compressed() && "Compress() before SerializeTo()");
+  out.WriteDouble(compression_);
+  out.WriteU64(total_);
+  out.WriteDouble(min_);
+  out.WriteDouble(max_);
+  out.WriteU64(centroids_.size());
+  for (const Centroid& c : centroids_) {
+    out.WriteDouble(c.mean);
+    out.WriteU64(c.weight);
+  }
+}
+
+TDigest TDigest::DeserializeFrom(ByteReader& in) {
+  TDigest d(in.ReadDouble());
+  d.total_ = in.ReadU64();
+  d.min_ = in.ReadDouble();
+  d.max_ = in.ReadDouble();
+  const uint64_t n = in.ReadU64();
+  d.centroids_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const double mean = in.ReadDouble();
+    const uint64_t weight = in.ReadU64();
+    d.centroids_.push_back({mean, weight});
+  }
+  return d;
+}
+
+}  // namespace desis::mem

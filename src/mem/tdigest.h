@@ -1,0 +1,79 @@
+#ifndef DESIS_MEM_TDIGEST_H_
+#define DESIS_MEM_TDIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace desis::mem {
+
+/// Merging t-digest (Dunning & Ertl) over double values: the opt-in sketch
+/// backing for approximate median/quantile lanes (AggregationSpec::
+/// approx_quantile). State is O(compression) regardless of how many values
+/// were folded, so a sketch lane's per-slice footprint is constant.
+///
+/// Error bound: with the k1 (arcsine) scale function, a centroid at
+/// quantile q holds at most ~(4 pi / compression) * sqrt(q(1-q)) of the
+/// total rank mass, so the rank error of Quantile() is
+///   |est_rank - true_rank| / n  <=  ~2 pi sqrt(q(1-q)) / compression,
+/// i.e. < 1.6% at the median and tighter towards the tails for the default
+/// compression of 200 (DESIGN.md §3, memory governance). Extrema are
+/// tracked exactly, so min/max finalized from a sketch lane are exact.
+class TDigest {
+ public:
+  static constexpr double kDefaultCompression = 200.0;
+
+  explicit TDigest(double compression = kDefaultCompression);
+
+  void Add(double v) { AddWeighted(v, 1); }
+  void AddN(const double* v, size_t n);
+  /// Folds `other` into this digest and recompresses. `other` keeps its
+  /// buffered (uncompressed) points; they are folded too.
+  void Merge(const TDigest& other);
+  /// Flushes buffered points into the centroid list. Quantile() and
+  /// SerializeTo() require a compressed digest.
+  void Compress();
+  bool compressed() const { return buffer_.empty(); }
+
+  /// Interpolated value at quantile q in [0, 1]. Requires compressed().
+  double Quantile(double q) const;
+
+  uint64_t count() const { return total_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double compression() const { return compression_; }
+  size_t num_centroids() const { return centroids_.size(); }
+
+  /// Heap bytes held (centroid list + pending buffer capacity).
+  size_t bytes() const;
+
+  /// Wire format: compression, count, extrema, centroid list. Requires
+  /// compressed() — sealed slice state always is.
+  void SerializeTo(ByteWriter& out) const;
+  static TDigest DeserializeFrom(ByteReader& in);
+
+ private:
+  struct Centroid {
+    double mean;
+    uint64_t weight;
+  };
+
+  void AddWeighted(double v, uint64_t w);
+  /// Sorts `items` by mean and greedily re-merges them under the k1 scale
+  /// bound, replacing centroids_.
+  void Rebuild(std::vector<Centroid>& items);
+
+  double compression_;
+  std::vector<Centroid> centroids_;  // sorted by mean once compressed
+  std::vector<Centroid> buffer_;     // unmerged points
+  uint64_t total_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace desis::mem
+
+#endif  // DESIS_MEM_TDIGEST_H_

@@ -109,6 +109,9 @@ Status Cluster::Configure(const std::vector<Query>& queries) {
   if (options_.recovery.enabled && system_ != ClusterSystem::kDesis) {
     return Status::Unsupported("crash recovery requires the Desis system");
   }
+  if (options_.memory.budget_bytes > 0 && system_ != ClusterSystem::kDesis) {
+    return Status::Unsupported("memory budgeting requires the Desis system");
+  }
   for (const Query& q : queries) {
     if (auto s = q.Validate(); !s.ok()) return s;
   }
@@ -151,7 +154,7 @@ Status Cluster::Configure(const std::vector<Query>& queries) {
       make_local = [this](uint32_t id) {
         return std::make_unique<DesisLocalNode>(
             id, desis_groups_, /*forward_batch_size=*/512,
-            options_.engine_shards);
+            options_.engine_shards, options_.memory);
       };
       break;
     }
@@ -295,7 +298,7 @@ Result<int> Cluster::AddLocalNode() {
   // cold-start snapshot: the index is the source of truth after Configure.
   auto node = std::make_unique<DesisLocalNode>(
       next_node_id_++, group_index_.Snapshot(), /*forward_batch_size=*/512,
-      options_.engine_shards);
+      options_.engine_shards, options_.memory);
   const int local_idx = static_cast<int>(locals_.size());
   locals_.push_back(node.get());
   locals_raw_.push_back(node.get());

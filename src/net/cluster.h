@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "core/engine_iface.h"
 #include "core/query.h"
+#include "mem/memory_governor.h"
 #include "net/node.h"
 #include "opt/group_index.h"
 
@@ -60,6 +61,13 @@ struct ClusterOptions {
   /// by default — wire traffic stays byte-identical to the seed. Desis
   /// system only; Configure rejects it for the baselines.
   RecoveryOptions recovery;
+  /// Per-local-node memory budget (src/mem/): each Desis local's slice
+  /// state is byte-accounted against `memory.budget_bytes` and oversized
+  /// sort buffers spill to disk runs (each edge device governs its own
+  /// RAM, so the budget is per node, not cluster-wide). budget_bytes == 0
+  /// keeps the ungoverned seed path byte-identical. Desis system only;
+  /// Configure rejects a non-zero budget for the baselines.
+  mem::MemoryOptions memory;
 };
 
 /// An in-process decentralized cluster: builds the topology, deploys the

@@ -29,10 +29,24 @@ Timestamp EventBatchEndTs(const std::vector<uint8_t>& payload) {
 
 DesisLocalNode::DesisLocalNode(uint32_t id,
                                const std::vector<QueryGroup>& groups,
-                               size_t forward_batch_size, int engine_shards)
+                               size_t forward_batch_size, int engine_shards,
+                               const mem::MemoryOptions& memory)
     : Node(id, NodeRole::kLocal),
+      mem_options_(memory),
       forward_batch_size_(forward_batch_size),
       engine_shards_(engine_shards) {
+  if (mem_options_.budget_bytes > 0) {
+    // With a shard pool the budget is split half/half between the plain
+    // slicers and the pool (unshardable groups hold full-stream state, so
+    // an even split is the conservative default); otherwise the plain
+    // slicers get all of it.
+    mem::MemoryOptions plain = mem_options_;
+    if (engine_shards_ > 0) {
+      plain.budget_bytes =
+          std::max<uint64_t>(plain.budget_bytes / 2, uint64_t{1});
+    }
+    gov_ = std::make_unique<mem::MemoryGovernor>(plain);
+  }
   AddGroups(groups);
 }
 
@@ -43,6 +57,12 @@ void DesisLocalNode::DeployToPool(const std::vector<QueryGroup>& groups) {
     opts.shards = engine_shards_;
     opts.node_label = std::to_string(id());
     pool_ = std::make_unique<ShardedEngine>(opts);
+    if (mem_options_.budget_bytes > 0) {
+      mem::MemoryOptions half = mem_options_;
+      half.budget_bytes =
+          std::max<uint64_t>(half.budget_bytes / 2, uint64_t{1});
+      pool_->EnableMemoryBudget(half);
+    }
     Status st = pool_->ConfigureGroups(
         groups, [this](uint32_t gid, const SliceRecord& rec) {
           ShipSlice(gid, rec);
@@ -95,6 +115,7 @@ void DesisLocalNode::AddGroups(const std::vector<QueryGroup>& groups) {
     if (gid < SlicingEngine::kMaxInstrumentedGroups) {
       slicer->set_metrics(obs_registry_);
     }
+    if (gov_ != nullptr) slicer->set_memory(gov_.get());
     slicers_.emplace_back(gid, std::move(slicer));
   }
   DeployToPool(pool_groups);
@@ -149,6 +170,9 @@ void DesisLocalNode::OnObsAttached() {
   if (pool_ != nullptr) {
     pool_->set_tracer(tracer_, id(), obs::kSpanRoleLocal);
     pool_->set_metrics_registry(obs_registry_);
+  }
+  if (gov_ != nullptr) {
+    gov_->AttachMetrics(obs_registry_, {{"node", std::to_string(id())}});
   }
 }
 

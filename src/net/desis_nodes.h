@@ -12,6 +12,7 @@
 #include "core/sharded_engine.h"
 #include "core/slicer.h"
 #include "core/stats.h"
+#include "mem/memory_governor.h"
 #include "net/node.h"
 
 namespace desis {
@@ -28,8 +29,14 @@ namespace desis {
 /// partials match the single-threaded node. 0 keeps the seed path.
 class DesisLocalNode : public Node, public LocalIngest {
  public:
+  /// `memory` (budget_bytes > 0) puts this node's slice state under a
+  /// mem::MemoryGovernor: the plain slicers share one governor, and with a
+  /// shard pool the budget is split evenly between the plain slicers and
+  /// the pool (which partitions its half across shard governors). A zero
+  /// budget keeps the ungoverned seed path.
   DesisLocalNode(uint32_t id, const std::vector<QueryGroup>& groups,
-                 size_t forward_batch_size = 512, int engine_shards = 0);
+                 size_t forward_batch_size = 512, int engine_shards = 0,
+                 const mem::MemoryOptions& memory = {});
 
   /// Feeds a batch of events (non-decreasing ts); CPU time is metered.
   /// Pushed-down groups run the slicer's batched fast path — punctuation
@@ -62,6 +69,9 @@ class DesisLocalNode : public Node, public LocalIngest {
 
   const EngineStats& engine_stats() const { return stats_; }
 
+  /// Governor of the plain (non-pooled) slicers; null when ungoverned.
+  const mem::MemoryGovernor* memory_governor() const { return gov_.get(); }
+
   /// Re-sends the last advertised watermark so a new parent learns this
   /// subtree's progress immediately after a reattach.
   void ReAdvertiseWatermark() override;
@@ -81,6 +91,11 @@ class DesisLocalNode : public Node, public LocalIngest {
   void FoldPoolStats();
 
   EngineStats stats_;
+  /// Memory governance: configured options plus the plain slicers' shared
+  /// governor. Declared before slicers_ so they deregister before it dies;
+  /// the shard pool carries its own per-shard governors.
+  mem::MemoryOptions mem_options_;
+  std::unique_ptr<mem::MemoryGovernor> gov_;
   // Pushed-down groups: group id -> slicer.
   std::vector<std::pair<uint32_t, std::unique_ptr<StreamSlicer>>> slicers_;
   // Root-only groups: group id -> (group, pending forward batch).

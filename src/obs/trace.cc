@@ -16,12 +16,14 @@ const char* ToString(SlicePhase phase) {
     case SlicePhase::kRetransmit: return "retransmit";
     case SlicePhase::kReattach: return "reattach";
     case SlicePhase::kReplay: return "replay";
+    case SlicePhase::kSpill: return "spill";
+    case SlicePhase::kRestore: return "restore";
   }
   return "unknown";
 }
 
 bool PhaseFromString(const std::string& name, SlicePhase* out) {
-  for (uint8_t p = 0; p <= static_cast<uint8_t>(SlicePhase::kReplay);
+  for (uint8_t p = 0; p <= static_cast<uint8_t>(SlicePhase::kRestore);
        ++p) {
     if (name == ToString(static_cast<SlicePhase>(p))) {
       *out = static_cast<SlicePhase>(p);

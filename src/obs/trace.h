@@ -30,6 +30,12 @@ enum class SlicePhase : uint8_t {
   /// Crash recovery: a buffered message was re-sent to the (new) parent
   /// after a reattach; same slice identity as the original shipment.
   kReplay,
+  /// Memory governance: a slice's sort buffer was shed to a spill run file
+  /// (src/mem/); the slice stays live, only its residency changes.
+  kSpill,
+  /// Memory governance: a spilled slice was read back from its run file
+  /// because a window assembly needed it.
+  kRestore,
 };
 
 const char* ToString(SlicePhase phase);

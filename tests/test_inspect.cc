@@ -203,6 +203,60 @@ TEST(InspectRecovery, DropsWithoutReplayAreFlaggedSuspect) {
             std::string::npos);
 }
 
+// ------------------------------------------------------- memory governance --
+
+TEST(InspectMemory, GovernorSeriesSumAcrossShardsIntoSummaryLine) {
+  // Two shard governors plus a serial one: the memory line aggregates them.
+  const char* sidecar = R"({"bench":"memory_cap","obs_enabled":true,"runs":[
+    {"run":"capped","report":{"obs":{"metrics":{"metrics":[
+      {"name":"engine.bytes_resident","labels":{"shard":"0"},"value":1000},
+      {"name":"engine.bytes_resident","labels":{"shard":"1"},"value":500},
+      {"name":"engine.spills","labels":{"shard":"0"},"value":4},
+      {"name":"engine.spills","labels":{"shard":"1"},"value":2},
+      {"name":"engine.spill_bytes","labels":{"shard":"0"},"value":65536},
+      {"name":"engine.spill_restores","labels":{"shard":"0"},"value":6},
+      {"name":"engine.sketch_lanes","labels":{"group":"0"},"value":1}]}}}}]})";
+  const JsonValue v = Parse(sidecar);
+  const MemoryStat ms = ExtractMemory(MetricsOf(v["runs"].array[0]));
+  EXPECT_TRUE(ms.present);
+  EXPECT_DOUBLE_EQ(ms.bytes_resident, 1500);
+  EXPECT_DOUBLE_EQ(ms.spills, 6);
+  EXPECT_DOUBLE_EQ(ms.spill_bytes, 65536);
+  EXPECT_DOUBLE_EQ(ms.restores, 6);
+  EXPECT_DOUBLE_EQ(ms.sketch_lanes, 1);
+  EXPECT_FALSE(ms.Suspect());  // restores on par with spills: healthy
+  const std::string text = Summarize(v);
+  EXPECT_NE(text.find("memory: bytes_resident=1500 spills=6 "
+                      "spill_bytes=65536 restores=6 sketch_lanes=1"),
+            std::string::npos);
+  EXPECT_EQ(text.find("SUSPECT"), std::string::npos);
+}
+
+TEST(InspectMemory, RestoreStormIsFlaggedAsSpillThrash) {
+  const char* sidecar = R"({"bench":"memory_cap","obs_enabled":true,"runs":[
+    {"run":"capped","report":{"obs":{"metrics":{"metrics":[
+      {"name":"engine.spills","labels":{},"value":3},
+      {"name":"engine.spill_restores","labels":{},"value":100}]}}}}]})";
+  const JsonValue v = Parse(sidecar);
+  EXPECT_TRUE(ExtractMemory(MetricsOf(v["runs"].array[0])).Suspect());
+  EXPECT_NE(Summarize(v).find("SUSPECT: 100 restores vs 3 spills"),
+            std::string::npos);
+}
+
+TEST(InspectMemory, AbsentSeriesMeansUngoverned) {
+  // Ungoverned runs export no engine.bytes_resident/spill series: no memory
+  // line, and zero restores over zero spills is not thrash.
+  const char* sidecar = R"({"bench":"fig6","obs_enabled":true,"runs":[
+    {"run":"Desis","report":{"obs":{"metrics":{"metrics":[
+      {"name":"engine.shard_events","labels":{"shard":"0"},"value":10}]}}}}]})";
+  const JsonValue v = Parse(sidecar);
+  EXPECT_FALSE(ExtractMemory(MetricsOf(v["runs"].array[0])).present);
+  EXPECT_FALSE(ExtractMemory(MetricsOf(v["runs"].array[0])).Suspect());
+  const std::string text = Summarize(v);
+  EXPECT_EQ(text.find("memory:"), std::string::npos);
+  EXPECT_EQ(text.find("SUSPECT"), std::string::npos);
+}
+
 TEST(InspectRecovery, AbsentSectionMeansRecoveryOff) {
   // Runs without recovery enabled have no "recovery" object: nothing to
   // report, and a lossy run is *not* suspect (nothing promised recovery).

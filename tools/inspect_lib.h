@@ -208,6 +208,49 @@ inline RecoveryStat ExtractRecovery(const JsonValue& report) {
   return rs;
 }
 
+// ------------------------------------------------------- memory governance --
+
+/// Memory-governor counters summed over every engine.* series in the run's
+/// metrics snapshot (one series per governed engine or shard). Absent
+/// unless the run had a memory budget (DESIGN.md §3, memory governance).
+struct MemoryStat {
+  bool present = false;
+  double bytes_resident = 0;
+  double spills = 0;
+  double spill_bytes = 0;
+  double restores = 0;
+  double sketch_lanes = 0;
+
+  /// Spill thrash: state is restored far more often than it is spilled —
+  /// the same cold buffers bounce between disk and memory on every window
+  /// close, so the budget is too tight for the live working set. Spilling
+  /// itself is healthy; an order of magnitude more restores is not.
+  bool Suspect() const { return spills > 0 && restores > 8 * spills; }
+};
+
+inline MemoryStat ExtractMemory(const JsonValue& metrics) {
+  MemoryStat ms;
+  for (const JsonValue& m : metrics.array) {
+    const std::string name = m["name"].AsString();
+    const double value = m["value"].AsNumber();
+    if (name == "engine.bytes_resident") {
+      ms.bytes_resident += value;
+    } else if (name == "engine.spills") {
+      ms.spills += value;
+    } else if (name == "engine.spill_bytes") {
+      ms.spill_bytes += value;
+    } else if (name == "engine.spill_restores") {
+      ms.restores += value;
+    } else if (name == "engine.sketch_lanes") {
+      ms.sketch_lanes += value;
+    } else {
+      continue;
+    }
+    ms.present = true;
+  }
+  return ms;
+}
+
 // ------------------------------------------------------------- span merge --
 
 /// Rebuilds SliceSpans from one run's exported "spans" array (the inverse
@@ -329,6 +372,20 @@ inline std::string Summarize(const JsonValue& sidecar) {
                " messages dropped but 0 slices replayed — verify the drops "
                "were covered by link-level retransmission "
                "(docs/FAULT_TOLERANCE.md)\n";
+      }
+    }
+    const MemoryStat ms = ExtractMemory(metrics);
+    if (ms.present) {
+      out += "  memory: bytes_resident=" + FormatDouble(ms.bytes_resident) +
+             " spills=" + FormatDouble(ms.spills) +
+             " spill_bytes=" + FormatDouble(ms.spill_bytes) +
+             " restores=" + FormatDouble(ms.restores) +
+             " sketch_lanes=" + FormatDouble(ms.sketch_lanes) + "\n";
+      if (ms.Suspect()) {
+        out += "  SUSPECT: " + FormatDouble(ms.restores) + " restores vs " +
+               FormatDouble(ms.spills) +
+               " spills — spill thrash; the memory budget is too tight for "
+               "the live working set (DESIGN.md §3, memory governance)\n";
       }
     }
     const JsonValue& obs = report["obs"];
