@@ -142,18 +142,39 @@ std::vector<Query> ThroughputQueries() {
   return queries;
 }
 
+/// Accumulated batch-1024 ingest timings with and without a flight
+/// recorder attached, for the recorder-overhead self-check (the recorder
+/// only sees control-plane events — slice seals, watermark moves — so its
+/// cost must vanish in the per-event noise; docs/METRICS.md).
+struct RecorderOverheadSample {
+  int64_t timed_ns = 0;
+  int64_t events = 0;
+};
+
+RecorderOverheadSample& RecorderSample(bool with_recorder) {
+  static RecorderOverheadSample samples[2];
+  return samples[with_recorder ? 1 : 0];
+}
+
+constexpr size_t kOverheadProbeBatch = 1024;
+
 // Feeds the same 128k-event stream through a fresh Desis engine per
 // iteration; batch == 0 uses the per-event Ingest() path, otherwise
-// IngestBatch() in `batch`-sized chunks.
-void IngestThroughput(benchmark::State& state, size_t batch) {
+// IngestBatch() in `batch`-sized chunks. `with_recorder` attaches a
+// per-iteration flight recorder (the overhead probe pair at batch 1024).
+void IngestThroughput(benchmark::State& state, size_t batch,
+                      bool with_recorder = false) {
   DataGeneratorConfig cfg;
   const std::vector<Event> events = DataGenerator(cfg).Take(1 << 17);
   const std::vector<Query> queries = ThroughputQueries();
   for (auto _ : state) {
     state.PauseTiming();
     DesisEngine engine;
+    obs::FlightRecorder recorder;
+    if (with_recorder) engine.set_flight_recorder(&recorder);
     (void)engine.Configure(queries);
     state.ResumeTiming();
+    const auto t0 = std::chrono::steady_clock::now();
     if (batch == 0) {
       for (const Event& e : events) engine.Ingest(e);
     } else {
@@ -163,6 +184,14 @@ void IngestThroughput(benchmark::State& state, size_t batch) {
       }
     }
     benchmark::DoNotOptimize(engine.stats().operator_executions);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (batch == kOverheadProbeBatch) {
+      RecorderOverheadSample& sample = RecorderSample(with_recorder);
+      sample.timed_ns +=
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count();
+      sample.events += static_cast<int64_t>(events.size());
+    }
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(events.size()));
@@ -183,6 +212,14 @@ BENCHMARK(BM_IngestBatch)
     ->Arg(1024)
     ->Arg(4096)
     ->Arg(1 << 17);
+
+// The flight-recorder overhead probe: identical workload to
+// BM_IngestBatch/1024, with a recorder attached. Its sidecar pair (see
+// RecordRecorderOverhead) is the "recorder is free on the hot path" gate.
+void BM_IngestBatchRecorded(benchmark::State& state) {
+  IngestThroughput(state, kOverheadProbeBatch, /*with_recorder=*/true);
+}
+BENCHMARK(BM_IngestBatchRecorded);
 
 // Shard-scaling workload: the fixed-window mix of ThroughputQueries() plus
 // variance/stddev queries (three operator folds per event) and selection
@@ -318,6 +355,45 @@ void WriteShardedSidecar() {
   bench::WriteMetricsSidecar("bench_micro_sharded");
 }
 
+/// Folds the recorder on/off probe pair into the sidecar and self-checks
+/// the overhead band: recorder-on throughput within 25% of recorder-off
+/// (generous against scheduler noise; the recorder's per-event cost is a
+/// handful of relaxed stores on control-plane events only). Returns true
+/// on violation so main can exit non-zero. No-op (returns false) when the
+/// probe pair did not run (--benchmark_filter) or OBS is off.
+bool RecordRecorderOverhead() {
+  const RecorderOverheadSample& off = RecorderSample(false);
+  const RecorderOverheadSample& on = RecorderSample(true);
+  if (off.timed_ns <= 0 || on.timed_ns <= 0) return false;
+  const double eps_off = static_cast<double>(off.events) * 1e9 /
+                         static_cast<double>(off.timed_ns);
+  const double eps_on = static_cast<double>(on.events) * 1e9 /
+                        static_cast<double>(on.timed_ns);
+  const double overhead = eps_on > 0 ? eps_off / eps_on - 1.0 : 0.0;
+  for (const bool recorded : {false, true}) {
+    char head[256];
+    std::snprintf(head, sizeof(head),
+                  "{\"system\":\"Desis\",\"batch\":%zu,\"recorder\":%s,"
+                  "\"events_per_sec\":%g,\"recorder_overhead\":%g}",
+                  kOverheadProbeBatch, recorded ? "true" : "false",
+                  recorded ? eps_on : eps_off, recorded ? overhead : 0.0);
+    char label[64];
+    std::snprintf(label, sizeof(label), "IngestBatch1024 recorder=%s",
+                  recorded ? "on" : "off");
+    bench::Sidecar::Instance().RecordRun(label, head, "[]");
+  }
+  std::printf("flight-recorder overhead at batch %zu: %.1f%%\n",
+              kOverheadProbeBatch, overhead * 100.0);
+  if (overhead > 0.25) {
+    std::fprintf(stderr,
+                 "FAIL: flight recorder cost %.1f%% ingest throughput "
+                 "(band: 25%%)\n",
+                 overhead * 100.0);
+    return true;
+  }
+  return false;
+}
+
 void BM_QueryAnalyzer(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   std::vector<Query> queries;
@@ -348,6 +424,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  const bool overhead_violated = desis::RecordRecorderOverhead();
   desis::WriteShardedSidecar();
-  return 0;
+  return overhead_violated ? 1 : 0;
 }

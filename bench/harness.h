@@ -112,6 +112,17 @@ class Sidecar {
     std::sort(engine_shards_.begin(), engine_shards_.end());
   }
 
+  /// Remembers the health-watchdog configuration the runs used. A live
+  /// watchdog thread samples alongside the workload, so desis-inspect
+  /// refuses to diff a watchdog-on sidecar against a watchdog-off baseline
+  /// (same contract as NoteEngineShards). Call once per bench main; any
+  /// run with it enabled marks the whole sidecar.
+  void NoteWatchdog(const obs::WatchdogOptions& watchdog) {
+    watchdog_enabled_ = watchdog_enabled_ || watchdog.enabled;
+    if (watchdog.enabled) watchdog_ = watchdog;
+    watchdog_noted_ = true;
+  }
+
   size_t num_runs() const { return entries_.size(); }
 
   /// Provenance header written ahead of the runs: code version, build
@@ -150,6 +161,17 @@ class Sidecar {
     }
     out += "],\"hw_threads\":";
     out += std::to_string(std::thread::hardware_concurrency());
+    if (watchdog_noted_) {
+      out += ",\"watchdog\":{\"enabled\":";
+      out += watchdog_enabled_ ? "true" : "false";
+      out += ",\"period_ms\":" + std::to_string(watchdog_.period_ms);
+      out += ",\"silence_threshold\":" +
+             std::to_string(watchdog_.silence_threshold);
+      out += ",\"grace_us\":" + std::to_string(watchdog_.grace_us);
+      out += ",\"auto_recover\":";
+      out += watchdog_.auto_recover ? "true" : "false";
+      out += "}";
+    }
     out += "}";
     return out;
   }
@@ -207,6 +229,9 @@ class Sidecar {
   std::vector<std::string> entries_;
   std::vector<std::string> transports_;
   std::vector<int> engine_shards_;
+  bool watchdog_noted_ = false;
+  bool watchdog_enabled_ = false;
+  obs::WatchdogOptions watchdog_;
 };
 
 /// Convenience for bench mains: dump everything recorded so far.

@@ -48,8 +48,9 @@ fi
 
 # Optimizer and bounded-memory suites: each exits non-zero when its
 # acceptance contract fails (set -e propagates that), then lands in the
-# shared history file.
-for suite in correlated query_churn memory_cap; do
+# shared history file. memory_sweep is the cluster-level budget x
+# cardinality grid (BENCH_memory_sweep.json).
+for suite in correlated query_churn memory_cap memory_sweep; do
   suite_bin="$build_dir/bench/bench_${suite}"
   suite_json="$repo_root/BENCH_${suite}.json"
   if [[ -x "$suite_bin" ]]; then

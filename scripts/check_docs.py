@@ -9,8 +9,8 @@ Scans every tracked *.md file for
 
 Repo-level checks:
   4. every docs/*.md file is linked from the README documentation index,
-  5. every `recovery.*` / `engine.*` metric name registered in src/ has
-     a schema row in docs/METRICS.md.
+  5. every `recovery.*` / `engine.*` / `health.*` / `recorder.*` metric
+     name registered in src/ has a schema row in docs/METRICS.md.
 
 Exit code 0 when clean, 1 when any fatal finding exists. No external
 dependencies — stdlib only.
@@ -86,7 +86,7 @@ def check_file(path: Path, root: Path, strict: bool) -> tuple[int, int]:
     return fatal, warnings
 
 
-METRIC_RE = re.compile(r"\"((?:recovery|engine)\.[a-z_.]+)\"")
+METRIC_RE = re.compile(r"\"((?:recovery|engine|health|recorder)\.[a-z_.]+)\"")
 
 
 def check_readme_index(root: Path, files: list[Path]) -> int:
@@ -109,7 +109,8 @@ def check_readme_index(root: Path, files: list[Path]) -> int:
 
 
 def check_metric_schema(root: Path) -> int:
-    """Every recovery.*/engine.* series in src/ needs a METRICS.md row."""
+    """Every recovery./engine./health./recorder. series in src/ needs a
+    METRICS.md row."""
     metrics_md = root / "docs" / "METRICS.md"
     if not metrics_md.exists():
         print("docs/METRICS.md missing — cannot check the metric schema")

@@ -23,6 +23,7 @@ std::unique_ptr<StreamSlicer> SlicingEngine::MakeSlicer(QueryGroup group) {
       [this](const WindowResult& result) { Emit(result); });
   if (slice_sink_) slicer->set_slice_sink(slice_sink_);
   slicer->set_obs(tracer_, tracer_node_id_, tracer_role_);
+  slicer->set_flight(flight_);
   if (slicers_.size() < kMaxInstrumentedGroups) {
     slicer->set_metrics(registry_);
   }
@@ -50,6 +51,10 @@ void SlicingEngine::OnTracerAttached() {
   for (auto& slicer : slicers_) {
     slicer->set_obs(tracer_, tracer_node_id_, tracer_role_);
   }
+}
+
+void SlicingEngine::OnFlightRecorderAttached() {
+  for (auto& slicer : slicers_) slicer->set_flight(flight_);
 }
 
 void SlicingEngine::OnRegistryAttached() {

@@ -92,6 +92,8 @@ class SlicingEngine : public StreamEngine {
   void OnTracerAttached() override;
   /// Forwards the metrics registry to every slicer (group cost series).
   void OnRegistryAttached() override;
+  /// Forwards the flight recorder to every slicer (seal/spill events).
+  void OnFlightRecorderAttached() override;
 
  private:
   std::unique_ptr<StreamSlicer> MakeSlicer(QueryGroup group);

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "core/query.h"
 #include "core/stats.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace desis {
@@ -89,6 +90,17 @@ class StreamEngine {
   }
   obs::MetricsRegistry* metrics_registry() const { return registry_; }
 
+  /// Attaches the owning node's flight recorder: slicing engines forward
+  /// it to their slicers via OnFlightRecorderAttached() so seal and
+  /// spill/restore control-plane events land on the node's black-box ring
+  /// (obs::FlightRecorder). Null detaches; non-slicing baselines keep the
+  /// default no-op hook.
+  void set_flight_recorder(obs::FlightRecorder* flight) {
+    flight_ = flight;
+    OnFlightRecorderAttached();
+  }
+  obs::FlightRecorder* flight_recorder() const { return flight_; }
+
  protected:
   void Emit(const WindowResult& result) {
     ++stats_.windows_fired;
@@ -106,8 +118,12 @@ class StreamEngine {
   /// Subclass hook: registry_ changed.
   virtual void OnRegistryAttached() {}
 
+  /// Subclass hook: flight_ changed.
+  virtual void OnFlightRecorderAttached() {}
+
   EngineStats stats_;
   obs::SliceTracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   obs::MetricsRegistry* registry_ = nullptr;
   uint32_t tracer_node_id_ = 0;
   uint8_t tracer_role_ = obs::kSpanRoleEngine;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/spec_layout.h"
+#include "obs/flight_recorder.h"
 
 namespace desis {
 namespace {
@@ -154,6 +155,14 @@ void RootAssembler::AddPartial(const SliceRecord& msg) {
   // partial can never arrive at or behind the session scan's cursor — the
   // scan consumes each entry exactly once, and activity merged in behind it
   // would silently vanish from session tracking.
+#ifndef NDEBUG
+  if (!(session_specs_.empty() || session_cursor_.first == kNoTimestamp ||
+        EntryKey{msg.start, msg.end} > session_cursor_)) {
+    // Flush every flight recorder before the abort: the rings hold the
+    // control-plane events that led here (docs/FAULT_TOLERANCE.md).
+    obs::NotifyFlightFailure("root_assembler_session_cursor");
+  }
+#endif
   assert((session_specs_.empty() || session_cursor_.first == kNoTimestamp ||
           EntryKey{msg.start, msg.end} > session_cursor_));
   auto [it, inserted] = entries_.try_emplace(EntryKey{msg.start, msg.end});

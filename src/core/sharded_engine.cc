@@ -107,6 +107,7 @@ Status ShardedEngine::Configure(const std::vector<Query>& queries) {
       auto slicer = std::make_unique<StreamSlicer>(std::move(g), opt, &stats_);
       slicer->set_window_sink([this](const WindowResult& r) { Emit(r); });
       slicer->set_obs(tracer_, tracer_node_id_, tracer_role_);
+      slicer->set_flight(flight_);
       if (slicer->group().id < SlicingEngine::kMaxInstrumentedGroups) {
         RegisterGroupMetrics(slicer->group(), registry_);
         slicer->set_metrics(registry_);
@@ -310,6 +311,7 @@ void ShardedEngine::SetupShardSlicers(Shard& shard, size_t shard_index,
       sp->sealed.emplace_back(gid, rec);
     });
     slicer->set_obs(tracer_, ObsNodeId(shard_index), ObsRole());
+    slicer->set_flight(flight_);
     if (gid < SlicingEngine::kMaxInstrumentedGroups) {
       slicer->set_metrics(registry_);
     }
@@ -762,6 +764,14 @@ void ShardedEngine::OnTracerAttached() {
     for (auto& sl : shards_[i]->slicers) {
       sl->set_obs(tracer_, ObsNodeId(i), ObsRole());
     }
+  }
+}
+
+void ShardedEngine::OnFlightRecorderAttached() {
+  Quiesce();
+  for (auto& sl : serial_slicers_) sl->set_flight(flight_);
+  for (auto& s : shards_) {
+    for (auto& sl : s->slicers) sl->set_flight(flight_);
   }
 }
 

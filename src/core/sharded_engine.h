@@ -147,6 +147,7 @@ class ShardedEngine : public StreamEngine {
  protected:
   void OnTracerAttached() override;
   void OnRegistryAttached() override;
+  void OnFlightRecorderAttached() override;
 
  private:
   /// Plain-integer snapshot of the slicer-maintained EngineStats counters;

@@ -259,6 +259,10 @@ uint64_t StreamSlicer::SpillOpenLane(uint32_t lane) {
     tracer_->Record(obs::SlicePhase::kSpill, current_slice_id_, group_.id,
                     /*query_id=*/0, obs_node_id_, obs_role_, last_seen_ts_);
   }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kSpill, current_slice_id_,
+                    group_.id, last_seen_ts_);
+  }
   return freed;
 }
 
@@ -280,6 +284,9 @@ uint64_t StreamSlicer::SpillSealedLane(SliceRecord& rec, uint32_t lane) {
   if (tracer_ != nullptr) {
     tracer_->Record(obs::SlicePhase::kSpill, rec.id, group_.id,
                     /*query_id=*/0, obs_node_id_, obs_role_, rec.end);
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kSpill, rec.id, group_.id, rec.end);
   }
   return bytes;
 }
@@ -308,6 +315,10 @@ void StreamSlicer::MergeRecordLane(PartialAggregate& acc,
         if (tracer_ != nullptr) {
           tracer_->Record(obs::SlicePhase::kRestore, rec.id, group_.id,
                           /*query_id=*/0, obs_node_id_, obs_role_, rec.end);
+        }
+        if (flight_ != nullptr) {
+          flight_->Record(obs::FlightEventKind::kRestore, rec.id, group_.id,
+                          rec.end);
         }
         return;
       }
@@ -842,6 +853,10 @@ uint64_t StreamSlicer::SealCurrentSlice(Timestamp end_ts) {
     tracer_->Record(obs::SlicePhase::kSliceCreated, current_slice_id_,
                     group_.id, /*query_id=*/0, obs_node_id_, obs_role_,
                     end_ts);
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kSliceSeal, current_slice_id_,
+                    group_.id, end_ts);
   }
 
   if (gov_ != nullptr) {

@@ -15,6 +15,7 @@
 #include "core/query_analyzer.h"
 #include "core/stats.h"
 #include "mem/memory_governor.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace desis {
@@ -109,6 +110,12 @@ class StreamSlicer : public mem::SpillClient {
     obs_node_id_ = node_id;
     obs_role_ = role;
   }
+
+  /// Attaches the owning node's flight recorder: slice seals and
+  /// spill/restore transitions land on the node's black-box ring
+  /// (kSliceSeal / kSpill / kRestore). Null detaches. Same per-slice (not
+  /// per-event) cost discipline as set_obs.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
 
   /// Attaches cost-attribution metrics (labels {group}, docs/METRICS.md):
   /// group.events_in counts ingested events, group.operator_evals{op} one
@@ -329,6 +336,7 @@ class StreamSlicer : public mem::SpillClient {
   SlicerOptions options_;
   EngineStats* stats_;
   obs::SliceTracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   uint32_t obs_node_id_ = 0;
   uint8_t obs_role_ = obs::kSpanRoleEngine;
   // Cost-attribution handles (null when detached / DESIS_OBS=OFF); indexed

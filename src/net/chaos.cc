@@ -1,10 +1,13 @@
 #include "net/chaos.h"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "common/rng.h"
+#include "obs/flight_recorder.h"
 
 namespace desis {
 
@@ -106,6 +109,10 @@ int ChaosRunner::Run(const ChaosSchedule& schedule) {
     }
     cluster_->Advance(std::max(config_.start, wm - config_.watermark_lag));
     ++rounds;
+    if (config_.round_sleep_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.round_sleep_ms));
+    }
   }
   // Late heals/reattaches: without them, data buffered behind a dead uplink
   // would never flush and the baseline comparison would be vacuous.
@@ -118,6 +125,13 @@ int ChaosRunner::Run(const ChaosSchedule& schedule) {
   cluster_->Advance(final_wm);
   cluster_->Drain();
   return rounds;
+}
+
+bool ChaosRunsMatch(const std::string& baseline_canonical,
+                    const std::string& disturbed_canonical) {
+  if (baseline_canonical == disturbed_canonical) return true;
+  obs::NotifyFlightFailure("chaos_violation");
+  return false;
 }
 
 ChaosSchedule MakeSeededSchedule(uint64_t seed, int num_intermediates,

@@ -75,6 +75,11 @@ struct ChaosStreamConfig {
   /// Watermark of the final flush advance; kNoTimestamp derives end +
   /// 4 * advance_period (raise it past the largest window size in play).
   Timestamp final_watermark = kNoTimestamp;
+  /// Real-time pause after each ingest round (ms). 0 keeps the seed
+  /// behaviour (no clocks read). Watchdog runs set this to a few sampler
+  /// periods so the background health monitor — which samples in real
+  /// time — can observe a silent fault between virtual-time rounds.
+  int round_sleep_ms = 0;
 };
 
 /// Collects emitted windows and canonicalizes them for byte-identical
@@ -123,6 +128,15 @@ class ChaosRunner {
 ChaosSchedule MakeSeededSchedule(uint64_t seed, int num_intermediates,
                                  int num_locals,
                                  const ChaosStreamConfig& config);
+
+/// The zero-lost-zero-duplicated check every chaos consumer runs: true iff
+/// the disturbed run's canonical window set equals the baseline's. On a
+/// mismatch it calls obs::NotifyFlightFailure("chaos_violation") first, so
+/// every node's flight recorder dumps (see Cluster::DumpFlightRecorders)
+/// while the pre-violation history is still in the rings — then the caller
+/// can abort with a postmortem already on disk.
+bool ChaosRunsMatch(const std::string& baseline_canonical,
+                    const std::string& disturbed_canonical);
 
 }  // namespace desis
 

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 
 #include "baselines/ce_buffer.h"
@@ -34,6 +36,13 @@ Cluster::Cluster(ClusterSystem system, ClusterTopology topology,
       transport_(&DefaultInlineTransport()) {}
 
 Cluster::~Cluster() {
+  // Join the watchdog first: its hooks reach into membership and transport
+  // state that teardown below dismantles.
+  if (monitor_ != nullptr) monitor_->Stop();
+  // Drop the process failure hook — it captures `this`. Best-effort when
+  // several clusters coexist (last Configure owns the slot; see
+  // StartWatchdog).
+  obs::SetFlightFailureHook(nullptr);
   // Stop delivery workers while the nodes they drive are still alive.
   transport_->Shutdown();
 }
@@ -50,6 +59,14 @@ void Cluster::WireNode(Node* node) {
   if (obs_registry_ != nullptr || obs_tracer_ != nullptr) {
     node->AttachObs(obs_registry_, obs_tracer_);
   }
+  // Every node gets a black-box flight recorder, owned here so dumps
+  // survive whatever state the node is in when a failure fires. AttachObs
+  // ran first (when a registry is attached), so the recorder's counters
+  // register with the node's id/role labels.
+  auto flight = std::make_unique<obs::FlightRecorder>();
+  node->AttachFlight(flight.get());
+  std::lock_guard<std::mutex> lock(flights_mu_);
+  flights_.emplace_back(node, std::move(flight));
 }
 
 void Cluster::AttachObs(obs::MetricsRegistry* registry,
@@ -87,7 +104,12 @@ void Cluster::AttachObs(obs::MetricsRegistry* registry,
             ? registry->GetCounter("trace.dropped_spans", {}, "spans")
             : nullptr);
   }
-  for (const auto& node : nodes_) node->AttachObs(registry, tracer);
+  for (const auto& node : nodes_) {
+    node->AttachObs(registry, tracer);
+    // Re-attach the flight recorder so its counters register now that the
+    // registry exists (AttachObs-after-Configure ordering).
+    if (node->flight() != nullptr) node->AttachFlight(node->flight());
+  }
 }
 
 void Cluster::SampleHealth() const {
@@ -241,8 +263,138 @@ Status Cluster::Configure(const std::vector<Query>& queries) {
   for (const QueryGroup& g : desis_groups_) {
     next_group_id_ = std::max(next_group_id_, g.id + 1);
   }
+  StartWatchdog();
   configured_ = true;
   return Status::OK();
+}
+
+void Cluster::StartWatchdog() {
+  // Auto-dump on failure, watchdog or not: chaos-harness violations and
+  // RootAssembler invariant breaks route through NotifyFlightFailure. The
+  // hook slot is process-wide; the last configured cluster owns it (the
+  // destructor clears it), which matches the one-cluster-under-test shape
+  // of every bench and harness.
+  obs::SetFlightFailureHook([this](const std::string& reason) {
+    const char* dir = std::getenv("DESIS_FLIGHT_DUMP_DIR");
+    DumpFlightRecorders(dir != nullptr ? dir : ".", reason);
+  });
+  if (!options_.watchdog.enabled) return;
+  obs::WatchdogHooks hooks;
+  hooks.probe = [this] { return ProbeHealth(); };
+  hooks.sample_health = [this] { SampleHealth(); };
+  hooks.on_anomaly = [this](obs::AnomalyKind kind, uint32_t node_id) {
+    OnWatchdogAnomaly(kind, node_id);
+  };
+  if (system_ == ClusterSystem::kDesis && options_.recovery.enabled) {
+    hooks.recover = [this](Timestamp min_watermark) {
+      return !RecoverSilentIntermediates(min_watermark).empty();
+    };
+  }
+  monitor_ =
+      std::make_unique<obs::HealthMonitor>(options_.watchdog, std::move(hooks));
+  // period_ms <= 0 keeps the thread off: deterministic tests drive
+  // TickWatchdogForTest() instead.
+  if (options_.watchdog.period_ms > 0) monitor_->Start();
+}
+
+std::vector<obs::NodeProbe> Cluster::ProbeHealth() const {
+  std::shared_lock<std::shared_mutex> lock(membership_mu_);
+  std::vector<obs::NodeProbe> probes;
+  probes.reserve(nodes_.size());
+  const bool recovery_live =
+      system_ == ClusterSystem::kDesis && options_.recovery.enabled;
+  auto snapshot = [](const Node* node, bool alive, bool recoverable) {
+    obs::NodeProbe p;
+    p.node_id = node->id();
+    p.role = static_cast<uint8_t>(node->role());
+    p.alive = alive;
+    p.recoverable = recoverable;
+    p.heartbeats = node->health().heartbeats.load();
+    p.watermark = node->health().watermark.load();
+    p.mailbox_depth = node->health().mailbox_depth.load();
+    return p;
+  };
+  for (size_t i = 0; i < locals_raw_.size(); ++i) {
+    obs::NodeProbe p = snapshot(locals_raw_[i], !local_removed_[i],
+                                /*recoverable=*/false);
+    if (system_ == ClusterSystem::kDesis) {
+      const auto* local = static_cast<const DesisLocalNode*>(locals_raw_[i]);
+      if (const mem::MemoryGovernor* gov = local->memory_governor()) {
+        p.spill_restores = gov->restores();
+      }
+    }
+    probes.push_back(p);
+  }
+  for (size_t i = 0; i < intermediates_raw_.size(); ++i) {
+    const bool alive = !intermediate_dead_[i];
+    probes.push_back(
+        snapshot(intermediates_raw_[i], alive, alive && recovery_live));
+  }
+  if (root_raw_ != nullptr) {
+    probes.push_back(snapshot(root_raw_, /*alive=*/true,
+                              /*recoverable=*/false));
+  }
+  return probes;
+}
+
+void Cluster::OnWatchdogAnomaly(obs::AnomalyKind kind, uint32_t node_id) {
+  if (obs_registry_ != nullptr) {
+    obs::Counter* counter = obs_registry_->GetCounter(
+        "health.anomalies",
+        {{"kind", obs::AnomalyName(kind)}, {"node", std::to_string(node_id)}},
+        "anomalies");
+    if (counter != nullptr) counter->Add();
+  }
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    for (const auto& entry : flights_) {
+      if (entry.second->node_id() == node_id) {
+        entry.second->Record(
+            obs::FlightEventKind::kAnomaly, static_cast<uint64_t>(kind),
+            monitor_ != nullptr ? monitor_->samples() : 0, kNoTimestamp);
+        break;
+      }
+    }
+  }
+  // A silent node is a fault, not a statistic: snapshot every ring now,
+  // while the pre-fault history is still in the rings.
+  if (kind == obs::AnomalyKind::kSilentNode) {
+    obs::NotifyFlightFailure("silent_node:" + std::to_string(node_id));
+  }
+}
+
+std::vector<std::string> Cluster::DumpFlightRecorders(
+    const std::string& dir, const std::string& reason) const {
+  // Only flights_mu_ here — never membership_mu_: failure paths call this
+  // while already holding the membership lock (assert under ingest, chaos
+  // violation mid-recovery).
+  std::vector<std::string> written;
+  std::lock_guard<std::mutex> lock(flights_mu_);
+  for (const auto& entry : flights_) {
+    const std::string path =
+        dir + "/flight-" + std::to_string(entry.second->node_id()) + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) continue;
+    out << entry.second->DumpJson(reason) << "\n";
+    written.push_back(path);
+  }
+  return written;
+}
+
+uint64_t Cluster::watchdog_samples() const {
+  return monitor_ != nullptr ? monitor_->samples() : 0;
+}
+uint64_t Cluster::watchdog_anomalies() const {
+  return monitor_ != nullptr ? monitor_->anomalies() : 0;
+}
+uint64_t Cluster::watchdog_auto_recoveries() const {
+  return monitor_ != nullptr ? monitor_->auto_recoveries() : 0;
+}
+bool Cluster::watchdog_running() const {
+  return monitor_ != nullptr && monitor_->running();
+}
+void Cluster::TickWatchdogForTest() {
+  if (monitor_ != nullptr) monitor_->TickForTest();
 }
 
 Node* Cluster::ParentForLocal(size_t ordinal) const {
@@ -259,33 +411,42 @@ Node* Cluster::ParentForLocal(size_t ordinal) const {
 }
 
 void Cluster::AdvanceAt(int local_idx, Timestamp watermark) {
-  LocalIngest* local = nullptr;
-  std::mutex* mu = nullptr;
   {
+    // The shared lock spans ALL of this driver's transport activity — the
+    // Advance (which sends) and the Pump that drains pending deliveries.
+    // The watchdog's auto-recovery runs under the exclusive lock, and
+    // transports' event loops are not internally synchronized against it:
+    // this shared region is what keeps a background recovery op from
+    // interleaving with driver-side delivery.
     std::shared_lock<std::shared_mutex> lock(membership_mu_);
     const size_t i = static_cast<size_t>(local_idx);
     if (local_removed_[i]) return;
     // Written only by this local's single driver thread (see the class
     // threading contract); membership ops read it under the exclusive lock.
     local_last_advance_[i] = watermark;
-    local = locals_[i];
-    mu = local_mu_[i].get();
+    {
+      std::lock_guard<std::mutex> node_lock(*local_mu_[i]);
+      locals_[i]->Advance(watermark);
+    }
+    transport_->Pump();
   }
-  {
-    std::lock_guard<std::mutex> lock(*mu);
-    local->Advance(watermark);
-  }
-  transport_->Pump();
   // Low-overhead periodic snapshot: health gauges refresh on a watermark
   // cadence, not per event, so monitors polling StatsReport() mid-run see
-  // recent lag/backlog values without any hot-path cost.
+  // recent lag/backlog values without any hot-path cost. Outside the
+  // shared region above — re-acquiring a shared lock while a writer waits
+  // can deadlock.
   if (health_sample_ticks_++ % kHealthSamplePeriod == kHealthSamplePeriod - 1) {
     SampleHealth();
   }
 }
 
 void Cluster::Drain() {
-  transport_->Flush();
+  {
+    // Same contract as AdvanceAt: Flush is driver-side transport activity
+    // and must not interleave with a watchdog recovery op.
+    std::shared_lock<std::shared_mutex> lock(membership_mu_);
+    transport_->Flush();
+  }
   SampleHealth();
 }
 
@@ -451,6 +612,7 @@ Node* Cluster::ElectParentInLayer(size_t layer, Node* dead) {
 
 void Cluster::ReattachOrphan(Node* orphan, Node* new_parent,
                              const Node::ReplayFrontiers& frontiers) {
+  Node* old_parent = orphan->parent();
   transport_->ExecuteSync(new_parent, [new_parent, orphan] {
     new_parent->AttachChild(orphan);
   });
@@ -476,6 +638,11 @@ void Cluster::ReattachOrphan(Node* orphan, Node* new_parent,
   ++recovery_reattaches_;
   recovery_replayed_ += replayed;
   if (reattach_counter_ != nullptr) reattach_counter_->Add();
+  if (orphan->flight() != nullptr) {
+    orphan->flight()->Record(obs::FlightEventKind::kReattach, new_parent->id(),
+                             old_parent != nullptr ? old_parent->id() : 0,
+                             orphan->health().watermark);
+  }
   if (obs_tracer_ != nullptr) {
     obs_tracer_->Record(obs::SlicePhase::kReattach, /*slice_id=*/0,
                         /*group_id=*/0, /*query_id=*/0, orphan->id(),
@@ -710,6 +877,11 @@ Status Cluster::AddQuery(const Query& query) {
             std::chrono::steady_clock::now() - t0)
             .count());
   }
+  if (root_raw_ != nullptr && root_raw_->flight() != nullptr) {
+    root_raw_->flight()->Record(obs::FlightEventKind::kQueryAdd,
+                                static_cast<uint64_t>(query.id), placement.gid,
+                                kNoTimestamp);
+  }
   return Status::OK();
 }
 
@@ -745,18 +917,22 @@ Status Cluster::RemoveQuery(QueryId id) {
             std::chrono::steady_clock::now() - t0)
             .count());
   }
+  if (root_raw_ != nullptr && root_raw_->flight() != nullptr) {
+    root_raw_->flight()->Record(obs::FlightEventKind::kQueryRemove,
+                                static_cast<uint64_t>(id), gid, kNoTimestamp);
+  }
   return status;
 }
 
 void Cluster::IngestAt(int local_idx, const Event* events, size_t count) {
-  LocalIngest* local = nullptr;
-  std::mutex* mu = nullptr;
-  {
-    std::shared_lock<std::shared_mutex> lock(membership_mu_);
-    const size_t i = static_cast<size_t>(local_idx);
-    local = locals_[i];
-    mu = local_mu_[i].get();
-  }
+  // Shared across the whole batch (not just the vector reads): with the
+  // inline transport, ingest itself delivers upstream on this thread, and
+  // that must serialize against watchdog auto-recovery (exclusive lock) —
+  // see AdvanceAt.
+  std::shared_lock<std::shared_mutex> membership_lock(membership_mu_);
+  const size_t i = static_cast<size_t>(local_idx);
+  LocalIngest* local = locals_[i];
+  std::mutex* mu = local_mu_[i].get();
   std::lock_guard<std::mutex> lock(*mu);
   if (ingest_batch_hist_ != nullptr) {
     // One steady_clock pair per batch — amortized over the whole span.
@@ -780,6 +956,16 @@ void Cluster::Advance(Timestamp watermark) {
   for (size_t i = 0; i < n; ++i) {
     AdvanceAt(static_cast<int>(i), watermark);
   }
+}
+
+const mem::MemoryGovernor* Cluster::LocalMemoryGovernor(int local_idx) const {
+  std::shared_lock<std::shared_mutex> lock(membership_mu_);
+  if (system_ != ClusterSystem::kDesis || local_idx < 0 ||
+      static_cast<size_t>(local_idx) >= locals_raw_.size()) {
+    return nullptr;
+  }
+  return static_cast<const DesisLocalNode*>(locals_raw_[local_idx])
+      ->memory_governor();
 }
 
 uint64_t Cluster::BytesSentByRole(NodeRole role) const {
@@ -901,6 +1087,14 @@ std::string Cluster::StatsReport() const {
                   ",\"resend_overflow_drops\":%" PRIu64 "}",
                   recovery_reattaches_.load(), recovery_replayed_.load(), stale,
                   resend_bytes, overflow_drops);
+    out += buf;
+  }
+  if (monitor_ != nullptr) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"watchdog\":{\"samples\":%" PRIu64 ",\"anomalies\":%" PRIu64
+                  ",\"auto_recoveries\":%" PRIu64 "}",
+                  monitor_->samples(), monitor_->anomalies(),
+                  monitor_->auto_recoveries());
     out += buf;
   }
   if (obs_registry_ != nullptr || obs_tracer_ != nullptr) {

@@ -12,6 +12,7 @@
 #include "core/query.h"
 #include "mem/memory_governor.h"
 #include "net/node.h"
+#include "obs/health_monitor.h"
 #include "opt/group_index.h"
 
 namespace desis {
@@ -68,6 +69,13 @@ struct ClusterOptions {
   /// keeps the ungoverned seed path byte-identical. Desis system only;
   /// Configure rejects a non-zero budget for the baselines.
   mem::MemoryOptions memory;
+  /// Live health watchdog (src/obs/health_monitor.h): an opt-in background
+  /// sampler thread that tracks per-node heartbeats and raises typed
+  /// anomalies (health.anomalies{kind,node}). With `auto_recover` it
+  /// detects silent intermediates from their frozen heartbeats and invokes
+  /// RecoverSilentIntermediates without any driver involvement. Off by
+  /// default; inert (no thread) under -DDESIS_OBS=OFF.
+  obs::WatchdogOptions watchdog;
 };
 
 /// An in-process decentralized cluster: builds the topology, deploys the
@@ -229,6 +237,11 @@ class Cluster {
   int num_locals() const { return topology_.num_locals; }
   int num_intermediates() const { return topology_.num_intermediates; }
 
+  /// The per-local memory governor when ClusterOptions::memory is active
+  /// on a Desis cluster; nullptr otherwise. Budget/peak/spill counters for
+  /// the bounded-memory benches and tests.
+  const mem::MemoryGovernor* LocalMemoryGovernor(int local_idx) const;
+
   const NodeStats& local_stats(int i) const { return locals_raw_[i]->net_stats(); }
   const NodeStats& intermediate_stats(int i) const {
     return intermediates_raw_[i]->net_stats();
@@ -257,7 +270,8 @@ class Cluster {
   /// and future): per-node series land in `registry`, slice-lifecycle
   /// spans in `tracer` (either may be null). Window emission at the root
   /// records a kWindowEmitted span. Call any time before traffic; both
-  /// must outlive the cluster.
+  /// must outlive the cluster — with a watchdog thread on, health gauges
+  /// are published into `registry` until the destructor joins it.
   void AttachObs(obs::MetricsRegistry* registry, obs::SliceTracer* tracer);
   obs::MetricsRegistry* obs_registry() const { return obs_registry_; }
   obs::SliceTracer* obs_tracer() const { return obs_tracer_; }
@@ -272,6 +286,28 @@ class Cluster {
 
   /// Watermark advances between automatic SampleHealth() runs.
   static constexpr uint64_t kHealthSamplePeriod = 64;
+
+  // --- Flight recorder & health watchdog (src/obs/) ----------------------
+
+  /// Writes every node's flight-recorder dump (one JSON document per node,
+  /// "flight-<node_id>.json") into `dir`; `reason` is stamped into each
+  /// document. Returns the written paths. Safe from any thread, including
+  /// failure paths that already hold cluster locks — it only touches the
+  /// recorder rings, never the membership. Fires automatically (into
+  /// $DESIS_FLIGHT_DUMP_DIR, default ".") on a flight failure notification:
+  /// chaos-harness violations, RootAssembler invariant breaks, and
+  /// silent_node watchdog anomalies.
+  std::vector<std::string> DumpFlightRecorders(const std::string& dir,
+                                               const std::string& reason) const;
+
+  /// Watchdog counters (0 when the watchdog is disabled or OBS is off).
+  uint64_t watchdog_samples() const;
+  uint64_t watchdog_anomalies() const;
+  uint64_t watchdog_auto_recoveries() const;
+  bool watchdog_running() const;
+  /// One synchronous watchdog sampling pass on the caller's thread
+  /// (deterministic tests; no-op when the watchdog is disabled).
+  void TickWatchdogForTest();
 
  private:
   Node* ParentForLocal(size_t ordinal) const;
@@ -296,6 +332,19 @@ class Cluster {
   bool IsDeadIntermediate(const Node* node) const;
   int64_t RecoveryNowUs() const;
   void FinishRecoveryOp(int64_t t0_us);
+
+  // Watchdog internals.
+  /// Lock-free snapshot of every node's health cells for the monitor's
+  /// detectors (membership_mu_ shared; relaxed reads only).
+  std::vector<obs::NodeProbe> ProbeHealth() const;
+  /// Builds hooks, starts the sampler thread, and registers the process
+  /// failure hook that auto-dumps the recorders. Called from Configure
+  /// when options_.watchdog.enabled.
+  void StartWatchdog();
+  /// Watchdog-thread anomaly sink: bumps health.anomalies{kind,node},
+  /// records a kAnomaly event on the suspect's ring, and — for
+  /// silent_node — notifies the flight failure hook (auto-dump).
+  void OnWatchdogAnomaly(obs::AnomalyKind kind, uint32_t node_id);
 
   ClusterSystem system_;
   ClusterTopology topology_;
@@ -342,6 +391,15 @@ class Cluster {
   obs::Histogram* reattach_latency_hist_ = nullptr;  // recovery.reattach_latency_us
   uint32_t next_node_id_ = 0;
   uint32_t next_group_id_ = 0;
+  /// Per-node flight recorders, created at WireNode and owned here (nodes
+  /// hold raw pointers). flights_mu_ is a dedicated mutex — NOT
+  /// membership_mu_ — so DumpFlightRecorders stays callable from failure
+  /// paths that already hold the membership lock. flights_[i] pairs with
+  /// the node it was wired to; entries are append-only.
+  mutable std::mutex flights_mu_;
+  std::vector<std::pair<const Node*, std::unique_ptr<obs::FlightRecorder>>>
+      flights_;
+  std::unique_ptr<obs::HealthMonitor> monitor_;
 };
 
 }  // namespace desis

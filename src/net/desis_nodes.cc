@@ -176,6 +176,11 @@ void DesisLocalNode::OnObsAttached() {
   }
 }
 
+void DesisLocalNode::OnFlightAttached() {
+  for (auto& [gid, slicer] : slicers_) slicer->set_flight(flight_);
+  if (pool_ != nullptr) pool_->set_flight_recorder(flight_);
+}
+
 void DesisLocalNode::IngestBatch(const Event* events, size_t count) {
   if (count == 0) return;
   Metered([&] {
@@ -222,6 +227,10 @@ void DesisLocalNode::ShipSlice(uint32_t group_id, const SliceRecord& rec) {
     tracer_->Record(obs::SlicePhase::kPartialShipped, rec.id, group_id,
                     /*query_id=*/0, id(), obs::kSpanRoleLocal, rec.end);
   }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kPartialShip, rec.id, group_id,
+                    rec.end);
+  }
 }
 
 void DesisLocalNode::FlushForwardBatch(uint32_t group_id) {
@@ -261,7 +270,7 @@ void DesisLocalNode::Advance(Timestamp watermark) {
     }
     for (ForwardGroup& fg : forward_groups_) FlushForwardBatch(fg.group.id);
     SendToParent({MessageType::kWatermark, 0, EncodeWatermark(safe)});
-    health_.watermark = safe;
+    NoteWatermarkAdvance(safe);
     health_.backlog = 0;  // forward batches flushed
   });
 }
@@ -441,7 +450,7 @@ void DesisIntermediateNode::HandleMessage(const Message& message,
       SendToParent(message);
       break;
   }
-  health_.watermark = sent_wm_;
+  NoteWatermarkAdvance(sent_wm_);
   health_.backlog = static_cast<int64_t>(entries_.size());
 }
 
@@ -510,6 +519,10 @@ void DesisRootNode::OnObsAttached() {
         {{"node", std::to_string(id())}, {"role", ToString(role())}},
         "messages");
   }
+}
+
+void DesisRootNode::OnFlightAttached() {
+  for (auto& [gid, rg] : root_only_) rg.slicer->set_flight(flight_);
 }
 
 void DesisRootNode::AddGroups(const std::vector<QueryGroup>& groups) {
@@ -606,7 +619,7 @@ void DesisRootNode::UpdateHealthCells() {
   }
   health_.backlog = backlog;
   health_.reorder_depth = reorder;
-  health_.watermark = advanced_wm_;
+  NoteWatermarkAdvance(advanced_wm_);
 }
 
 Node::ReplayFrontiers DesisRootNode::FrontierSnapshot() const {

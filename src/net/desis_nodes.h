@@ -80,6 +80,8 @@ class DesisLocalNode : public Node, public LocalIngest {
   void HandleMessage(const Message& message, int child_index) override;
   /// Forwards the tracer to every slicer (slice-created spans at locals).
   void OnObsAttached() override;
+  /// Forwards the flight recorder to every slicer and the shard pool.
+  void OnFlightAttached() override;
 
  private:
   void ShipSlice(uint32_t group_id, const SliceRecord& rec);
@@ -197,6 +199,8 @@ class DesisRootNode : public Node {
   void OnChildDetached(int child_index) override;
   /// Forwards the tracer to the root-only groups' local slicers.
   void OnObsAttached() override;
+  /// Forwards the flight recorder to the root-only groups' slicers.
+  void OnFlightAttached() override;
 
  private:
   void NoteChildWatermark(int child_index, Timestamp wm);

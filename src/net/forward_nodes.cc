@@ -30,7 +30,7 @@ void ForwardingLocalNode::Advance(Timestamp watermark) {
   Metered([&] {
     Flush();
     SendToParent({MessageType::kWatermark, 0, EncodeWatermark(watermark)});
-    health_.watermark = watermark;
+    NoteWatermarkAdvance(watermark);
     health_.backlog = 0;
   });
 }
@@ -53,7 +53,7 @@ void RelayIntermediateNode::HandleMessage(const Message& message,
       min_wm = std::min(min_wm, wm);
     }
     health_.last_event_ts.StoreMax(min_wm);
-    health_.watermark = min_wm;
+    NoteWatermarkAdvance(min_wm);
     SendToParent({MessageType::kWatermark, 0, EncodeWatermark(min_wm)});
     return;
   }
@@ -109,7 +109,7 @@ void EngineRootNode::HandleMessage(const Message& message, int child_index) {
   // until every child's watermark passes them.
   health_.backlog = static_cast<int64_t>(pending_.size());
   health_.reorder_depth = static_cast<int64_t>(pending_.size());
-  health_.watermark = released_wm_;
+  NoteWatermarkAdvance(released_wm_);
 }
 
 }  // namespace desis

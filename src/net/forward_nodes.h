@@ -61,6 +61,11 @@ class EngineRootNode : public Node {
   void OnObsAttached() override {
     engine_->set_metrics_registry(obs_registry_);
   }
+  /// Forwards the flight recorder so the embedded engine's slicers record
+  /// seal/spill events on the root's ring.
+  void OnFlightAttached() override {
+    engine_->set_flight_recorder(flight_);
+  }
 
  private:
   Timestamp MinChildWatermark() const;

@@ -81,6 +81,20 @@ void Node::AttachObs(obs::MetricsRegistry* registry,
   OnObsAttached();
 }
 
+void Node::AttachFlight(obs::FlightRecorder* flight) {
+  flight_ = flight;
+  if (flight_ == nullptr) return;
+  flight_->set_identity(id_, static_cast<uint8_t>(role_));
+  if (obs_registry_ != nullptr) {
+    const obs::Labels labels = {{"node", std::to_string(id_)},
+                                {"role", ToString(role_)}};
+    flight_->set_counters(
+        obs_registry_->GetCounter("recorder.events", labels, "events"),
+        obs_registry_->GetCounter("recorder.dropped", labels, "events"));
+  }
+  OnFlightAttached();
+}
+
 void Node::PublishHealth() const {
   if (wm_lag_gauge_ != nullptr) {
     // Lag is only meaningful once both ends of the interval exist; before
@@ -103,19 +117,26 @@ void Node::NoteRetransmit(const Message* message) {
   // A retransmitted slice partial keeps its slice identity, so the span
   // lands on the same async track as the original shipment. The id and
   // time range are the first three payload fields (see SlicePartialMsg).
-  if (tracer_ != nullptr && message != nullptr &&
-      message->type == MessageType::kSlicePartial &&
+  if (message != nullptr && message->type == MessageType::kSlicePartial &&
       message->payload.size() >= sizeof(uint64_t) + 2 * sizeof(int64_t)) {
     ByteReader reader(message->payload);
     const uint64_t slice_id = reader.ReadU64();
     reader.ReadI64();  // start
     const Timestamp end = reader.ReadI64();
-    tracer_->Record(obs::SlicePhase::kRetransmit, slice_id, message->group_id,
-                    /*query_id=*/0, id_, static_cast<uint8_t>(role_), end);
+    if (tracer_ != nullptr) {
+      tracer_->Record(obs::SlicePhase::kRetransmit, slice_id,
+                      message->group_id, /*query_id=*/0, id_,
+                      static_cast<uint8_t>(role_), end);
+    }
+    if (flight_ != nullptr) {
+      flight_->Record(obs::FlightEventKind::kRetransmit, slice_id,
+                      message->group_id, end);
+    }
   }
 }
 
 void Node::Receive(const Message& message, int child_index) {
+  ++health_.heartbeats;  // any inbound traffic is a liveness signal
   if (message.type == MessageType::kAck) {
     // Downstream traffic (parent -> child, child_index = -1): evict the
     // resend buffer and cascade toward the leaves. Never reaches the
@@ -179,6 +200,10 @@ void Node::HandleStableAck(Timestamp stable) {
     resend_buffer_->EvictStable(stable);
     UpdateResendGauge();
   }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kAckFrontier,
+                    static_cast<uint64_t>(stable), 0, stable);
+  }
   SendAckToChildren(stable);
 }
 
@@ -224,7 +249,7 @@ size_t Node::ReplayUnacked(const ReplayFrontiers& frontiers) {
 }
 
 void Node::RecordReplaySpan(const Message& message) {
-  if (tracer_ == nullptr) return;
+  if (tracer_ == nullptr && flight_ == nullptr) return;
   uint64_t slice_id =
       message.origins.empty() ? 0 : message.origins.front().unit;
   Timestamp ts = health_.watermark;
@@ -235,8 +260,14 @@ void Node::RecordReplaySpan(const Message& message) {
     reader.ReadI64();  // start
     ts = reader.ReadI64();
   }
-  tracer_->Record(obs::SlicePhase::kReplay, slice_id, message.group_id,
-                  /*query_id=*/0, id_, static_cast<uint8_t>(role_), ts);
+  if (tracer_ != nullptr) {
+    tracer_->Record(obs::SlicePhase::kReplay, slice_id, message.group_id,
+                    /*query_id=*/0, id_, static_cast<uint8_t>(role_), ts);
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(obs::FlightEventKind::kReplay, slice_id, message.group_id,
+                    ts);
+  }
 }
 
 }  // namespace desis

@@ -11,6 +11,7 @@
 #include "core/stats.h"
 #include "net/message.h"
 #include "net/resend_buffer.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -84,6 +85,15 @@ struct NodeHealth {
   /// Occupancy of a reorder buffer (root-only raw events held back for
   /// cross-child ordering); 0 where no reordering happens.
   obs::RelaxedI64 reorder_depth{0};
+  /// Monotonic liveness counter: any received message or outbound
+  /// watermark advance bumps it. The health watchdog treats a frozen
+  /// value (while the node's watermark lags the live frontier) as
+  /// silence — see obs::HealthMonitor.
+  obs::RelaxedU64 heartbeats{0};
+  /// Momentary inbound mailbox occupancy (same observations as the
+  /// health.mailbox_depth gauge, but readable lock-free by the watchdog
+  /// probe without a registry).
+  obs::RelaxedI64 mailbox_depth{0};
 };
 
 /// A node in the simulated decentralized network. SendToParent() counts
@@ -174,6 +184,14 @@ class Node {
   void AttachObs(obs::MetricsRegistry* registry, obs::SliceTracer* tracer);
   obs::SliceTracer* tracer() const { return tracer_; }
 
+  /// Attaches this node's black-box flight recorder (owned by the
+  /// Cluster): stamps the node identity on it, mirrors its counters into
+  /// the registry (recorder.events / recorder.dropped) when AttachObs ran
+  /// first, and lets subclasses forward it to slicers/engines via
+  /// OnFlightAttached(). Null detaches.
+  void AttachFlight(obs::FlightRecorder* flight);
+  obs::FlightRecorder* flight() const { return flight_; }
+
   /// Publishes this node's health cells into its registry gauges
   /// (health.watermark_lag_us / health.backlog / health.reorder_depth, see
   /// docs/METRICS.md). Safe from any thread (relaxed reads, gauge stores);
@@ -188,6 +206,7 @@ class Node {
   /// transports, so the gauge tracks occupancy mid-run — not only at Flush.
   void NoteQueueDepth(uint64_t depth) {
     net_stats_.queue_hwm.StoreMax(depth);
+    health_.mailbox_depth.store(static_cast<int64_t>(depth));
     if (queue_hwm_gauge_ != nullptr) {
       queue_hwm_gauge_->StoreMax(static_cast<int64_t>(depth));
     }
@@ -198,6 +217,7 @@ class Node {
   /// Marks the inbound queue quiesced (occupancy gauge back to zero; the
   /// high-water mark is preserved). Called by transports after Flush.
   void NoteQueueDrained() {
+    health_.mailbox_depth.store(0);
     if (mailbox_depth_gauge_ != nullptr) mailbox_depth_gauge_->Set(0);
   }
   /// Records one retransmission on this node's uplink; with the in-flight
@@ -221,6 +241,27 @@ class Node {
   /// Subclasses register their own series and forward the tracer to any
   /// engines/slicers they own.
   virtual void OnObsAttached() {}
+
+  /// Subclass hook: flight recorder attached (flight_ is set). Subclasses
+  /// forward it to any slicers/engines they own so seal/spill/restore
+  /// events land on this node's ring.
+  virtual void OnFlightAttached() {}
+
+  /// Publishes this node's output watermark into the health cells, and —
+  /// on an actual advance — bumps the heartbeat and records a
+  /// kWatermarkAdvance flight event. Subclasses call this wherever they
+  /// previously stored health_.watermark directly.
+  void NoteWatermarkAdvance(Timestamp watermark) {
+    const Timestamp previous = health_.watermark.load();
+    health_.watermark.store(watermark);
+    if (watermark != previous) {
+      ++health_.heartbeats;
+      if (flight_ != nullptr) {
+        flight_->Record(obs::FlightEventKind::kWatermarkAdvance,
+                        static_cast<uint64_t>(watermark), 0, watermark);
+      }
+    }
+  }
 
   /// Ships a message to the parent (no-op without a parent — the root).
   void SendToParent(const Message& message);
@@ -253,6 +294,7 @@ class Node {
   NodeHealth health_;
   obs::MetricsRegistry* obs_registry_ = nullptr;
   obs::SliceTracer* tracer_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
 
  private:
   static int64_t NowNs();

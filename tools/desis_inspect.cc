@@ -15,10 +15,18 @@
 //   history <sidecar.json> --append=<BENCH_history.jsonl>
 //       Appends one provenance-stamped JSONL line with each run's headline
 //       number (throughput or results).
+//   postmortem <flight-dump.json...>
+//       Merges per-node flight-recorder dumps (written automatically on a
+//       failure, or via Cluster::DumpFlightRecorders) into one causally
+//       ordered timeline: the last events each node recorded going into the
+//       first anomaly, then the full anomaly window. Exit 1 when the merged
+//       timeline is empty, 2 on load errors.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "inspect_lib.h"
 
@@ -32,7 +40,8 @@ int Usage() {
       " [--threshold=0.15] [--stable-only]\n"
       "       desis_inspect merge <sidecar.json> [out.json]\n"
       "       desis_inspect history <sidecar.json>"
-      " --append=<history.jsonl>\n");
+      " --append=<history.jsonl>\n"
+      "       desis_inspect postmortem <flight-dump.json...>\n");
   return 2;
 }
 
@@ -80,7 +89,8 @@ int RunDiff(int argc, char** argv) {
   if (!result.comparable) {
     std::fprintf(stderr,
                  "desis_inspect: sidecars are not comparable "
-                 "(different bench, obs_enabled, or engine_shards)\n");
+                 "(different bench, obs_enabled, engine_shards, or "
+                 "watchdog setting)\n");
     return 2;
   }
   std::fputs(desis::tools::FormatDiff(result, options).c_str(), stdout);
@@ -137,6 +147,24 @@ int RunHistory(int argc, char** argv) {
   return 0;
 }
 
+int RunPostmortem(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  std::vector<desis::tools::FlightDump> dumps;
+  for (int i = 0; i < argc; ++i) {
+    desis::tools::JsonValue doc;
+    if (!Load(argv[i], &doc)) return 2;
+    desis::tools::FlightDump dump;
+    if (!desis::tools::FlightDumpFromJson(doc, &dump)) {
+      std::fprintf(stderr, "desis_inspect: %s is not a flight dump\n",
+                   argv[i]);
+      return 2;
+    }
+    dumps.push_back(std::move(dump));
+  }
+  std::fputs(desis::tools::Postmortem(dumps).c_str(), stdout);
+  return desis::tools::PostmortemEventCount(dumps) == 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,5 +176,6 @@ int main(int argc, char** argv) {
     return RunMerge(argv[2], argc == 4 ? argv[3] : nullptr);
   }
   if (command == "history") return RunHistory(argc - 2, argv + 2);
+  if (command == "postmortem") return RunPostmortem(argc - 2, argv + 2);
   return Usage();
 }

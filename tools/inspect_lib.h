@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "json_lite.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 
 namespace desis::tools {
@@ -514,6 +515,13 @@ inline std::vector<double> MetaEngineShards(const JsonValue& sidecar) {
   return out;
 }
 
+/// Whether the sidecar's runs had the health watchdog thread live (meta
+/// "watchdog" entry, written by Sidecar::NoteWatchdog). Sidecars predating
+/// the watchdog have no entry and read as off.
+inline bool MetaWatchdogEnabled(const JsonValue& sidecar) {
+  return sidecar["meta"]["watchdog"]["enabled"].boolean;
+}
+
 inline DiffResult DiffSidecars(const JsonValue& before, const JsonValue& after,
                                const DiffOptions& options) {
   DiffResult result;
@@ -522,7 +530,11 @@ inline DiffResult DiffSidecars(const JsonValue& before, const JsonValue& after,
       // Runs with different parallelism configurations measure different
       // code paths — never silently compare, say, a 4-shard run against
       // the serial seed.
-      MetaEngineShards(before) != MetaEngineShards(after)) {
+      MetaEngineShards(before) != MetaEngineShards(after) ||
+      // A live watchdog thread samples (and locks) alongside the run;
+      // comparing a watchdog-on run against a watchdog-off baseline would
+      // report its overhead as a regression in the workload under test.
+      MetaWatchdogEnabled(before) != MetaWatchdogEnabled(after)) {
     result.comparable = false;
     return result;
   }
@@ -612,6 +624,151 @@ inline std::string HistoryLine(const JsonValue& sidecar) {
   if (!sharing.empty()) out += ",\"sharing_ratio\":{" + sharing + "}";
   out += "}";
   return out;
+}
+
+// ------------------------------------------------------------- postmortem --
+
+/// One node's flight-recorder dump (Cluster::DumpFlightRecorders /
+/// FlightRecorder::DumpJson): identity, why the dump fired, ring counters,
+/// and the retained control-plane events.
+struct FlightDump {
+  uint32_t node = 0;
+  std::string role;
+  std::string reason;
+  double capacity = 0;
+  double recorded = 0;
+  double dropped = 0;
+  std::vector<obs::FlightEvent> events;
+};
+
+/// Rebuilds a FlightDump from a parsed dump document. Events with an
+/// unknown kind name are skipped (forward compatibility); a document
+/// without the recorder envelope is rejected.
+inline bool FlightDumpFromJson(const JsonValue& doc, FlightDump* out) {
+  if (!doc.is_object() || !doc["recorder"].is_object()) return false;
+  out->node = static_cast<uint32_t>(doc["node"].AsNumber());
+  out->role = doc["role"].AsString("?");
+  out->reason = doc["reason"].AsString("?");
+  out->capacity = doc["recorder"]["capacity"].AsNumber();
+  out->recorded = doc["recorder"]["recorded"].AsNumber();
+  out->dropped = doc["recorder"]["dropped"].AsNumber();
+  for (const JsonValue& e : doc["events"].array) {
+    obs::FlightEvent ev;
+    if (!obs::FlightKindFromName(e["kind"].AsString(), &ev.kind)) continue;
+    ev.node_id = static_cast<uint32_t>(e["node"].AsNumber());
+    obs::SpanRoleFromName(e["role"].AsString(), &ev.role);
+    ev.a = static_cast<uint64_t>(e["a"].AsNumber());
+    ev.b = static_cast<uint64_t>(e["b"].AsNumber());
+    ev.virtual_ts = static_cast<Timestamp>(e["virtual_ts"].AsNumber());
+    ev.real_ns = static_cast<int64_t>(e["real_ns"].AsNumber());
+    out->events.push_back(ev);
+  }
+  return true;
+}
+
+inline std::string FormatFlightEvent(const obs::FlightEvent& e) {
+  char vts[32];
+  if (e.virtual_ts == kNoTimestamp) {
+    std::snprintf(vts, sizeof(vts), "-");
+  } else {
+    std::snprintf(vts, sizeof(vts), "%lld",
+                  static_cast<long long>(e.virtual_ts));
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%14lld ns  node %-3u %-12s %-17s a=%llu b=%llu vts=%s",
+                static_cast<long long>(e.real_ns), e.node_id,
+                obs::SpanRoleName(e.role), obs::KindName(e.kind),
+                static_cast<unsigned long long>(e.a),
+                static_cast<unsigned long long>(e.b), vts);
+  std::string out = buf;
+  if (e.kind == obs::FlightEventKind::kAnomaly) {
+    out += std::string("  !! ") +
+           obs::AnomalyName(static_cast<obs::AnomalyKind>(e.a));
+  }
+  return out;
+}
+
+/// Merges per-node dumps into one causally ordered timeline. Events sort by
+/// real (steady-clock) time — the dumps come from one process, so real time
+/// is a causal order; virtual time breaks ties. With an anomaly in the
+/// merged stream the view pivots around the first one: the last
+/// `tail_per_node` pre-anomaly events of every node (what each node was
+/// doing going into the fault), then the full anomaly window. Without one,
+/// it is a plain merged tail.
+inline std::string Postmortem(const std::vector<FlightDump>& dumps,
+                              size_t tail_per_node = 12) {
+  std::string out;
+  size_t total = 0;
+  out += "postmortem over " + std::to_string(dumps.size()) + " dump(s)\n";
+  for (const FlightDump& d : dumps) {
+    out += "  node " + std::to_string(d.node) + " (" + d.role +
+           "): reason=" + d.reason + " recorded=" + FormatDouble(d.recorded) +
+           " dropped=" + FormatDouble(d.dropped) + "\n";
+    total += d.events.size();
+  }
+  if (total == 0) {
+    out += "no events retained\n";
+    return out;
+  }
+  std::vector<obs::FlightEvent> all;
+  all.reserve(total);
+  for (const FlightDump& d : dumps) {
+    all.insert(all.end(), d.events.begin(), d.events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const obs::FlightEvent& a, const obs::FlightEvent& b) {
+                     if (a.real_ns != b.real_ns) return a.real_ns < b.real_ns;
+                     return a.virtual_ts < b.virtual_ts;
+                   });
+  size_t first_anomaly = all.size();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].kind == obs::FlightEventKind::kAnomaly) {
+      first_anomaly = i;
+      break;
+    }
+  }
+  if (first_anomaly < all.size()) {
+    const obs::FlightEvent& a = all[first_anomaly];
+    out += "\nfirst anomaly: " +
+           std::string(obs::AnomalyName(static_cast<obs::AnomalyKind>(a.a))) +
+           " against node " + std::to_string(a.node_id) + "\n";
+    out += "\nlast " + std::to_string(tail_per_node) +
+           " event(s) per node before the anomaly:\n";
+    // Walk backwards from the anomaly keeping each node's most recent tail,
+    // then re-emit in forward order.
+    std::map<uint32_t, size_t> kept;
+    std::vector<size_t> picked;
+    for (size_t i = first_anomaly; i-- > 0;) {
+      if (kept[all[i].node_id]++ < tail_per_node) picked.push_back(i);
+    }
+    for (size_t i = picked.size(); i-- > 0;) {
+      out += FormatFlightEvent(all[picked[i]]) + "\n";
+    }
+    out += "\nanomaly window (every event from the first anomaly on):\n";
+    for (size_t i = first_anomaly; i < all.size(); ++i) {
+      out += FormatFlightEvent(all[i]) + "\n";
+    }
+  } else {
+    out += "\nno anomaly recorded; merged tail (last " +
+           std::to_string(tail_per_node) + " event(s) per node):\n";
+    std::map<uint32_t, size_t> kept;
+    std::vector<size_t> picked;
+    for (size_t i = all.size(); i-- > 0;) {
+      if (kept[all[i].node_id]++ < tail_per_node) picked.push_back(i);
+    }
+    for (size_t i = picked.size(); i-- > 0;) {
+      out += FormatFlightEvent(all[picked[i]]) + "\n";
+    }
+  }
+  return out;
+}
+
+/// Total retained events across dumps (the CLI's empty-timeline check).
+inline size_t PostmortemEventCount(const std::vector<FlightDump>& dumps) {
+  size_t total = 0;
+  for (const FlightDump& d : dumps) total += d.events.size();
+  return total;
 }
 
 }  // namespace desis::tools
